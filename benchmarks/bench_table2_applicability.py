@@ -1,0 +1,28 @@
+"""Table 2, applicability rows (Section 7.2): self-comparison of the four
+parser-gen scenarios (Edge, Service Provider, Datacenter, Enterprise).
+
+By default the mini variants of the scenarios are used so the whole benchmark
+suite stays in the minutes range with the pure-Python solver; set
+``LEAPFROG_FULL=1`` to verify the full protocol stacks (several minutes per
+scenario, matching the paper's observation that these are the heavyweight
+rows).
+"""
+
+import pytest
+
+from repro.reporting import case_studies, full_scale_requested
+
+_APPLICABILITY_ROWS = ["Edge", "Service Provider", "Datacenter", "Enterprise"]
+
+
+@pytest.mark.parametrize("name", _APPLICABILITY_ROWS)
+def test_applicability_case(benchmark, record_case, name):
+    study = case_studies()[name]
+    full = full_scale_requested()
+
+    def run():
+        return study(full=full)
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert outcome.verdict is True, f"{name} self-comparison should be proved"
+    record_case(outcome.metrics)

@@ -1,0 +1,21 @@
+"""Table 2, Translation Validation row (Section 7.2, Figure 8).
+
+Compiles the Edge scenario with the parser-gen compiler, back-translates the
+hardware table into a P4 automaton and proves it equivalent to the original
+parser.  The default uses the mini Edge scenario; ``LEAPFROG_FULL=1`` runs the
+full Edge router stack.
+"""
+
+from repro.reporting import case_studies, full_scale_requested
+
+
+def test_translation_validation(benchmark, record_case):
+    study = case_studies()["Translation Validation"]
+    full = full_scale_requested()
+
+    def run():
+        return study(full=full)
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert outcome.verdict is True, "the parser-gen compiler output should be validated"
+    record_case(outcome.metrics)

@@ -1,0 +1,38 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Each benchmark runs one Table 2 case study through the same runner the CLI
+uses and registers the resulting row; at the end of the session the collected
+rows are printed in the paper's column layout so the output can be compared
+against Table 2 directly (and pasted into EXPERIMENTS.md).
+
+``LEAPFROG_FULL=1`` switches the expensive studies to their paper-sized
+configurations; the default keeps every benchmark in the seconds-to-minutes
+range on a laptop with the pure-Python solver.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.reporting import CaseMetrics, render_text
+
+_COLLECTED: List[CaseMetrics] = []
+
+
+@pytest.fixture
+def record_case():
+    """Benchmarks call this with the CaseMetrics row they produced."""
+
+    def _record(metrics: CaseMetrics) -> CaseMetrics:
+        _COLLECTED.append(metrics)
+        return metrics
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _COLLECTED:
+        print("\n")
+        print(render_text(_COLLECTED, title="Leapfrog reproduction — Table 2 rows measured this session"))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed in editable mode on systems without the ``wheel``
+package or network access (``pip install -e . --no-build-isolation`` falls back
+to the legacy code path through this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""Command-line interface.
+
+``leapfrog-repro`` exposes the main workflows:
+
+* ``check LEFT.p4a RIGHT.p4a --left-start q1 --right-start q3`` — parse two
+  automata from their surface syntax and check language equivalence;
+* ``table [--full] [--case NAME ...]`` — run the Table 2 case studies and print
+  the results in the paper's row format;
+* ``list`` — list the registered case studies;
+* ``dump-scenario NAME`` — print a parser-gen scenario as a P4 automaton (and
+  optionally its compiled hardware table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.algorithm import CheckerConfig
+from .core.equivalence import check_language_equivalence
+from .p4a.pretty import pretty
+from .p4a.surface import parse_automaton
+from .parsergen import compile_graph, graph_to_p4a, scenario
+from .reporting import case_studies, render_markdown, render_text, run_cases
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="leapfrog-repro",
+        description="Certified equivalence checking for P4 protocol parsers (Leapfrog reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check language equivalence of two parsers")
+    check.add_argument("left", help="path to the left parser (surface syntax)")
+    check.add_argument("right", help="path to the right parser (surface syntax)")
+    check.add_argument("--left-start", required=True, help="start state of the left parser")
+    check.add_argument("--right-start", required=True, help="start state of the right parser")
+    check.add_argument("--no-leaps", action="store_true", help="disable the leaps optimization")
+    check.add_argument(
+        "--no-reachability", action="store_true", help="disable reachable-pair pruning"
+    )
+    check.add_argument(
+        "--no-counterexample", action="store_true", help="skip the counterexample search"
+    )
+
+    table = sub.add_parser("table", help="run the Table 2 case studies")
+    table.add_argument("--full", action="store_true", help="use paper-sized parsers")
+    table.add_argument("--case", action="append", help="run only the named case (repeatable)")
+    table.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+
+    sub.add_parser("list", help="list the registered case studies")
+
+    dump = sub.add_parser("dump-scenario", help="print a parser-gen scenario as a P4 automaton")
+    dump.add_argument("name", help="scenario name (e.g. edge, datacenter, mini_edge)")
+    dump.add_argument("--hardware", action="store_true", help="also print the compiled table")
+    return parser
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    with open(args.left) as handle:
+        left = parse_automaton(handle.read(), name=args.left)
+    with open(args.right) as handle:
+        right = parse_automaton(handle.read(), name=args.right)
+    config = CheckerConfig(
+        use_leaps=not args.no_leaps, use_reachability=not args.no_reachability
+    )
+    result = check_language_equivalence(
+        left,
+        args.left_start,
+        right,
+        args.right_start,
+        config=config,
+        find_counterexamples=not args.no_counterexample,
+    )
+    print(result)
+    if result.proved:
+        return 0
+    return 1 if result.refuted else 2
+
+
+def _command_table(args: argparse.Namespace) -> int:
+    names = args.case if args.case else None
+    metrics = run_cases(names=names, full=args.full)
+    renderer = render_markdown if args.markdown else render_text
+    print(renderer(metrics, title="Table 2 reproduction"))
+    return 0
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    for name, study in case_studies().items():
+        print(f"{name:30s} [{study.category}]")
+    return 0
+
+
+def _command_dump_scenario(args: argparse.Namespace) -> int:
+    graph = scenario(args.name)
+    automaton, start = graph_to_p4a(graph)
+    print(f"// scenario {args.name}: start state {start}")
+    print(pretty(automaton))
+    if args.hardware:
+        print(compile_graph(graph).dump())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "check": _command_check,
+        "table": _command_table,
+        "list": _command_list,
+        "dump-scenario": _command_dump_scenario,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The Leapfrog core: symbolic equivalence checking with leaps."""
+
+from .algorithm import (
+    CheckerConfig,
+    CheckerError,
+    CheckerStatistics,
+    PreBisimResult,
+    PreBisimulationChecker,
+)
+from .certificate import Certificate, CertificateCheckResult, verify_certificate
+from .counterexample import Counterexample, find_counterexample
+from .entailment import EntailmentChecker, EntailmentOutcome
+from .equivalence import (
+    EquivalenceResult,
+    check_initial_store_independence,
+    check_language_equivalence,
+    check_store_relation,
+)
+from .init_rels import initial_relation
+from .naive import (
+    DifferentialMismatch,
+    ExplicitCheckResult,
+    exhaustive_store_equivalence,
+    explicit_bisimulation_check,
+    random_differential_test,
+)
+from .reachability import ReachabilityAnalysis
+from .templates import GuardedFormula, Template, TemplatePair, guard, leap_size
+from .wp import wp_formula, wp_set
+
+__all__ = [
+    "Certificate",
+    "CertificateCheckResult",
+    "CheckerConfig",
+    "CheckerError",
+    "CheckerStatistics",
+    "Counterexample",
+    "DifferentialMismatch",
+    "EntailmentChecker",
+    "EntailmentOutcome",
+    "EquivalenceResult",
+    "ExplicitCheckResult",
+    "GuardedFormula",
+    "PreBisimResult",
+    "PreBisimulationChecker",
+    "ReachabilityAnalysis",
+    "Template",
+    "TemplatePair",
+    "check_initial_store_independence",
+    "check_language_equivalence",
+    "check_store_relation",
+    "exhaustive_store_equivalence",
+    "explicit_bisimulation_check",
+    "find_counterexample",
+    "guard",
+    "initial_relation",
+    "leap_size",
+    "random_differential_test",
+    "verify_certificate",
+    "wp_formula",
+    "wp_set",
+]

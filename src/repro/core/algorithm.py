@@ -1,0 +1,271 @@
+"""The symbolic pre-bisimulation algorithm (Algorithm 1 with Section 5 optimizations).
+
+``PreBisimulationChecker`` computes (an over-approximation of) the weakest
+symbolic bisimulation — with leaps when enabled — restricted to template pairs
+reachable from the start pair.  The worklist maintains a frontier ``T`` of
+candidate conjuncts; each iteration either *skips* a conjunct already entailed
+by the relation ``R`` built so far, or *extends* ``R`` with it and schedules
+its weakest preconditions.  When the frontier empties, the *done* step checks
+that the initial formula entails every conjunct at the start templates.
+
+On success the result carries a :class:`~repro.core.certificate.Certificate`
+that an independent checker can re-validate; on failure it records which
+conjunct could not be established, which the counterexample search uses as a
+hint.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.confrel import FTrue, Formula, TRUE
+from ..logic.simplify import simplify_formula
+from ..p4a.bitvec import Bits
+from ..p4a.syntax import P4Automaton
+from ..p4a.typing import check_automaton
+from ..smt.backend import InternalBackend, SolverBackend
+from .certificate import Certificate
+from .entailment import EntailmentChecker, EXACT
+from .init_rels import initial_relation
+from .reachability import ReachabilityAnalysis
+from .templates import GuardedFormula, Template, TemplatePair
+from .wp import wp_formula
+
+
+class CheckerError(Exception):
+    """Raised when the checker cannot run (bad configuration, ill-typed input)."""
+
+
+@dataclass
+class CheckerConfig:
+    """Tunable behaviour of the pre-bisimulation checker.
+
+    ``use_leaps`` and ``use_reachability`` correspond to the two optimizations
+    of Section 5 and exist primarily so the ablation benchmarks can disable
+    them.  ``entailment_mode`` selects the fast or exact entailment strategy.
+    """
+
+    use_leaps: bool = True
+    use_reachability: bool = True
+    entailment_mode: str = EXACT
+    max_iterations: int = 200_000
+    track_memory: bool = True
+    frontier_order: str = "fifo"  # or "lifo"
+
+
+@dataclass
+class CheckerStatistics:
+    """Counters describing one checker run (reported in the benchmark tables)."""
+
+    iterations: int = 0
+    extended: int = 0
+    skipped: int = 0
+    wp_formulas: int = 0
+    reachable_pairs: int = 0
+    relation_size: int = 0
+    runtime_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    entailment: Dict[str, int] = field(default_factory=dict)
+    solver: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "iterations": self.iterations,
+            "extended": self.extended,
+            "skipped": self.skipped,
+            "wp_formulas": self.wp_formulas,
+            "reachable_pairs": self.reachable_pairs,
+            "relation_size": self.relation_size,
+            "runtime_seconds": self.runtime_seconds,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "entailment": dict(self.entailment),
+            "solver": dict(self.solver),
+        }
+
+
+@dataclass
+class PreBisimResult:
+    """Outcome of one pre-bisimulation run."""
+
+    proved: bool
+    relation: List[GuardedFormula]
+    certificate: Optional[Certificate]
+    statistics: CheckerStatistics
+    failed_conjunct: Optional[GuardedFormula] = None
+    failure_model: Optional[Dict[str, Bits]] = None
+
+
+class PreBisimulationChecker:
+    """Runs Algorithm 1 on a pair of automata and start states."""
+
+    def __init__(
+        self,
+        left_aut: P4Automaton,
+        right_aut: P4Automaton,
+        left_start: str,
+        right_start: str,
+        config: Optional[CheckerConfig] = None,
+        backend: Optional[SolverBackend] = None,
+        initial_pure: Formula = TRUE,
+        store_relation: Optional[Formula] = None,
+        extra_initial: Optional[Iterable[GuardedFormula]] = None,
+        require_equal_acceptance: bool = True,
+    ) -> None:
+        check_automaton(left_aut)
+        check_automaton(right_aut)
+        if left_start not in left_aut.states:
+            raise CheckerError(f"unknown start state {left_start!r} in {left_aut.name!r}")
+        if right_start not in right_aut.states:
+            raise CheckerError(f"unknown start state {right_start!r} in {right_aut.name!r}")
+        self.left_aut = left_aut
+        self.right_aut = right_aut
+        self.left_start = left_start
+        self.right_start = right_start
+        self.config = config or CheckerConfig()
+        self.backend = backend or InternalBackend()
+        self.entailment = EntailmentChecker(self.backend, mode=self.config.entailment_mode)
+        self.initial_pure = initial_pure
+        self.store_relation = store_relation
+        self.extra_initial = list(extra_initial) if extra_initial is not None else None
+        self.require_equal_acceptance = require_equal_acceptance
+        self.start_pair = TemplatePair(Template(left_start, 0), Template(right_start, 0))
+
+    # ------------------------------------------------------------------
+
+    def _build_reachability(self) -> ReachabilityAnalysis:
+        if self.config.use_reachability:
+            initial_pairs = [self.start_pair]
+        else:
+            # The unpruned variant of Theorem 4.6: every template pair is
+            # considered reachable.
+            from .reachability import full_template_product
+
+            initial_pairs = full_template_product(self.left_aut, self.right_aut)
+            if self.start_pair not in initial_pairs:
+                initial_pairs.append(self.start_pair)
+        return ReachabilityAnalysis(
+            self.left_aut, self.right_aut, initial_pairs, use_leaps=self.config.use_leaps
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> PreBisimResult:
+        statistics = CheckerStatistics()
+        start_time = time.perf_counter()
+        tracking_memory = False
+        if self.config.track_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            tracking_memory = True
+        try:
+            result = self._run_loop(statistics)
+        finally:
+            statistics.runtime_seconds = time.perf_counter() - start_time
+            if tracking_memory:
+                _, peak = tracemalloc.get_traced_memory()
+                statistics.peak_memory_bytes = peak
+                tracemalloc.stop()
+            elif tracemalloc.is_tracing():
+                _, peak = tracemalloc.get_traced_memory()
+                statistics.peak_memory_bytes = peak
+            statistics.entailment = self.entailment.statistics.as_dict()
+            solver_stats = self.backend.statistics
+            statistics.solver = {
+                "queries": solver_stats.queries,
+                "total_time": solver_stats.total_time,
+                "max_time": solver_stats.max_time,
+                "p99_time": solver_stats.percentile_time(0.99),
+            }
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run_loop(self, statistics: CheckerStatistics) -> PreBisimResult:
+        reach = self._build_reachability()
+        statistics.reachable_pairs = len(reach)
+        frontier: Deque[GuardedFormula] = deque(
+            initial_relation(
+                reach,
+                store_relation=self.store_relation,
+                extra=self.extra_initial,
+                require_equal_acceptance=self.require_equal_acceptance,
+            )
+        )
+        relation: List[GuardedFormula] = []
+        relation_by_pair: Dict[TemplatePair, List[Formula]] = {}
+
+        while frontier:
+            statistics.iterations += 1
+            if statistics.iterations > self.config.max_iterations:
+                raise CheckerError(
+                    f"exceeded {self.config.max_iterations} iterations; "
+                    "the pre-bisimulation did not converge"
+                )
+            if self.config.frontier_order == "lifo":
+                candidate = frontier.pop()
+            else:
+                candidate = frontier.popleft()
+            pure = simplify_formula(candidate.pure)
+            if isinstance(pure, FTrue):
+                statistics.skipped += 1
+                continue
+            candidate = GuardedFormula(candidate.pair, pure)
+            premises = relation_by_pair.get(candidate.pair, [])
+            outcome = self.entailment.check(premises, candidate.pure)
+            if outcome.entailed:
+                # Skip step: the candidate adds nothing to the relation.
+                statistics.skipped += 1
+                continue
+            # Extend step: add the candidate and schedule its preconditions.
+            statistics.extended += 1
+            relation.append(candidate)
+            relation_by_pair.setdefault(candidate.pair, []).append(candidate.pure)
+            for source_pair in reach.predecessors(candidate.pair):
+                precondition = wp_formula(
+                    self.left_aut,
+                    self.right_aut,
+                    candidate,
+                    source_pair,
+                    use_leaps=self.config.use_leaps,
+                )
+                if isinstance(simplify_formula(precondition.pure), FTrue):
+                    continue
+                statistics.wp_formulas += 1
+                frontier.append(precondition)
+
+        statistics.relation_size = len(relation)
+        # Done step: the initial formula must entail the relation at the start pair.
+        for conjunct in relation:
+            if conjunct.pair != self.start_pair:
+                continue
+            outcome = self.entailment.check([self.initial_pure], conjunct.pure)
+            if not outcome.entailed:
+                return PreBisimResult(
+                    proved=False,
+                    relation=relation,
+                    certificate=None,
+                    statistics=statistics,
+                    failed_conjunct=conjunct,
+                    failure_model=outcome.model,
+                )
+        certificate = Certificate(
+            left_name=self.left_aut.name,
+            right_name=self.right_aut.name,
+            left_start=self.left_start,
+            right_start=self.right_start,
+            use_leaps=self.config.use_leaps,
+            initial_pure=self.initial_pure,
+            store_relation=self.store_relation,
+            require_equal_acceptance=self.require_equal_acceptance,
+            relation=tuple(relation),
+            reachable_pairs=tuple(sorted(reach.reachable)),
+        )
+        return PreBisimResult(
+            proved=True,
+            relation=relation,
+            certificate=certificate,
+            statistics=statistics,
+        )

@@ -1,0 +1,196 @@
+"""Bounded symbolic search for distinguishing packets.
+
+When the pre-bisimulation fails (or as an independent sanity check), this
+module searches for a concrete *counterexample*: a packet — together with
+initial stores, since acceptance may depend on never-extracted headers — that
+one parser accepts and the other rejects.  The search explores the joint
+template graph forwards, keeping a symbolic path condition over the initial
+header values and the packet bits consumed so far; acceptance-mismatch pairs
+whose path condition is satisfiable yield candidate packets, which are then
+confirmed by running both parsers concretely.
+
+The paper's tool does not produce counterexamples (a failed proof search is
+simply "stuck"); this is an extension that makes negative results trustworthy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.compile import lower_formula, variable_name
+from ..logic.confrel import LEFT, RIGHT, BVExpr, CLit, CVar, Formula, TRUE
+from ..logic.folconf import buffer_variable_name, store_variable_name
+from ..logic.simplify import mk_and, mk_concat, simplify_formula
+from ..p4a.bitvec import Bits
+from ..p4a.semantics import Store, accepts
+from ..p4a.syntax import P4Automaton, REJECT
+from ..smt.backend import InternalBackend, SolverBackend
+from ..smt.bvsolver import SatStatus
+from .templates import Template, TemplatePair, leap_size
+from .wp import (
+    exec_ops_symbolic,
+    fresh_variable_name,
+    initial_symbolic_store,
+    transition_conditions,
+)
+
+
+@dataclass
+class Counterexample:
+    """A packet (plus initial stores) on which the two parsers disagree."""
+
+    packet: Bits
+    left_store: Store
+    right_store: Store
+    left_accepts: bool
+    right_accepts: bool
+
+    def __str__(self) -> str:
+        return (
+            f"packet {self.packet} "
+            f"(left {'accepts' if self.left_accepts else 'rejects'}, "
+            f"right {'accepts' if self.right_accepts else 'rejects'})"
+        )
+
+
+@dataclass
+class _SearchNode:
+    pair: TemplatePair
+    condition: Formula
+    left_env: Dict[str, BVExpr]
+    right_env: Dict[str, BVExpr]
+    left_buffer: BVExpr
+    right_buffer: BVExpr
+    leap_vars: Tuple[CVar, ...]
+
+
+def _forward_leap(
+    aut: P4Automaton,
+    template: Template,
+    leap: int,
+    leap_var: CVar,
+    env: Dict[str, BVExpr],
+    buffer: BVExpr,
+) -> List[Tuple[Template, Formula, Dict[str, BVExpr], BVExpr]]:
+    """Forward-execute one side by ``leap`` bits from a symbolic state."""
+    if template.is_final():
+        return [(Template(REJECT, 0), TRUE, env, CLit(Bits("")))]
+    needed = aut.op_size(template.state)
+    data = mk_concat(buffer, leap_var)
+    if template.pos + leap < needed:
+        return [(Template(template.state, template.pos + leap), TRUE, env, data)]
+    post_env = exec_ops_symbolic(aut, template.state, env, data)
+    outcomes = []
+    for target, condition in transition_conditions(aut, template.state, post_env).items():
+        outcomes.append((Template(target, 0), condition, post_env, CLit(Bits(""))))
+    return outcomes
+
+
+def find_counterexample(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    backend: Optional[SolverBackend] = None,
+    max_leaps: int = 32,
+    max_packet_bits: int = 4096,
+    initial_condition: Formula = TRUE,
+) -> Optional[Counterexample]:
+    """Search for a distinguishing packet, breadth first over leaps.
+
+    Returns ``None`` when no counterexample is found within the bounds; this is
+    *not* a proof of equivalence.
+    """
+    backend = backend or InternalBackend()
+    start = _SearchNode(
+        pair=TemplatePair(Template(left_start, 0), Template(right_start, 0)),
+        condition=simplify_formula(initial_condition),
+        left_env=initial_symbolic_store(left_aut, LEFT),
+        right_env=initial_symbolic_store(right_aut, RIGHT),
+        left_buffer=CLit(Bits("")),
+        right_buffer=CLit(Bits("")),
+        leap_vars=(),
+    )
+    queue = deque([start])
+    expansions = 0
+    while queue:
+        node = queue.popleft()
+        if node.pair.accept_mismatch():
+            candidate = _try_extract(node, left_aut, left_start, right_aut, right_start, backend)
+            if candidate is not None:
+                return candidate
+            continue
+        if len(node.leap_vars) >= max_leaps:
+            continue
+        consumed = sum(var.var_width for var in node.leap_vars)
+        leap = leap_size(left_aut, right_aut, node.pair)
+        if consumed + leap > max_packet_bits:
+            continue
+        if node.pair.left.state == REJECT and node.pair.right.state == REJECT:
+            continue  # both stuck in reject; no future mismatch possible
+        leap_var = CVar(fresh_variable_name("pkt"), leap)
+        left_outcomes = _forward_leap(
+            left_aut, node.pair.left, leap, leap_var, node.left_env, node.left_buffer
+        )
+        right_outcomes = _forward_leap(
+            right_aut, node.pair.right, leap, leap_var, node.right_env, node.right_buffer
+        )
+        for left_target, left_condition, left_env, left_buffer in left_outcomes:
+            for right_target, right_condition, right_env, right_buffer in right_outcomes:
+                condition = simplify_formula(
+                    mk_and([node.condition, left_condition, right_condition])
+                )
+                successor = _SearchNode(
+                    pair=TemplatePair(left_target, right_target),
+                    condition=condition,
+                    left_env=left_env,
+                    right_env=right_env,
+                    left_buffer=left_buffer,
+                    right_buffer=right_buffer,
+                    leap_vars=node.leap_vars + (leap_var,),
+                )
+                expansions += 1
+                if _is_satisfiable(condition, backend):
+                    queue.append(successor)
+    return None
+
+
+def _is_satisfiable(condition: Formula, backend: SolverBackend) -> bool:
+    lowered = lower_formula(condition)
+    return backend.check_sat(lowered).status is not SatStatus.UNSAT
+
+
+def _try_extract(
+    node: _SearchNode,
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    backend: SolverBackend,
+) -> Optional[Counterexample]:
+    """Solve the node's path condition and confirm the candidate concretely."""
+    result = backend.check_sat(lower_formula(node.condition))
+    if result.status is not SatStatus.SAT:
+        return None
+    model = result.model or {}
+
+    def header_value(side: str, aut: P4Automaton, name: str) -> Bits:
+        variable = store_variable_name(side, name)
+        value = model.get(variable)
+        if value is None:
+            return Bits.zeros(aut.header_size(name))
+        return value
+
+    left_store = {name: header_value(LEFT, left_aut, name) for name in left_aut.headers}
+    right_store = {name: header_value(RIGHT, right_aut, name) for name in right_aut.headers}
+    packet = Bits("")
+    for leap_var in node.leap_vars:
+        value = model.get(variable_name(leap_var.name), Bits.zeros(leap_var.var_width))
+        packet = packet.concat(value)
+    left_accepts = accepts(left_aut, left_start, packet, left_store)
+    right_accepts = accepts(right_aut, right_start, packet, right_store)
+    if left_accepts == right_accepts:
+        return None
+    return Counterexample(packet, left_store, right_store, left_accepts, right_accepts)

@@ -1,0 +1,169 @@
+"""Entailment checking between template-filtered ConfRel formulas.
+
+The inner loop of Algorithm 1 repeatedly asks whether the conjunction of the
+relation built so far entails a candidate formula (``⋀R ⊨ ψ``).  After
+template filtering both sides are *pure* formulas over the headers and buffers
+of a single template pair, plus symbolic variables standing for future packet
+bits.  Those variables are universally quantified by the semantics of
+Definition 4.3, which gives the queries an ∃∀ shape once negated.
+
+Three strategies are layered, mirroring the engineering in Section 6:
+
+1. **trivial / syntactic** — the goal simplifies to ⊤ or is alpha-equivalent
+   to a premise;
+2. **fast path** — variables are canonically renamed (aligning the premises'
+   future-bits variables with the goal's) and a single quantifier-free
+   unsatisfiability query is issued.  Instantiating a universally quantified
+   premise is sound, so "unsat ⇒ entailed" always holds; a "sat" answer may be
+   spurious, which at worst adds redundant conjuncts to the relation.
+3. **exact** — a CEGIS exists-forall check with the premises' variables
+   properly renamed apart and treated as universal, restoring completeness.
+
+The exact mode is the default (and is what the certificate re-checker uses):
+the fast path still answers most queries with a single quantifier-free check,
+and CEGIS only runs when that check fails with universally quantified premises
+present.  The pure fast mode is kept for experiments on the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..logic import folbv
+from ..logic.compile import compile_entailment, lower_formula
+from ..logic.confrel import (
+    FTrue,
+    Formula,
+    canonicalize_variables,
+    formula_variables,
+    rename_variables,
+)
+from ..logic.simplify import simplify_formula
+from ..p4a.bitvec import Bits
+from ..smt.backend import InternalBackend, SolverBackend
+from ..smt.bvsolver import SatStatus
+from ..smt.cegis import solve_exists_forall
+
+FAST = "fast"
+EXACT = "exact"
+ENTAILMENT_MODES = (FAST, EXACT)
+
+
+@dataclass
+class EntailmentOutcome:
+    """Result of one entailment check."""
+
+    entailed: bool
+    method: str
+    model: Optional[Dict[str, Bits]] = None
+
+    def __bool__(self) -> bool:
+        return self.entailed
+
+
+@dataclass
+class EntailmentStatistics:
+    checks: int = 0
+    trivial: int = 0
+    syntactic: int = 0
+    smt_entailed: int = 0
+    smt_refuted: int = 0
+    cegis_entailed: int = 0
+    cegis_refuted: int = 0
+    unknown: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "checks": self.checks,
+            "trivial": self.trivial,
+            "syntactic": self.syntactic,
+            "smt_entailed": self.smt_entailed,
+            "smt_refuted": self.smt_refuted,
+            "cegis_entailed": self.cegis_entailed,
+            "cegis_refuted": self.cegis_refuted,
+            "unknown": self.unknown,
+        }
+
+
+class EntailmentChecker:
+    """Checks ``⋀ premises ⊨ goal`` for pure, same-guard ConfRel formulas."""
+
+    def __init__(
+        self,
+        backend: Optional[SolverBackend] = None,
+        mode: str = EXACT,
+        cegis_rounds: int = 64,
+    ) -> None:
+        if mode not in ENTAILMENT_MODES:
+            raise ValueError(f"unknown entailment mode {mode!r}")
+        self.backend = backend or InternalBackend()
+        self.mode = mode
+        self.cegis_rounds = cegis_rounds
+        self.statistics = EntailmentStatistics()
+
+    # ------------------------------------------------------------------
+
+    def check(self, premises: Sequence[Formula], goal: Formula) -> EntailmentOutcome:
+        self.statistics.checks += 1
+        goal_simplified = simplify_formula(goal)
+        if isinstance(goal_simplified, FTrue):
+            self.statistics.trivial += 1
+            return EntailmentOutcome(True, "trivial")
+
+        canonical_goal = canonicalize_variables(goal_simplified, prefix="x")
+        canonical_premises = [
+            canonicalize_variables(simplify_formula(premise), prefix="x") for premise in premises
+        ]
+        if any(premise == canonical_goal for premise in canonical_premises):
+            self.statistics.syntactic += 1
+            return EntailmentOutcome(True, "syntactic")
+
+        # Fast path: shared-variable quantifier-free query.
+        query = compile_entailment(canonical_premises, canonical_goal)
+        result = self.backend.check_sat(query.formula)
+        if result.status is SatStatus.UNSAT:
+            self.statistics.smt_entailed += 1
+            return EntailmentOutcome(True, "smt")
+        if result.status is SatStatus.UNKNOWN:
+            self.statistics.unknown += 1
+            return EntailmentOutcome(False, "unknown")
+        if self.mode == FAST or not premises:
+            # With no premises the fast path is already exact.
+            self.statistics.smt_refuted += 1
+            return EntailmentOutcome(False, "smt", result.model)
+        return self._check_exact(canonical_premises, canonical_goal)
+
+    # ------------------------------------------------------------------
+
+    def _check_exact(
+        self, premises: Sequence[Formula], goal: Formula
+    ) -> EntailmentOutcome:
+        """CEGIS exists-forall check with premise variables renamed apart."""
+        universal_vars: Dict[str, int] = {}
+        lowered_premises: List[folbv.BFormula] = []
+        for index, premise in enumerate(premises):
+            variables = formula_variables(premise)
+            mapping = {name: f"u{index}_{name}" for name in variables}
+            renamed = rename_variables(premise, mapping)
+            for name, width in formula_variables(renamed).items():
+                from ..logic.compile import variable_name
+
+                universal_vars[variable_name(name)] = width
+            lowered_premises.append(lower_formula(renamed))
+        lowered_goal = lower_formula(goal)
+        matrix = folbv.b_and(lowered_premises + [folbv.b_not(lowered_goal)])
+        internal_solver = (
+            self.backend.solver if isinstance(self.backend, InternalBackend) else None
+        )
+        outcome = solve_exists_forall(
+            matrix, universal_vars, solver=internal_solver, max_rounds=self.cegis_rounds
+        )
+        if outcome.holds is True:
+            self.statistics.cegis_refuted += 1
+            return EntailmentOutcome(False, "cegis", outcome.witness)
+        if outcome.holds is False:
+            self.statistics.cegis_entailed += 1
+            return EntailmentOutcome(True, "cegis")
+        self.statistics.unknown += 1
+        return EntailmentOutcome(False, "unknown")

@@ -1,0 +1,194 @@
+"""High-level verification API.
+
+This module is the public face of the equivalence checker.  It wraps the
+pre-bisimulation engine (:mod:`repro.core.algorithm`) with the verification
+modes used in the paper's case studies:
+
+* :func:`check_language_equivalence` — the headline check: two parsers accept
+  exactly the same packets, regardless of their initial stores.
+* :func:`check_initial_store_independence` — a parser's acceptance behaviour
+  does not depend on uninitialised headers (the Header Initialization study).
+* :func:`check_store_relation` — a relational property between the two final
+  stores whenever both parsers accept (the External Filtering and Relational
+  Verification studies).
+
+All functions return an :class:`EquivalenceResult` carrying a verdict, a
+re-checkable certificate on success, an optional concrete counterexample on
+refutation, and the statistics reported in the benchmark tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..logic.confrel import Formula, TRUE
+from ..p4a.bitvec import Bits
+from ..p4a.syntax import P4Automaton
+from ..smt.backend import InternalBackend, SolverBackend
+from .algorithm import CheckerConfig, CheckerStatistics, PreBisimResult, PreBisimulationChecker
+from .certificate import Certificate
+from .counterexample import Counterexample, find_counterexample
+from .templates import GuardedFormula
+
+
+@dataclass
+class EquivalenceResult:
+    """Verdict of a verification run.
+
+    ``verdict`` is ``True`` (property proven, ``certificate`` available),
+    ``False`` (refuted, ``counterexample`` available when one could be
+    extracted) or ``None`` (the proof search got stuck and no counterexample
+    was found within bounds — the same "no certificate" outcome the paper's
+    semi-decision procedure can produce).
+    """
+
+    verdict: Optional[bool]
+    certificate: Optional[Certificate]
+    counterexample: Optional[Counterexample]
+    statistics: CheckerStatistics
+    raw: Optional[PreBisimResult] = None
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict is True
+
+    @property
+    def refuted(self) -> bool:
+        return self.verdict is False
+
+    def __str__(self) -> str:
+        if self.proved:
+            return f"PROVED ({self.certificate.summary()})"
+        if self.refuted:
+            return f"REFUTED ({self.counterexample})"
+        return "UNKNOWN (proof search stuck, no counterexample found)"
+
+
+def _run(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    config: Optional[CheckerConfig],
+    backend: Optional[SolverBackend],
+    initial_pure: Formula,
+    store_relation: Optional[Formula],
+    extra_initial: Optional[Iterable[GuardedFormula]],
+    require_equal_acceptance: bool,
+    find_counterexamples: bool,
+    counterexample_max_leaps: int,
+) -> EquivalenceResult:
+    backend = backend or InternalBackend()
+    checker = PreBisimulationChecker(
+        left_aut,
+        right_aut,
+        left_start,
+        right_start,
+        config=config,
+        backend=backend,
+        initial_pure=initial_pure,
+        store_relation=store_relation,
+        extra_initial=extra_initial,
+        require_equal_acceptance=require_equal_acceptance,
+    )
+    result = checker.run()
+    if result.proved:
+        return EquivalenceResult(True, result.certificate, None, result.statistics, result)
+    counterexample = None
+    if find_counterexamples and require_equal_acceptance:
+        counterexample = find_counterexample(
+            left_aut,
+            left_start,
+            right_aut,
+            right_start,
+            backend=InternalBackend(),
+            max_leaps=counterexample_max_leaps,
+        )
+    verdict: Optional[bool] = False if counterexample is not None else None
+    return EquivalenceResult(verdict, None, counterexample, result.statistics, result)
+
+
+def check_language_equivalence(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    config: Optional[CheckerConfig] = None,
+    backend: Optional[SolverBackend] = None,
+    find_counterexamples: bool = True,
+    counterexample_max_leaps: int = 24,
+) -> EquivalenceResult:
+    """Do the two parsers accept exactly the same packets?
+
+    Acceptance is compared for *all* initial stores of both sides, matching
+    ⟦aut⟧A of Definition 3.6: a proof means no choice of uninitialised header
+    values and no packet can make the parsers disagree.
+    """
+    return _run(
+        left_aut,
+        left_start,
+        right_aut,
+        right_start,
+        config,
+        backend,
+        TRUE,
+        None,
+        None,
+        True,
+        find_counterexamples,
+        counterexample_max_leaps,
+    )
+
+
+def check_initial_store_independence(
+    aut: P4Automaton,
+    start: str,
+    config: Optional[CheckerConfig] = None,
+    backend: Optional[SolverBackend] = None,
+    find_counterexamples: bool = True,
+) -> EquivalenceResult:
+    """Is the set of accepted packets independent of the initial store?
+
+    Implemented as a self-comparison with unconstrained (and independent)
+    initial stores on the two sides — the Header Initialization case study.
+    """
+    return check_language_equivalence(
+        aut, start, aut, start, config=config, backend=backend,
+        find_counterexamples=find_counterexamples,
+    )
+
+
+def check_store_relation(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    accept_relation: Formula,
+    require_equal_acceptance: bool = True,
+    initial_relation: Formula = TRUE,
+    config: Optional[CheckerConfig] = None,
+    backend: Optional[SolverBackend] = None,
+) -> EquivalenceResult:
+    """Prove a relation between the two stores at every jointly-accepting run.
+
+    ``accept_relation`` is a pure ConfRel formula over ``h<``/``h>`` headers; it
+    is required to hold whenever both parsers accept (the External Filtering
+    and Relational Verification case studies).  ``initial_relation`` constrains
+    the initial stores (``TRUE`` quantifies over all of them).  No
+    counterexample search is attempted for relational properties.
+    """
+    return _run(
+        left_aut,
+        left_start,
+        right_aut,
+        right_start,
+        config,
+        backend,
+        initial_relation,
+        accept_relation,
+        None,
+        require_equal_acceptance,
+        False,
+        0,
+    )

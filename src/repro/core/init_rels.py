@@ -1,0 +1,58 @@
+"""Initial relations for the pre-bisimulation algorithm.
+
+Algorithm 1 is parameterised by a set ``I`` of formulas whose conjunction
+over-approximates the property of interest on the first iteration:
+
+* for **language equivalence**, ``I`` rules out pairs where exactly one side
+  accepts (Lemma 4.10, restricted to reachable template pairs by Theorem 5.2);
+* for **store relations** (the external-filtering and relational-verification
+  case studies of Section 7.1), ``I`` additionally requires a user-supplied
+  pure formula to hold whenever both sides accept;
+* arbitrary extra guarded formulas can be supplied for bespoke relational
+  properties.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..logic.confrel import FALSE, Formula
+from .reachability import ReachabilityAnalysis
+from .templates import GuardedFormula, TemplatePair
+
+
+def accept_mismatch_formulas(reach: ReachabilityAnalysis) -> List[GuardedFormula]:
+    """``[t1< ∧ t2> ⟹ ⊥]`` for every reachable accept-mismatch pair."""
+    return [GuardedFormula(pair, FALSE) for pair in reach.accept_mismatch_pairs()]
+
+
+def accepting_store_formulas(
+    reach: ReachabilityAnalysis, store_relation: Formula
+) -> List[GuardedFormula]:
+    """Require ``store_relation`` at every reachable pair where both sides accept."""
+    return [GuardedFormula(pair, store_relation) for pair in reach.both_accepting_pairs()]
+
+
+def initial_relation(
+    reach: ReachabilityAnalysis,
+    store_relation: Optional[Formula] = None,
+    extra: Optional[Iterable[GuardedFormula]] = None,
+    require_equal_acceptance: bool = True,
+) -> List[GuardedFormula]:
+    """Assemble the initial frontier ``I`` for the checker.
+
+    ``require_equal_acceptance`` is normally True; setting it to False while
+    supplying ``extra`` allows experimenting with purely store-based relations.
+    """
+    formulas: List[GuardedFormula] = []
+    if require_equal_acceptance:
+        formulas.extend(accept_mismatch_formulas(reach))
+    if store_relation is not None:
+        formulas.extend(accepting_store_formulas(reach, store_relation))
+    if extra is not None:
+        for formula in extra:
+            if not reach.is_reachable(formula.pair):
+                # Formulas on unreachable pairs are vacuous; keep the frontier small.
+                continue
+            formulas.append(formula)
+    return formulas

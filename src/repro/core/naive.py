@@ -1,0 +1,165 @@
+"""Explicit-state baselines for equivalence checking.
+
+The paper motivates the symbolic algorithm with a back-of-the-envelope count:
+even the small MPLS example has on the order of 2^128 concrete configuration
+pairs, so any method that enumerates configurations explicitly is hopeless for
+realistic parsers.  This module implements those hopeless-but-simple methods —
+an explicit product-automaton bisimulation check and random differential
+testing — both as a baseline for the ablation benchmarks and as an independent
+oracle for tiny automata in the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..p4a.bitvec import Bits
+from ..p4a.semantics import Configuration, Store, accepts, initial_configuration, step
+from ..p4a.syntax import P4Automaton, REJECT
+
+
+@dataclass
+class ExplicitCheckResult:
+    """Outcome of an explicit product-space exploration."""
+
+    equivalent: bool
+    visited_pairs: int
+    counterexample: Optional[Bits] = None
+
+
+def explicit_bisimulation_check(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    left_store: Optional[Store] = None,
+    right_store: Optional[Store] = None,
+    max_pairs: int = 2_000_000,
+) -> ExplicitCheckResult:
+    """Explore the product of the two configuration spaces breadth first.
+
+    This checks language equivalence for *fixed* initial stores.  The packet
+    leading to each pair is tracked so a mismatch immediately yields a
+    counterexample.  The exploration is exact: if it completes without finding
+    a mismatch the two configurations are language equivalent.
+    """
+    left_initial = initial_configuration(left_aut, left_start, left_store)
+    right_initial = initial_configuration(right_aut, right_start, right_store)
+    queue = deque([(left_initial, right_initial, Bits(""))])
+    seen = {(left_initial, right_initial)}
+    visited = 0
+    while queue:
+        left_config, right_config, packet = queue.popleft()
+        visited += 1
+        if visited > max_pairs:
+            raise RuntimeError(
+                f"explicit exploration exceeded {max_pairs} configuration pairs"
+            )
+        if left_config.is_accepting() != right_config.is_accepting():
+            return ExplicitCheckResult(False, visited, packet)
+        if left_config.state == REJECT and right_config.state == REJECT:
+            # Both sides are stuck in reject: no future packet can distinguish them.
+            continue
+        for bit in (0, 1):
+            next_left = step(left_aut, left_config, bit)
+            next_right = step(right_aut, right_config, bit)
+            key = (next_left, next_right)
+            if key not in seen:
+                seen.add(key)
+                queue.append((next_left, next_right, packet.concat(Bits("1" if bit else "0"))))
+    return ExplicitCheckResult(True, visited)
+
+
+def all_stores(aut: P4Automaton) -> Iterator[Store]:
+    """Enumerate every possible store (exponential; tiny automata only)."""
+    names = list(aut.headers)
+    widths = [aut.headers[name] for name in names]
+    total = sum(widths)
+    if total > 24:
+        raise ValueError(f"refusing to enumerate 2^{total} stores")
+    for assignment in product("01", repeat=total):
+        store: Store = {}
+        position = 0
+        for name, width in zip(names, widths):
+            store[name] = Bits("".join(assignment[position : position + width]))
+            position += width
+        yield store
+
+
+def exhaustive_store_equivalence(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+) -> ExplicitCheckResult:
+    """Explicit equivalence over *all* initial stores of both sides."""
+    visited = 0
+    for left_store in all_stores(left_aut):
+        for right_store in all_stores(right_aut):
+            result = explicit_bisimulation_check(
+                left_aut, left_start, right_aut, right_start, left_store, right_store
+            )
+            visited += result.visited_pairs
+            if not result.equivalent:
+                return ExplicitCheckResult(False, visited, result.counterexample)
+    return ExplicitCheckResult(True, visited)
+
+
+@dataclass
+class DifferentialMismatch:
+    packet: Bits
+    left_store: Store
+    right_store: Store
+    left_accepts: bool
+    right_accepts: bool
+
+
+def random_store(aut: P4Automaton, rng: random.Random) -> Store:
+    return {
+        name: Bits("".join(rng.choice("01") for _ in range(width)))
+        for name, width in aut.headers.items()
+    }
+
+
+def random_differential_test(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    packets: int = 200,
+    max_bits: int = 256,
+    seed: int = 0,
+    share_store: bool = False,
+) -> Optional[DifferentialMismatch]:
+    """Fuzz both parsers with random packets (and random initial stores).
+
+    Returns the first disagreement found, or ``None``.  ``share_store=True``
+    uses the same random values for headers with the same name on both sides,
+    which is the right notion for self-comparisons.
+    """
+    rng = random.Random(seed)
+    for _ in range(packets):
+        length = rng.randint(0, max_bits)
+        packet = Bits("".join(rng.choice("01") for _ in range(length)))
+        left_store = random_store(left_aut, rng)
+        if share_store:
+            right_store = {
+                name: left_store.get(name, Bits.zeros(width))
+                if left_store.get(name, Bits.zeros(width)).width == width
+                else Bits.zeros(width)
+                for name, width in right_aut.headers.items()
+            }
+            for name, width in right_aut.headers.items():
+                if name not in left_store or left_store[name].width != width:
+                    right_store[name] = Bits("".join(rng.choice("01") for _ in range(width)))
+        else:
+            right_store = random_store(right_aut, rng)
+        left_accepts = accepts(left_aut, left_start, packet, left_store)
+        right_accepts = accepts(right_aut, right_start, packet, right_store)
+        if left_accepts != right_accepts:
+            return DifferentialMismatch(packet, left_store, right_store, left_accepts, right_accepts)
+    return None

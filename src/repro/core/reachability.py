@@ -1,0 +1,153 @@
+"""Reachability analysis over template pairs (Section 5.1 and 5.3).
+
+Computing the exact set of reachable configuration pairs is as hard as the
+equivalence problem itself, so Leapfrog over-approximates it by an abstract
+interpretation of the step function on *templates*: from a pair of templates
+one can compute the possible pairs of templates after a (leaping) step without
+looking at stores at all.  Restricting the initial relation and the weakest
+precondition operator to reachable template pairs prunes a large part of the
+search (Theorem 5.2); the paper reports that the smallest benchmark does not
+finish without it.
+
+Two abstractions are provided:
+
+* :func:`successor_templates_bit` — the paper's σ, one bit at a time;
+* :func:`successor_pairs_leap` — the joint, leap-aware abstraction used when
+  the leaps optimization is enabled (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..p4a.syntax import FINAL_STATES, P4Automaton, REJECT
+from .templates import REJECT_TEMPLATE, Template, TemplatePair, leap_size
+
+
+def successor_templates_bit(aut: P4Automaton, template: Template) -> Tuple[Template, ...]:
+    """σ(q, n): templates reachable by consuming exactly one bit (Section 5.1)."""
+    if template.is_final():
+        return (REJECT_TEMPLATE,)
+    size = aut.op_size(template.state)
+    if template.pos + 1 < size:
+        return (Template(template.state, template.pos + 1),)
+    targets = aut.transition_targets(template.state)
+    return tuple(
+        Template(target, 0) if target not in FINAL_STATES else Template(target, 0)
+        for target in targets
+    )
+
+
+def successor_templates_leap(aut: P4Automaton, template: Template, leap: int) -> Tuple[Template, ...]:
+    """Templates reachable from ``template`` by consuming exactly ``leap`` bits,
+    where ``leap`` never overshoots the end of the current operation block."""
+    if template.is_final():
+        return (REJECT_TEMPLATE,)
+    size = aut.op_size(template.state)
+    if template.pos + leap < size:
+        return (Template(template.state, template.pos + leap),)
+    if template.pos + leap == size:
+        return tuple(Template(target, 0) for target in aut.transition_targets(template.state))
+    raise ValueError(
+        f"leap of {leap} bits overshoots state {template.state!r} "
+        f"({template.pos} + {leap} > {size})"
+    )
+
+
+def successor_pairs_bit(
+    left_aut: P4Automaton, right_aut: P4Automaton, pair: TemplatePair
+) -> Tuple[TemplatePair, ...]:
+    """Joint successors under a single-bit step: σ(t1) × σ(t2)."""
+    lefts = successor_templates_bit(left_aut, pair.left)
+    rights = successor_templates_bit(right_aut, pair.right)
+    return tuple(TemplatePair(l, r) for l in lefts for r in rights)
+
+
+def successor_pairs_leap(
+    left_aut: P4Automaton, right_aut: P4Automaton, pair: TemplatePair
+) -> Tuple[TemplatePair, ...]:
+    """Joint successors under a leap of ♯(pair) bits (Section 5.3)."""
+    leap = leap_size(left_aut, right_aut, pair)
+    lefts = successor_templates_leap(left_aut, pair.left, leap)
+    rights = successor_templates_leap(right_aut, pair.right, leap)
+    return tuple(TemplatePair(l, r) for l in lefts for r in rights)
+
+
+class ReachabilityAnalysis:
+    """Fixpoint of the template-pair abstraction from a set of initial pairs.
+
+    ``use_leaps`` selects the leap-aware abstraction; ``use_reachability=False``
+    (exposed by the checker for ablation studies) corresponds to using the full
+    product of all templates instead of this analysis.
+    """
+
+    def __init__(
+        self,
+        left_aut: P4Automaton,
+        right_aut: P4Automaton,
+        initial_pairs: Iterable[TemplatePair],
+        use_leaps: bool = True,
+    ) -> None:
+        self.left_aut = left_aut
+        self.right_aut = right_aut
+        self.use_leaps = use_leaps
+        self.initial_pairs: Tuple[TemplatePair, ...] = tuple(initial_pairs)
+        self._successors: Dict[TemplatePair, Tuple[TemplatePair, ...]] = {}
+        self._predecessors: Dict[TemplatePair, List[TemplatePair]] = {}
+        self.reachable: Set[TemplatePair] = set()
+        self._run()
+
+    def _step(self, pair: TemplatePair) -> Tuple[TemplatePair, ...]:
+        if self.use_leaps:
+            return successor_pairs_leap(self.left_aut, self.right_aut, pair)
+        return successor_pairs_bit(self.left_aut, self.right_aut, pair)
+
+    def _run(self) -> None:
+        queue = deque(self.initial_pairs)
+        self.reachable.update(self.initial_pairs)
+        while queue:
+            pair = queue.popleft()
+            successors = self._step(pair)
+            self._successors[pair] = successors
+            for successor in successors:
+                self._predecessors.setdefault(successor, []).append(pair)
+                if successor not in self.reachable:
+                    self.reachable.add(successor)
+                    queue.append(successor)
+
+    # -- queries ---------------------------------------------------------------
+
+    def successors(self, pair: TemplatePair) -> Tuple[TemplatePair, ...]:
+        return self._successors.get(pair, ())
+
+    def predecessors(self, pair: TemplatePair) -> Tuple[TemplatePair, ...]:
+        """Reachable pairs that can step (or leap) into ``pair``."""
+        return tuple(self._predecessors.get(pair, ()))
+
+    def is_reachable(self, pair: TemplatePair) -> bool:
+        return pair in self.reachable
+
+    def accept_mismatch_pairs(self) -> List[TemplatePair]:
+        """Reachable pairs where exactly one side accepts (Lemma 4.10's targets)."""
+        return sorted(pair for pair in self.reachable if pair.accept_mismatch())
+
+    def both_accepting_pairs(self) -> List[TemplatePair]:
+        return sorted(pair for pair in self.reachable if pair.both_accepting())
+
+    def __len__(self) -> int:
+        return len(self.reachable)
+
+
+def full_template_product(
+    left_aut: P4Automaton, right_aut: P4Automaton
+) -> List[TemplatePair]:
+    """Every template pair — the unpruned search space used when the
+    reachability optimization is disabled."""
+    from .templates import all_templates
+
+    return [
+        TemplatePair(left, right)
+        for left in all_templates(left_aut)
+        for right in all_templates(right_aut)
+    ]

@@ -1,0 +1,128 @@
+"""Templates and template-guarded formulas (Definition 4.7, Definition 5.3).
+
+A *template* ⟨q, n⟩ abstracts a configuration by its state and buffer length.
+Template-guarded formulas pair two templates (one per side) with a pure
+ConfRel formula; the guard fixes each side's state and buffer width so the
+pure part never has to reason about out-of-range slices.
+
+This module also computes *leap sizes* (Definition 5.3): the number of bits
+both automata can consume before either of them performs a real state-to-state
+transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..logic.confrel import Formula, FTrue
+from ..p4a.semantics import Configuration
+from ..p4a.syntax import ACCEPT, FINAL_STATES, P4Automaton, REJECT
+
+
+class TemplateError(Exception):
+    """Raised on malformed templates or guards."""
+
+
+@dataclass(frozen=True, order=True)
+class Template:
+    """A template ⟨state, buffer length⟩."""
+
+    state: str
+    pos: int
+
+    def is_final(self) -> bool:
+        return self.state in FINAL_STATES
+
+    def is_accepting(self) -> bool:
+        return self.state == ACCEPT
+
+    def __str__(self) -> str:
+        return f"⟨{self.state}, {self.pos}⟩"
+
+
+ACCEPT_TEMPLATE = Template(ACCEPT, 0)
+REJECT_TEMPLATE = Template(REJECT, 0)
+
+
+def template_of(config: Configuration) -> Template:
+    """⌊c⌋: the unique template describing a configuration (Section 5.1)."""
+    return Template(config.state, config.buffer.width)
+
+
+def check_template(aut: P4Automaton, template: Template) -> None:
+    """Validate that ``template`` is well-formed for ``aut``."""
+    if template.state in FINAL_STATES:
+        if template.pos != 0:
+            raise TemplateError(f"final template {template} must have position 0")
+        return
+    size = aut.op_size(template.state)
+    if not 0 <= template.pos < size:
+        raise TemplateError(
+            f"template {template} has position outside [0, {size}) for state {template.state!r}"
+        )
+
+
+def all_templates(aut: P4Automaton) -> List[Template]:
+    """Every template of ``aut`` including the two final ones."""
+    templates = [ACCEPT_TEMPLATE, REJECT_TEMPLATE]
+    for state in aut.states:
+        templates.extend(Template(state, pos) for pos in range(aut.op_size(state)))
+    return templates
+
+
+@dataclass(frozen=True, order=True)
+class TemplatePair:
+    """A pair of templates, one for the left automaton and one for the right."""
+
+    left: Template
+    right: Template
+
+    def accept_mismatch(self) -> bool:
+        """Exactly one side is the accepting template (Lemma 4.10's condition)."""
+        return self.left.is_accepting() != self.right.is_accepting()
+
+    def both_accepting(self) -> bool:
+        return self.left.is_accepting() and self.right.is_accepting()
+
+    def __str__(self) -> str:
+        return f"({self.left}, {self.right})"
+
+
+def leap_size(left_aut: P4Automaton, right_aut: P4Automaton, pair: TemplatePair) -> int:
+    """♯(c1, c2): bits until the next real transition of either side (Def 5.3)."""
+    left_final = pair.left.is_final()
+    right_final = pair.right.is_final()
+    if left_final and right_final:
+        return 1
+    left_remaining = None if left_final else left_aut.op_size(pair.left.state) - pair.left.pos
+    right_remaining = None if right_final else right_aut.op_size(pair.right.state) - pair.right.pos
+    if left_final:
+        return right_remaining
+    if right_final:
+        return left_remaining
+    return min(left_remaining, right_remaining)
+
+
+@dataclass(frozen=True)
+class GuardedFormula:
+    """A template-guarded formula ``t1< ∧ t2> ⟹ pure`` (Definition 4.7)."""
+
+    pair: TemplatePair
+    pure: Formula
+
+    @property
+    def left(self) -> Template:
+        return self.pair.left
+
+    @property
+    def right(self) -> Template:
+        return self.pair.right
+
+    def __str__(self) -> str:
+        return f"{self.pair.left}< ∧ {self.pair.right}> ⟹ {self.pure}"
+
+
+def guard(left: Template, right: Template, pure: Formula = None) -> GuardedFormula:
+    """Convenience constructor for guarded formulas."""
+    return GuardedFormula(TemplatePair(left, right), pure if pure is not None else FTrue())

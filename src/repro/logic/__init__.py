@@ -1,0 +1,16 @@
+"""Configuration-relation logic and the lowering chain to FOL(BV)."""
+
+from . import confrel, folbv, folconf, simplify, smtlib
+from .compile import EntailmentQuery, compile_entailment, compile_validity, lower_formula
+
+__all__ = [
+    "EntailmentQuery",
+    "compile_entailment",
+    "compile_validity",
+    "confrel",
+    "folbv",
+    "folconf",
+    "lower_formula",
+    "simplify",
+    "smtlib",
+]

@@ -1,0 +1,141 @@
+"""SMT-LIB 2 pretty-printing of FOL(BV) formulas.
+
+This plays the role of the paper's trusted Coq plugin: it serialises the final
+FOL(BV) verification conditions in the ``QF_BV`` logic so they can be handed to
+an off-the-shelf solver (Z3, CVC4, Boolector).  The internal bit-blasting
+solver does not go through this printer, but the external backend does, and the
+printer is also exercised directly by the test suite.
+
+Index convention: the code base numbers bits from the *first* bit (index 0 is
+the first bit read off the wire, i.e. the most significant bit of the integer
+interpretation), whereas SMT-LIB's ``extract`` numbers bits from the least
+significant end.  The printer performs that flip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..p4a.bitvec import Bits
+from . import folbv
+from .folbv import (
+    BAnd,
+    BEq,
+    BFalse,
+    BFormula,
+    BImplies,
+    BNot,
+    BOr,
+    BTrue,
+    BVConcatT,
+    BVConst,
+    BVExtract,
+    BVVar,
+    Term,
+)
+
+_SYMBOL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+
+
+def sanitize_symbol(name: str) -> str:
+    """Make ``name`` a legal SMT-LIB simple symbol."""
+    if _SYMBOL_RE.match(name):
+        return name
+    return "|" + name.replace("|", "_").replace("\\", "_") + "|"
+
+
+def print_term(term: Term) -> str:
+    if isinstance(term, BVVar):
+        return sanitize_symbol(term.name)
+    if isinstance(term, BVConst):
+        if term.width == 0:
+            raise ValueError("SMT-LIB has no zero-width bitvectors")
+        return f"#b{term.value.to_bitstring()}"
+    if isinstance(term, BVExtract):
+        width = term.term.width
+        # Convert first-bit-is-0 indexing to SMT-LIB's LSB-is-0 indexing.
+        high = width - 1 - term.lo
+        low = width - 1 - term.hi
+        return f"((_ extract {high} {low}) {print_term(term.term)})"
+    if isinstance(term, BVConcatT):
+        return f"(concat {print_term(term.left)} {print_term(term.right)})"
+    raise TypeError(f"cannot print term {term!r}")
+
+
+def print_formula(formula: BFormula) -> str:
+    if isinstance(formula, BTrue):
+        return "true"
+    if isinstance(formula, BFalse):
+        return "false"
+    if isinstance(formula, BEq):
+        return f"(= {print_term(formula.left)} {print_term(formula.right)})"
+    if isinstance(formula, BNot):
+        return f"(not {print_formula(formula.operand)})"
+    if isinstance(formula, BAnd):
+        return "(and " + " ".join(print_formula(op) for op in formula.operands) + ")"
+    if isinstance(formula, BOr):
+        return "(or " + " ".join(print_formula(op) for op in formula.operands) + ")"
+    if isinstance(formula, BImplies):
+        return f"(=> {print_formula(formula.premise)} {print_formula(formula.conclusion)})"
+    raise TypeError(f"cannot print formula {formula!r}")
+
+
+def to_smtlib(
+    formula: BFormula,
+    logic: str = "QF_BV",
+    produce_models: bool = True,
+    comments: Optional[Iterable[str]] = None,
+) -> str:
+    """Serialise a satisfiability query for ``formula`` as an SMT-LIB 2 script."""
+    lines: List[str] = []
+    for comment in comments or []:
+        lines.append(f"; {comment}")
+    lines.append(f"(set-logic {logic})")
+    if produce_models:
+        lines.append("(set-option :produce-models true)")
+    variables = folbv.free_variables(formula)
+    for name in sorted(variables):
+        width = variables[name]
+        if width == 0:
+            continue
+        lines.append(f"(declare-const {sanitize_symbol(name)} (_ BitVec {width}))")
+    lines.append(f"(assert {print_formula(formula)})")
+    lines.append("(check-sat)")
+    if produce_models and variables:
+        symbols = " ".join(sanitize_symbol(n) for n in sorted(variables) if variables[n] > 0)
+        if symbols:
+            lines.append(f"(get-value ({symbols}))")
+    lines.append("(exit)")
+    return "\n".join(lines) + "\n"
+
+
+def parse_check_sat_result(output: str) -> Optional[bool]:
+    """Parse a solver's stdout: returns True for sat, False for unsat, None otherwise."""
+    for line in output.splitlines():
+        line = line.strip()
+        if line == "sat":
+            return True
+        if line == "unsat":
+            return False
+    return None
+
+
+def parse_model_values(output: str, variables: Mapping[str, int]) -> Dict[str, Bits]:
+    """Extract bitvector values from a ``(get-value ...)`` response.
+
+    Only the simple forms ``#b...`` and ``#x...`` are recognised, which is what
+    Z3, CVC4 and Boolector produce for QF_BV constants.
+    """
+    model: Dict[str, Bits] = {}
+    pattern = re.compile(r"\(\s*([A-Za-z0-9_.$|]+)\s+(#b[01]+|#x[0-9a-fA-F]+)\s*\)")
+    for symbol, literal in pattern.findall(output):
+        name = symbol.strip("|")
+        if name not in variables:
+            continue
+        if literal.startswith("#b"):
+            model[name] = Bits(literal[2:])
+        else:
+            digits = literal[2:]
+            model[name] = Bits.from_int(int(digits, 16), 4 * len(digits))
+    return model

@@ -1,0 +1,205 @@
+"""A fluent builder for constructing P4 automata programmatically.
+
+Example
+-------
+
+>>> from repro.p4a import AutomatonBuilder
+>>> builder = AutomatonBuilder("mpls_reference")
+>>> builder.header("mpls", 32).header("udp", 64)
+>>> (builder.state("q1")
+...     .extract("mpls")
+...     .select("mpls[23:23]", {"0": "q1", "1": "q2"}))
+>>> builder.state("q2").extract("udp").goto("accept")
+>>> aut = builder.build()
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .bitvec import Bits
+from .errors import P4ATypeError
+from .syntax import (
+    ACCEPT,
+    REJECT,
+    Assign,
+    BVLit,
+    Concat,
+    ExactPattern,
+    Expr,
+    Extract,
+    Goto,
+    HeaderRef,
+    P4Automaton,
+    Pattern,
+    Select,
+    SelectCase,
+    Slice,
+    State,
+    WILDCARD,
+    WildcardPattern,
+)
+from .typing import check_automaton
+
+_SLICE_RE = re.compile(r"^(?P<base>[A-Za-z_][A-Za-z0-9_]*)\[(?P<lo>\d+):(?P<hi>\d+)\]$")
+_HEX_RE = re.compile(r"^0x[0-9a-fA-F]+$")
+_BIN_RE = re.compile(r"^0b[01]+$")
+
+
+def parse_expr_shorthand(text: Union[str, Expr], headers: Mapping[str, int]) -> Expr:
+    """Parse the compact expression notation used by the builder.
+
+    Supported forms: ``"hdr"``, ``"hdr[lo:hi]"``, ``"0b0101"``, ``"0xAB"``,
+    and ``"a ++ b"`` (concatenation, left-associative).  Full expressions can
+    always be supplied as :class:`Expr` values instead.
+    """
+    if isinstance(text, Expr):
+        return text
+    text = text.strip()
+    if "++" in text:
+        parts = [part.strip() for part in text.split("++")]
+        exprs = [parse_expr_shorthand(part, headers) for part in parts]
+        result = exprs[0]
+        for expr in exprs[1:]:
+            result = Concat(result, expr)
+        return result
+    match = _SLICE_RE.match(text)
+    if match:
+        base = parse_expr_shorthand(match.group("base"), headers)
+        return Slice(base, int(match.group("lo")), int(match.group("hi")))
+    if _BIN_RE.match(text):
+        return BVLit(Bits(text[2:]))
+    if _HEX_RE.match(text):
+        digits = text[2:]
+        return BVLit(Bits.from_int(int(digits, 16), 4 * len(digits)))
+    if text in headers:
+        return HeaderRef(text)
+    raise P4ATypeError(f"cannot parse expression shorthand {text!r}")
+
+
+def parse_pattern_shorthand(text: Union[str, Pattern, Bits], width: Optional[int] = None) -> Pattern:
+    """Parse a pattern: ``"_"`` (wildcard), ``"0b.."``, ``"0x.."`` or plain bits."""
+    if isinstance(text, Pattern):
+        return text
+    if isinstance(text, Bits):
+        return ExactPattern(text)
+    text = text.strip()
+    if text == "_":
+        return WILDCARD
+    if _BIN_RE.match(text):
+        return ExactPattern(Bits(text[2:]))
+    if _HEX_RE.match(text):
+        digits = text[2:]
+        return ExactPattern(Bits.from_int(int(digits, 16), 4 * len(digits)))
+    if set(text) <= {"0", "1"} and text:
+        return ExactPattern(Bits(text))
+    raise P4ATypeError(f"cannot parse pattern shorthand {text!r}")
+
+
+class StateBuilder:
+    """Builds a single state.  Obtained from :meth:`AutomatonBuilder.state`."""
+
+    def __init__(self, parent: "AutomatonBuilder", name: str) -> None:
+        self._parent = parent
+        self._name = name
+        self._ops: List = []
+        self._transition = None
+
+    # -- operations -----------------------------------------------------------
+
+    def extract(self, header: str, size: Optional[int] = None) -> "StateBuilder":
+        """Add ``extract(header)``; optionally declares the header's size inline."""
+        if size is not None:
+            self._parent.header(header, size)
+        self._ops.append(Extract(header))
+        return self
+
+    def assign(self, header: str, expr: Union[str, Expr]) -> "StateBuilder":
+        self._ops.append(Assign(header, parse_expr_shorthand(expr, self._parent._headers)))
+        return self
+
+    # -- transitions ----------------------------------------------------------
+
+    def goto(self, target: str) -> "StateBuilder":
+        self._transition = Goto(target)
+        self._finish()
+        return self
+
+    def accept(self) -> "StateBuilder":
+        return self.goto(ACCEPT)
+
+    def reject(self) -> "StateBuilder":
+        return self.goto(REJECT)
+
+    def select(
+        self,
+        exprs: Union[str, Expr, Sequence[Union[str, Expr]]],
+        cases: Union[Mapping, Sequence[Tuple]],
+    ) -> "StateBuilder":
+        """Add a ``select`` transition.
+
+        ``exprs`` is one expression or a sequence of them.  ``cases`` is either
+        a mapping from pattern (or pattern tuple) to target state, or a sequence
+        of (pattern(s), target) pairs when order matters.
+        """
+        if isinstance(exprs, (str, Expr)):
+            expr_list = [parse_expr_shorthand(exprs, self._parent._headers)]
+        else:
+            expr_list = [parse_expr_shorthand(e, self._parent._headers) for e in exprs]
+        if isinstance(cases, Mapping):
+            case_items = list(cases.items())
+        else:
+            case_items = list(cases)
+        select_cases = []
+        for patterns, target in case_items:
+            if isinstance(patterns, (str, Pattern, Bits)):
+                pattern_tuple = (parse_pattern_shorthand(patterns),)
+            else:
+                pattern_tuple = tuple(parse_pattern_shorthand(p) for p in patterns)
+            select_cases.append(SelectCase(pattern_tuple, target))
+        self._transition = Select(tuple(expr_list), tuple(select_cases))
+        self._finish()
+        return self
+
+    # -- internal -------------------------------------------------------------
+
+    def _finish(self) -> None:
+        self._parent._register_state(State(self._name, tuple(self._ops), self._transition))
+
+
+class AutomatonBuilder:
+    """Incrementally constructs a :class:`P4Automaton` and type-checks it."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._headers: Dict[str, int] = {}
+        self._states: Dict[str, State] = {}
+
+    def header(self, name: str, size: int) -> "AutomatonBuilder":
+        existing = self._headers.get(name)
+        if existing is not None and existing != size:
+            raise P4ATypeError(
+                f"header {name!r} declared with conflicting sizes {existing} and {size}"
+            )
+        self._headers[name] = size
+        return self
+
+    def headers(self, sizes: Mapping[str, int]) -> "AutomatonBuilder":
+        for name, size in sizes.items():
+            self.header(name, size)
+        return self
+
+    def state(self, name: str) -> StateBuilder:
+        if name in (ACCEPT, REJECT):
+            raise P4ATypeError(f"state name {name!r} is reserved")
+        return StateBuilder(self, name)
+
+    def _register_state(self, state: State) -> None:
+        self._states[state.name] = state
+
+    def build(self, check: bool = True) -> P4Automaton:
+        aut = P4Automaton(self._name, dict(self._headers), dict(self._states))
+        if check:
+            check_automaton(aut)
+        return aut

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the P4 automaton model."""
+
+from __future__ import annotations
+
+
+class P4AError(Exception):
+    """Base class for all errors raised by the ``repro.p4a`` package."""
+
+
+class P4ATypeError(P4AError):
+    """A P4 automaton or one of its components is ill-typed (⊢E, ⊢O, ⊢T, ⊢A)."""
+
+
+class P4ASemanticsError(P4AError):
+    """A dynamic error during concrete execution (should not occur on
+    well-typed automata; signals a violated internal invariant)."""
+
+
+class P4ASyntaxError(P4AError):
+    """A parse error in the concrete surface syntax."""
+
+    def __init__(self, message: str, line: int = None, column: int = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column

@@ -1,0 +1,86 @@
+"""Pretty-printer for P4 automata.
+
+The output uses the concrete surface syntax accepted by
+:mod:`repro.p4a.surface`, so ``parse_automaton(pretty(aut))`` round-trips.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    Assign,
+    BVLit,
+    Concat,
+    ExactPattern,
+    Expr,
+    Extract,
+    Goto,
+    HeaderRef,
+    P4Automaton,
+    Pattern,
+    Select,
+    Slice,
+    State,
+    Transition,
+    WildcardPattern,
+)
+
+
+def pretty_expr(expr: Expr) -> str:
+    if isinstance(expr, HeaderRef):
+        return expr.name
+    if isinstance(expr, BVLit):
+        return f"0b{expr.value.to_bitstring()}"
+    if isinstance(expr, Slice):
+        return f"{pretty_expr(expr.expr)}[{expr.lo}:{expr.hi}]"
+    if isinstance(expr, Concat):
+        return f"({pretty_expr(expr.left)} ++ {pretty_expr(expr.right)})"
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def pretty_pattern(pattern: Pattern) -> str:
+    if isinstance(pattern, WildcardPattern):
+        return "_"
+    if isinstance(pattern, ExactPattern):
+        return f"0b{pattern.value.to_bitstring()}"
+    raise TypeError(f"unknown pattern {pattern!r}")
+
+
+def pretty_transition(transition: Transition, indent: str) -> str:
+    if isinstance(transition, Goto):
+        return f"{indent}goto {transition.target};"
+    if isinstance(transition, Select):
+        exprs = ", ".join(pretty_expr(e) for e in transition.exprs)
+        lines = [f"{indent}select({exprs}) {{"]
+        for case in transition.cases:
+            patterns = ", ".join(pretty_pattern(p) for p in case.patterns)
+            lines.append(f"{indent}  ({patterns}) => {case.target}")
+        lines.append(f"{indent}}}")
+        return "\n".join(lines)
+    raise TypeError(f"unknown transition {transition!r}")
+
+
+def pretty_state(state: State, indent: str = "  ") -> str:
+    lines = [f"{state.name} {{"]
+    for op in state.ops:
+        if isinstance(op, Extract):
+            lines.append(f"{indent}extract({op.header});")
+        elif isinstance(op, Assign):
+            lines.append(f"{indent}{op.header} := {pretty_expr(op.expr)};")
+        else:
+            raise TypeError(f"unknown operation {op!r}")
+    lines.append(pretty_transition(state.transition, indent))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty(aut: P4Automaton) -> str:
+    """Render ``aut`` in concrete surface syntax."""
+    lines = []
+    for header, size in aut.headers.items():
+        lines.append(f"header {header} : {size};")
+    if aut.headers:
+        lines.append("")
+    for state in aut.states.values():
+        lines.append(pretty_state(state))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

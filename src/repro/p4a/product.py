@@ -1,0 +1,107 @@
+"""Disjoint sums and renamings of P4 automata.
+
+The equivalence checker compares configurations drawn from two automata.  The
+paper does this by forming the disjoint sum, "renaming states and headers as
+necessary" (Section 4).  The core algorithm in this reproduction keeps the two
+automata separate and tags each side explicitly, but the disjoint sum is still
+useful for reasoning about a pair of parsers as a single P4A (e.g. for the
+explicit-state baseline and for exporting combined graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .syntax import (
+    Assign,
+    BVLit,
+    Concat,
+    Expr,
+    Extract,
+    Goto,
+    HeaderRef,
+    P4Automaton,
+    Select,
+    SelectCase,
+    Slice,
+    State,
+    Transition,
+    FINAL_STATES,
+)
+from .typing import check_automaton
+
+
+def rename_expr(expr: Expr, header_map: Dict[str, str]) -> Expr:
+    if isinstance(expr, HeaderRef):
+        return HeaderRef(header_map[expr.name])
+    if isinstance(expr, BVLit):
+        return expr
+    if isinstance(expr, Slice):
+        return Slice(rename_expr(expr.expr, header_map), expr.lo, expr.hi)
+    if isinstance(expr, Concat):
+        return Concat(rename_expr(expr.left, header_map), rename_expr(expr.right, header_map))
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def rename_transition(
+    transition: Transition, state_map: Dict[str, str], header_map: Dict[str, str]
+) -> Transition:
+    def target(name: str) -> str:
+        return name if name in FINAL_STATES else state_map[name]
+
+    if isinstance(transition, Goto):
+        return Goto(target(transition.target))
+    if isinstance(transition, Select):
+        exprs = tuple(rename_expr(e, header_map) for e in transition.exprs)
+        cases = tuple(SelectCase(c.patterns, target(c.target)) for c in transition.cases)
+        return Select(exprs, cases)
+    raise TypeError(f"unknown transition {transition!r}")
+
+
+def rename_automaton(aut: P4Automaton, prefix: str, name: str = None) -> Tuple[P4Automaton, Dict[str, str]]:
+    """Prefix every state and header name; returns the renamed automaton and
+    the state-name mapping."""
+    state_map = {state: f"{prefix}{state}" for state in aut.states}
+    header_map = {header: f"{prefix}{header}" for header in aut.headers}
+    headers = {header_map[h]: size for h, size in aut.headers.items()}
+    states: Dict[str, State] = {}
+    for state in aut.states.values():
+        ops = []
+        for op in state.ops:
+            if isinstance(op, Extract):
+                ops.append(Extract(header_map[op.header]))
+            elif isinstance(op, Assign):
+                ops.append(Assign(header_map[op.header], rename_expr(op.expr, header_map)))
+            else:
+                raise TypeError(f"unknown operation {op!r}")
+        states[state_map[state.name]] = State(
+            state_map[state.name],
+            tuple(ops),
+            rename_transition(state.transition, state_map, header_map),
+        )
+    renamed = P4Automaton(name or f"{prefix}{aut.name}", headers, states)
+    return renamed, state_map
+
+
+@dataclass(frozen=True)
+class DisjointSum:
+    """The disjoint sum of two automata, with the original-to-renamed maps."""
+
+    automaton: P4Automaton
+    left_states: Dict[str, str]
+    right_states: Dict[str, str]
+
+
+def disjoint_sum(left: P4Automaton, right: P4Automaton, check: bool = True) -> DisjointSum:
+    """Combine two automata into one, renaming apart states and headers."""
+    renamed_left, left_map = rename_automaton(left, "L_")
+    renamed_right, right_map = rename_automaton(right, "R_")
+    headers = dict(renamed_left.headers)
+    headers.update(renamed_right.headers)
+    states = dict(renamed_left.states)
+    states.update(renamed_right.states)
+    combined = P4Automaton(f"{left.name}+{right.name}", headers, states)
+    if check:
+        check_automaton(combined)
+    return DisjointSum(combined, left_map, right_map)

@@ -1,0 +1,366 @@
+"""Concrete surface syntax for P4 automata.
+
+This module implements a lexer and recursive-descent parser for the textual
+parser language used in the paper's figures, e.g.::
+
+    header mpls : 32;
+    header udp : 64;
+
+    q1 {
+      extract(mpls, 32);
+      select(mpls[23:23]) {
+        0 => q1
+        1 => q2
+      }
+    }
+
+    q2 {
+      extract(udp, 64);
+      goto accept
+    }
+
+Header sizes may be declared up front with ``header name : width;`` or inline
+as the second argument of ``extract``.  Assignments are written ``h := e``.
+Patterns are binary literals (``0``, ``1011``, ``0b1011``), hexadecimal
+literals (``0x8847``), or the wildcard ``_``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .bitvec import Bits
+from .errors import P4ASyntaxError
+from .syntax import (
+    Assign,
+    BVLit,
+    Concat,
+    ExactPattern,
+    Expr,
+    Extract,
+    Goto,
+    HeaderRef,
+    P4Automaton,
+    Pattern,
+    Select,
+    SelectCase,
+    Slice,
+    State,
+    WILDCARD,
+)
+from .typing import check_automaton
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_KEYWORDS = {"header", "extract", "select", "goto", "automaton"}
+_PUNCTUATION = {
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ";": "SEMI",
+    ",": "COMMA",
+    ":": "COLON",
+    "_": "WILDCARD",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i) or source.startswith("#", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("=>", i) or source.startswith("⇒", i):
+            width = 2 if source.startswith("=>", i) else 1
+            tokens.append(Token("ARROW", source[i : i + width], line, column))
+            i += width
+            column += width
+            continue
+        if source.startswith(":=", i) or source.startswith("←", i):
+            width = 2 if source.startswith(":=", i) else 1
+            tokens.append(Token("ASSIGN", source[i : i + width], line, column))
+            i += width
+            column += width
+            continue
+        if source.startswith("++", i):
+            tokens.append(Token("CONCAT", "++", line, column))
+            i += 2
+            column += 2
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                tokens.append(Token("HEX", source[start:i], line, column))
+            elif source.startswith("0b", i) or source.startswith("0B", i):
+                i += 2
+                while i < n and source[i] in "01":
+                    i += 1
+                tokens.append(Token("BIN", source[start:i], line, column))
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                tokens.append(Token("NUM", source[start:i], line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            if text == "_":
+                tokens.append(Token("WILDCARD", text, line, column))
+            elif text in _KEYWORDS:
+                tokens.append(Token(text.upper(), text, line, column))
+            else:
+                tokens.append(Token("IDENT", text, line, column))
+            column += i - start
+            continue
+        raise P4ASyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise P4ASyntaxError(
+                f"expected {kind}, found {token.kind} ({token.text!r})", token.line, token.column
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_automaton(self, name: str) -> P4Automaton:
+        headers: Dict[str, int] = {}
+        states: Dict[str, State] = {}
+        if self._accept("AUTOMATON"):
+            name = self._expect("IDENT").text
+            self._accept("SEMI")
+        while not self._check("EOF"):
+            if self._check("HEADER"):
+                header_name, size = self._parse_header_decl()
+                headers[header_name] = size
+            else:
+                state = self._parse_state(headers)
+                states[state.name] = state
+        return P4Automaton(name, headers, states)
+
+    def _parse_header_decl(self) -> Tuple[str, int]:
+        self._expect("HEADER")
+        name = self._expect("IDENT").text
+        self._expect("COLON")
+        size = int(self._expect("NUM").text)
+        self._accept("SEMI")
+        return name, size
+
+    def _parse_state(self, headers: Dict[str, int]) -> State:
+        name = self._expect("IDENT").text
+        self._expect("LBRACE")
+        ops = []
+        transition = None
+        while not self._check("RBRACE"):
+            if self._check("GOTO"):
+                self._advance()
+                target = self._parse_state_name()
+                transition = Goto(target)
+                self._accept("SEMI")
+            elif self._check("SELECT"):
+                transition = self._parse_select()
+                self._accept("SEMI")
+            elif self._check("EXTRACT"):
+                ops.append(self._parse_extract(headers))
+                self._accept("SEMI")
+            else:
+                ops.append(self._parse_assign())
+                self._accept("SEMI")
+        self._expect("RBRACE")
+        if transition is None:
+            token = self._peek()
+            raise P4ASyntaxError(f"state {name!r} has no transition", token.line, token.column)
+        return State(name, tuple(ops), transition)
+
+    def _parse_state_name(self) -> str:
+        token = self._peek()
+        if token.kind == "IDENT":
+            return self._advance().text
+        raise P4ASyntaxError(f"expected a state name, found {token.text!r}", token.line, token.column)
+
+    def _parse_extract(self, headers: Dict[str, int]) -> Extract:
+        self._expect("EXTRACT")
+        self._expect("LPAREN")
+        header = self._expect("IDENT").text
+        if self._accept("COMMA"):
+            size = int(self._expect("NUM").text)
+            existing = headers.get(header)
+            if existing is not None and existing != size:
+                token = self._peek()
+                raise P4ASyntaxError(
+                    f"header {header!r} declared with conflicting sizes {existing} and {size}",
+                    token.line,
+                    token.column,
+                )
+            headers[header] = size
+        self._expect("RPAREN")
+        return Extract(header)
+
+    def _parse_assign(self) -> Assign:
+        header = self._expect("IDENT").text
+        self._expect("ASSIGN")
+        expr = self._parse_expr()
+        return Assign(header, expr)
+
+    def _parse_select(self) -> Select:
+        self._expect("SELECT")
+        self._expect("LPAREN")
+        exprs = [self._parse_expr()]
+        while self._accept("COMMA"):
+            exprs.append(self._parse_expr())
+        self._expect("RPAREN")
+        self._expect("LBRACE")
+        cases = []
+        while not self._check("RBRACE"):
+            cases.append(self._parse_case(len(exprs)))
+        self._expect("RBRACE")
+        return Select(tuple(exprs), tuple(cases))
+
+    def _parse_case(self, arity: int) -> SelectCase:
+        if self._accept("LPAREN"):
+            patterns = [self._parse_pattern()]
+            while self._accept("COMMA"):
+                patterns.append(self._parse_pattern())
+            self._expect("RPAREN")
+        else:
+            patterns = [self._parse_pattern()]
+        self._expect("ARROW")
+        self._accept("GOTO")
+        target = self._parse_state_name()
+        token = self._peek()
+        if len(patterns) != arity:
+            raise P4ASyntaxError(
+                f"case has {len(patterns)} patterns but select examines {arity} expressions",
+                token.line,
+                token.column,
+            )
+        return SelectCase(tuple(patterns), target)
+
+    def _parse_pattern(self) -> Pattern:
+        token = self._peek()
+        if token.kind == "WILDCARD":
+            self._advance()
+            return WILDCARD
+        return ExactPattern(self._parse_bits_literal())
+
+    def _parse_bits_literal(self) -> Bits:
+        token = self._advance()
+        if token.kind == "HEX":
+            digits = token.text[2:]
+            return Bits.from_int(int(digits, 16), 4 * len(digits))
+        if token.kind == "BIN":
+            return Bits(token.text[2:])
+        if token.kind == "NUM":
+            if set(token.text) <= {"0", "1"}:
+                return Bits(token.text)
+            raise P4ASyntaxError(
+                f"decimal literal {token.text!r} is ambiguous; use 0b or 0x", token.line, token.column
+            )
+        raise P4ASyntaxError(f"expected a bit pattern, found {token.text!r}", token.line, token.column)
+
+    def _parse_expr(self) -> Expr:
+        expr = self._parse_atom()
+        while self._check("CONCAT"):
+            self._advance()
+            expr = Concat(expr, self._parse_atom())
+        return expr
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token.kind in ("HEX", "BIN", "NUM"):
+            return BVLit(self._parse_bits_literal())
+        if token.kind == "LPAREN":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect("RPAREN")
+            return expr
+        name = self._expect("IDENT").text
+        expr: Expr = HeaderRef(name)
+        while self._check("LBRACKET"):
+            self._advance()
+            lo = int(self._expect("NUM").text)
+            self._expect("COLON")
+            hi = int(self._expect("NUM").text)
+            self._expect("RBRACKET")
+            expr = Slice(expr, lo, hi)
+        return expr
+
+
+def parse_automaton(source: str, name: str = "automaton", check: bool = True) -> P4Automaton:
+    """Parse a P4 automaton from its concrete surface syntax."""
+    parser = _Parser(tokenize(source))
+    aut = parser.parse_automaton(name)
+    if check:
+        check_automaton(aut)
+    return aut

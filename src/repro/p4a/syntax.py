@@ -1,0 +1,309 @@
+"""Abstract syntax for P4 automata (Figure 2 of the paper).
+
+A P4 automaton (P4A) is a finite state machine whose states contain an
+*operation block* (a sequence of ``extract`` and assignment operations) and a
+*transition block* (either ``goto`` or ``select``).  Headers are fixed-width
+bitvector variables shared between states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from .bitvec import Bits
+from .errors import P4ATypeError
+
+# Names of the two distinguished final states.
+ACCEPT = "accept"
+REJECT = "reject"
+FINAL_STATES = (ACCEPT, REJECT)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of header expressions (``e`` in Figure 2)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class HeaderRef(Expr):
+    """A reference to a header variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BVLit(Expr):
+    """A bitvector literal."""
+
+    value: Bits
+
+    def __str__(self) -> str:
+        return f"0b{self.value.to_bitstring()}" if self.value.width else "ε"
+
+
+@dataclass(frozen=True)
+class Slice(Expr):
+    """The inclusive, clamped slice ``e[n1:n2]``."""
+
+    expr: Expr
+    lo: int
+    hi: int
+
+    def __str__(self) -> str:
+        return f"{self.expr}[{self.lo}:{self.hi}]"
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """Concatenation ``e1 ++ e2``."""
+
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} ++ {self.right})"
+
+
+def concat_all(exprs: Sequence[Expr]) -> Expr:
+    """Right-associated concatenation of a non-empty sequence of expressions."""
+    if not exprs:
+        raise ValueError("concat_all requires at least one expression")
+    result = exprs[-1]
+    for expr in reversed(exprs[:-1]):
+        result = Concat(expr, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class Pattern:
+    """Base class of select patterns."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ExactPattern(Pattern):
+    """An exact bitvector match."""
+
+    value: Bits
+
+    def __str__(self) -> str:
+        return f"0b{self.value.to_bitstring()}"
+
+
+@dataclass(frozen=True)
+class WildcardPattern(Pattern):
+    """The wildcard pattern ``_`` which matches any bitvector."""
+
+    def __str__(self) -> str:
+        return "_"
+
+
+WILDCARD = WildcardPattern()
+
+
+# ---------------------------------------------------------------------------
+# Transitions
+# ---------------------------------------------------------------------------
+
+
+class Transition:
+    """Base class of transition blocks (``tz`` in Figure 2)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Goto(Transition):
+    """An unconditional transition."""
+
+    target: str
+
+    def __str__(self) -> str:
+        return f"goto {self.target}"
+
+
+@dataclass(frozen=True)
+class SelectCase:
+    """One arm of a ``select``: a tuple of patterns and a target state."""
+
+    patterns: Tuple[Pattern, ...]
+    target: str
+
+    def __str__(self) -> str:
+        pats = ", ".join(str(p) for p in self.patterns)
+        return f"({pats}) => {self.target}"
+
+
+@dataclass(frozen=True)
+class Select(Transition):
+    """A conditional transition branching on the values of expressions.
+
+    The first case whose patterns all match is taken.  If no case matches the
+    automaton transitions to ``reject`` (per Definition 3.3, the empty select
+    rejects).
+    """
+
+    exprs: Tuple[Expr, ...]
+    cases: Tuple[SelectCase, ...]
+
+    def __str__(self) -> str:
+        exprs = ", ".join(str(e) for e in self.exprs)
+        cases = " ".join(str(c) for c in self.cases)
+        return f"select({exprs}) {{ {cases} }}"
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+
+class Op:
+    """Base class of primitive operations (``op`` in Figure 2)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Extract(Op):
+    """``extract(h)``: move the next ``sz(h)`` bits of the packet into ``h``."""
+
+    header: str
+
+    def __str__(self) -> str:
+        return f"extract({self.header})"
+
+
+@dataclass(frozen=True)
+class Assign(Op):
+    """``h := e``: overwrite header ``h`` with the value of ``e``."""
+
+    header: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.header} := {self.expr}"
+
+
+# ---------------------------------------------------------------------------
+# States and automata
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class State:
+    """A named state with an operation block and a transition block."""
+
+    name: str
+    ops: Tuple[Op, ...]
+    transition: Transition
+
+    def __str__(self) -> str:
+        body = "; ".join(str(op) for op in self.ops)
+        return f"{self.name} {{ {body}; {self.transition} }}"
+
+
+@dataclass
+class P4Automaton:
+    """A P4 automaton: header declarations plus a set of named states.
+
+    ``headers`` maps each header name to its size in bits (``sz`` in the
+    paper).  ``states`` maps state names to :class:`State` records.  The
+    distinguished names ``accept`` and ``reject`` are implicit and may not be
+    redefined.
+    """
+
+    name: str
+    headers: Dict[str, int]
+    states: Dict[str, State] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for final in FINAL_STATES:
+            if final in self.states:
+                raise P4ATypeError(f"state name {final!r} is reserved")
+        for header, size in self.headers.items():
+            if size <= 0:
+                raise P4ATypeError(f"header {header!r} must have positive size, got {size}")
+
+    # -- convenience accessors ------------------------------------------------
+
+    def state(self, name: str) -> State:
+        try:
+            return self.states[name]
+        except KeyError:
+            raise P4ATypeError(f"automaton {self.name!r} has no state {name!r}") from None
+
+    def state_names(self) -> Tuple[str, ...]:
+        return tuple(self.states)
+
+    def header_size(self, header: str) -> int:
+        try:
+            return self.headers[header]
+        except KeyError:
+            raise P4ATypeError(f"automaton {self.name!r} has no header {header!r}") from None
+
+    def is_final(self, state: str) -> bool:
+        return state in FINAL_STATES
+
+    def op_size(self, state: str) -> int:
+        """``||op(q)||``: the number of bits consumed in state ``q``."""
+        return sum(self.headers[op.header] for op in self.state(state).ops if isinstance(op, Extract))
+
+    def total_header_bits(self) -> int:
+        """Total number of store bits (the "Total" column of Table 2 counts this
+        over both automata in a comparison)."""
+        return sum(self.headers.values())
+
+    def branched_bits(self) -> int:
+        """Number of bits examined by ``select`` statements (Table 2, "Branched")."""
+        from .typing import expr_width  # local import to avoid a cycle
+
+        total = 0
+        for state in self.states.values():
+            if isinstance(state.transition, Select):
+                for expr in state.transition.exprs:
+                    total += expr_width(self, expr)
+        return total
+
+    def transition_targets(self, state: str) -> Tuple[str, ...]:
+        """All states that ``state`` can transition to (including implicit reject)."""
+        transition = self.state(state).transition
+        if isinstance(transition, Goto):
+            return (transition.target,)
+        targets = [case.target for case in transition.cases]
+        # A select may fall through to reject when no case matches.
+        if not any(
+            all(isinstance(p, WildcardPattern) for p in case.patterns) for case in transition.cases
+        ):
+            targets.append(REJECT)
+        seen = []
+        for target in targets:
+            if target not in seen:
+                seen.append(target)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        lines = [f"automaton {self.name}"]
+        for header, size in self.headers.items():
+            lines.append(f"  header {header} : {size}")
+        for state in self.states.values():
+            lines.append(f"  {state}")
+        return "\n".join(lines)
+
+
+StateLike = Union[str, State]
+HeaderSizes = Mapping[str, int]

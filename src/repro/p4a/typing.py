@@ -1,0 +1,158 @@
+"""Typing judgements for P4 automata.
+
+The paper elides its type system (⊢E, ⊢O, ⊢T, ⊢A) but relies on it to make the
+semantics total.  This module implements those judgements:
+
+* ``expr_width`` computes the static width of an expression (⊢E e : n).
+* ``check_ops`` verifies an operation block is well-formed (⊢O): assignments
+  match the destination header's width and every state extracts at least one
+  bit, which guarantees progress.
+* ``check_transition`` verifies patterns match the widths of the selected
+  expressions and all targets exist (⊢T).
+* ``check_automaton`` combines the above into ⊢A.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import P4ATypeError
+from .syntax import (
+    ACCEPT,
+    FINAL_STATES,
+    REJECT,
+    Assign,
+    BVLit,
+    Concat,
+    ExactPattern,
+    Expr,
+    Extract,
+    Goto,
+    HeaderRef,
+    P4Automaton,
+    Select,
+    Slice,
+    State,
+    Transition,
+    WildcardPattern,
+)
+
+
+def expr_width(aut: P4Automaton, expr: Expr) -> int:
+    """The static bit width of ``expr`` (the ⊢E judgement)."""
+    if isinstance(expr, HeaderRef):
+        return aut.header_size(expr.name)
+    if isinstance(expr, BVLit):
+        return expr.value.width
+    if isinstance(expr, Slice):
+        inner = expr_width(aut, expr.expr)
+        if inner == 0:
+            raise P4ATypeError(f"cannot slice the zero-width expression {expr.expr}")
+        if expr.lo < 0 or expr.hi < 0:
+            raise P4ATypeError(f"negative slice bounds in {expr}")
+        if expr.lo > expr.hi:
+            raise P4ATypeError(f"empty slice {expr}: lower bound exceeds upper bound")
+        lo = min(expr.lo, inner - 1)
+        hi = min(expr.hi, inner - 1)
+        return hi - lo + 1
+    if isinstance(expr, Concat):
+        return expr_width(aut, expr.left) + expr_width(aut, expr.right)
+    raise P4ATypeError(f"unknown expression form: {expr!r}")
+
+
+def check_expr(aut: P4Automaton, expr: Expr) -> int:
+    """Check an expression and return its width.  Raises :class:`P4ATypeError`."""
+    return expr_width(aut, expr)
+
+
+def check_ops(aut: P4Automaton, state: State) -> None:
+    """Check the operation block of ``state`` (the ⊢O judgement)."""
+    extracted_bits = 0
+    for op in state.ops:
+        if isinstance(op, Extract):
+            extracted_bits += aut.header_size(op.header)
+        elif isinstance(op, Assign):
+            dest_width = aut.header_size(op.header)
+            src_width = check_expr(aut, op.expr)
+            if dest_width != src_width:
+                raise P4ATypeError(
+                    f"state {state.name!r}: assignment to {op.header!r} has width "
+                    f"{src_width}, expected {dest_width}"
+                )
+        else:
+            raise P4ATypeError(f"state {state.name!r}: unknown operation {op!r}")
+    if extracted_bits == 0:
+        raise P4ATypeError(
+            f"state {state.name!r} extracts no bits; every state must make progress"
+        )
+
+
+def check_transition(aut: P4Automaton, state: State) -> None:
+    """Check the transition block of ``state`` (the ⊢T judgement)."""
+    transition: Transition = state.transition
+    valid_targets = set(aut.states) | set(FINAL_STATES)
+    if isinstance(transition, Goto):
+        if transition.target not in valid_targets:
+            raise P4ATypeError(
+                f"state {state.name!r}: goto target {transition.target!r} does not exist"
+            )
+        return
+    if not isinstance(transition, Select):
+        raise P4ATypeError(f"state {state.name!r}: unknown transition {transition!r}")
+    widths = [check_expr(aut, expr) for expr in transition.exprs]
+    for case in transition.cases:
+        if case.target not in valid_targets:
+            raise P4ATypeError(
+                f"state {state.name!r}: select target {case.target!r} does not exist"
+            )
+        if len(case.patterns) != len(transition.exprs):
+            raise P4ATypeError(
+                f"state {state.name!r}: case {case} has {len(case.patterns)} patterns "
+                f"but the select examines {len(transition.exprs)} expressions"
+            )
+        for pattern, width in zip(case.patterns, widths):
+            if isinstance(pattern, WildcardPattern):
+                continue
+            if isinstance(pattern, ExactPattern):
+                if pattern.value.width != width:
+                    raise P4ATypeError(
+                        f"state {state.name!r}: pattern {pattern} has width "
+                        f"{pattern.value.width}, expected {width}"
+                    )
+            else:
+                raise P4ATypeError(f"state {state.name!r}: unknown pattern {pattern!r}")
+
+
+def check_state(aut: P4Automaton, state: State) -> None:
+    check_ops(aut, state)
+    check_transition(aut, state)
+
+
+def check_automaton(aut: P4Automaton) -> None:
+    """The top-level ⊢A judgement.
+
+    Raises :class:`P4ATypeError` if the automaton is ill-formed; a well-typed
+    automaton has a total, terminating step function.
+    """
+    if not aut.states:
+        raise P4ATypeError(f"automaton {aut.name!r} has no states")
+    for final in FINAL_STATES:
+        if final in aut.headers:
+            raise P4ATypeError(f"header name {final!r} is reserved")
+    errors: List[str] = []
+    for state in aut.states.values():
+        try:
+            check_state(aut, state)
+        except P4ATypeError as exc:  # collect all errors for better diagnostics
+            errors.append(str(exc))
+    if errors:
+        raise P4ATypeError("; ".join(errors))
+
+
+def is_well_typed(aut: P4Automaton) -> bool:
+    """Boolean version of :func:`check_automaton`."""
+    try:
+        check_automaton(aut)
+    except P4ATypeError:
+        return False
+    return True

@@ -1,0 +1,54 @@
+"""parser-gen substrate: parse graphs, hardware tables, compiler, back-translation."""
+
+from .backtranslate import hardware_to_p4a
+from .compiler import CompileError, ParserGenCompiler, compile_graph
+from .hardware import (
+    ACCEPT_STATE,
+    REJECT_STATE,
+    HardwareConfig,
+    HardwareParser,
+    TableEntry,
+    simulate,
+)
+from .ir import (
+    DONE,
+    DROP,
+    Edge,
+    Field,
+    HeaderFormat,
+    Node,
+    ParseGraph,
+    edge,
+    header,
+    interpret,
+    make_graph,
+)
+from .scenarios import SCENARIOS, scenario
+from .to_p4a import graph_to_p4a
+
+__all__ = [
+    "ACCEPT_STATE",
+    "CompileError",
+    "DONE",
+    "DROP",
+    "Edge",
+    "Field",
+    "HardwareConfig",
+    "HardwareParser",
+    "HeaderFormat",
+    "Node",
+    "ParseGraph",
+    "ParserGenCompiler",
+    "REJECT_STATE",
+    "SCENARIOS",
+    "TableEntry",
+    "compile_graph",
+    "edge",
+    "graph_to_p4a",
+    "hardware_to_p4a",
+    "header",
+    "interpret",
+    "make_graph",
+    "scenario",
+    "simulate",
+]

@@ -1,0 +1,191 @@
+"""Back-translation from hardware parser tables to P4 automata.
+
+The translation-validation study (Section 7.2, Figure 8) runs the parser-gen
+compiler, translates the resulting hardware table *back* into a P4 automaton
+and asks Leapfrog whether it is equivalent to the original parser.  This module
+performs that reverse translation automatically:
+
+* every hardware state becomes a P4A state extracting its per-cycle window;
+* the TCAM match becomes a ``select`` over the bit ranges that some entry
+  masks, with per-entry exact patterns and wildcards (priority order is
+  preserved);
+* entries whose advance exceeds the state's minimum advance (the result of the
+  compiler's state-merging optimization) route through auxiliary states that
+  consume the extra bytes before continuing.
+
+The paper performed parts of this translation by hand ("the reverse
+translation is fuzzy"); automating it is possible here because the compiler in
+:mod:`repro.parsergen.compiler` keeps lookup bytes inside the matching chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..p4a.bitvec import Bits
+from ..p4a.syntax import (
+    ACCEPT,
+    REJECT,
+    ExactPattern,
+    Extract,
+    Goto,
+    HeaderRef,
+    P4Automaton,
+    Select,
+    SelectCase,
+    Slice,
+    State,
+    WILDCARD,
+)
+from ..p4a.typing import check_automaton
+from .hardware import ACCEPT_STATE, REJECT_STATE, HardwareParser, TableEntry
+
+
+class BacktranslateError(Exception):
+    """Raised when a table cannot be expressed as a P4 automaton."""
+
+
+def _state_name(parser: HardwareParser, state: int) -> str:
+    if state == ACCEPT_STATE:
+        return ACCEPT
+    if state == REJECT_STATE:
+        return REJECT
+    label = parser.state_names.get(state, f"s{state}")
+    return f"hw_{label}".replace(".", "_").replace("#", "_")
+
+
+def _mask_bit_ranges(entries: List[TableEntry], window_bytes: int) -> List[Tuple[int, int]]:
+    """Maximal window-bit ranges on which every entry is all-masked or all-clear.
+
+    Returned ranges are (start_bit, end_bit) inclusive, in window bit order
+    (byte 0 bit 0 first), restricted to bits masked by at least one entry.
+    """
+    total_bits = 8 * window_bytes
+    masked_by = []
+    for bit in range(total_bits):
+        byte, bit_in_byte = divmod(bit, 8)
+        profile = tuple(
+            bool(entry.match_mask[byte] & (1 << (7 - bit_in_byte))) for entry in entries
+        )
+        masked_by.append(profile)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for bit in range(1, total_bits + 1):
+        if bit == total_bits or masked_by[bit] != masked_by[start]:
+            if any(masked_by[start]):
+                ranges.append((start, bit - 1))
+            start = bit
+    return ranges
+
+
+def _entry_pattern(entry: TableEntry, bit_range: Tuple[int, int]):
+    start, end = bit_range
+    byte, bit_in_byte = divmod(start, 8)
+    if not entry.match_mask[byte] & (1 << (7 - bit_in_byte)):
+        return WILDCARD
+    bits = []
+    for bit in range(start, end + 1):
+        byte, bit_in_byte = divmod(bit, 8)
+        if not entry.match_mask[byte] & (1 << (7 - bit_in_byte)):
+            raise BacktranslateError("entry masks only part of a match range")
+        bits.append("1" if entry.match_value[byte] & (1 << (7 - bit_in_byte)) else "0")
+    return ExactPattern(Bits("".join(bits)))
+
+
+def hardware_to_p4a(parser: HardwareParser, name: Optional[str] = None) -> Tuple[P4Automaton, str]:
+    """Translate a hardware table into a P4 automaton and return its start state."""
+    parser.validate()
+    headers: Dict[str, int] = {}
+    states: Dict[str, State] = {}
+    auxiliary: List[Tuple[str, int, str]] = []  # (state name, extra bytes, target)
+
+    for state_id in parser.states():
+        entries = parser.entries_for_state(state_id)
+        if not entries:
+            continue
+        state_name = _state_name(parser, state_id)
+        min_advance = min(entry.advance for entry in entries)
+        if min_advance == 0:
+            raise BacktranslateError(f"hardware state {state_id} does not make progress")
+        window_header = f"win_{state_id}"
+        headers[window_header] = 8 * min_advance
+
+        # The entry lookup offsets tell us where the matched bits live relative
+        # to the current position; they must fall inside the extracted window.
+        lookup = parser.initial_lookup if state_id == parser.initial_state else None
+        incoming = [e for e in parser.entries if e.next_state == state_id]
+        lookups = {e.next_lookup for e in incoming}
+        if state_id == parser.initial_state:
+            lookups.add(parser.initial_lookup)
+        if len(lookups) > 1:
+            raise BacktranslateError(
+                f"hardware state {state_id} is entered with inconsistent lookup windows"
+            )
+        lookup = next(iter(lookups)) if lookups else tuple([0] * parser.config.window_bytes)
+
+        def window_bit_expr(bit_range: Tuple[int, int]):
+            start, end = bit_range
+            start_byte, start_bit = divmod(start, 8)
+            end_byte, end_bit = divmod(end, 8)
+            if lookup[start_byte] != lookup[end_byte] - (end_byte - start_byte):
+                # Non-contiguous window bytes: fall back to per-byte handling by
+                # requiring the range to stay within one byte.
+                if start_byte != end_byte:
+                    raise BacktranslateError(
+                        "match range spans non-adjacent window bytes"
+                    )
+            packet_start = 8 * lookup[start_byte] + start_bit
+            packet_end = 8 * lookup[end_byte] + end_bit
+            if packet_end >= 8 * min_advance:
+                raise BacktranslateError(
+                    f"hardware state {state_id} matches bytes it does not consume"
+                )
+            return Slice(HeaderRef(window_header), packet_start, packet_end)
+
+        has_match = any(any(entry.match_mask) for entry in entries)
+        if not has_match:
+            entry = entries[0]
+            target = _exit_target(parser, entry, state_name, min_advance, auxiliary)
+            states[state_name] = State(state_name, (Extract(window_header),), Goto(target))
+            continue
+
+        ranges = _mask_bit_ranges(entries, parser.config.window_bytes)
+        exprs = tuple(window_bit_expr(r) for r in ranges)
+        cases: List[SelectCase] = []
+        for entry in entries:
+            patterns = tuple(_entry_pattern(entry, r) for r in ranges)
+            target = _exit_target(parser, entry, state_name, min_advance, auxiliary)
+            cases.append(SelectCase(patterns, target))
+        states[state_name] = State(
+            state_name, (Extract(window_header),), Select(exprs, tuple(cases))
+        )
+
+    # Auxiliary states created for entries that advance further than the
+    # state's extracted window (merged nodes).
+    for aux_name, extra_bytes, target in auxiliary:
+        header_name = f"win_{aux_name}"
+        headers[header_name] = 8 * extra_bytes
+        states[aux_name] = State(aux_name, (Extract(header_name),), Goto(target))
+
+    automaton = P4Automaton(name or f"{parser.name}_p4a", headers, states)
+    check_automaton(automaton)
+    return automaton, _state_name(parser, parser.initial_state)
+
+
+def _exit_target(
+    parser: HardwareParser,
+    entry: TableEntry,
+    state_name: str,
+    min_advance: int,
+    auxiliary: List[Tuple[str, int, str]],
+) -> str:
+    """P4A target for ``entry``, inserting an auxiliary state when the entry
+    advances further than the state's extracted window."""
+    target = _state_name(parser, entry.next_state)
+    extra = entry.advance - min_advance
+    if extra == 0:
+        return target
+    aux_name = f"{state_name}_adv{entry.advance}_{target}"
+    if not any(existing[0] == aux_name for existing in auxiliary):
+        auxiliary.append((aux_name, extra, target))
+    return aux_name

@@ -1,0 +1,344 @@
+"""Compiler from parse graphs to hardware parser tables.
+
+This reproduces the role of the third-party ``parser-gen`` compiler in the
+translation-validation case study: it lowers a parse graph onto the TCAM-driven
+engine of :mod:`repro.parsergen.hardware`, respecting the hardware limits
+(window size, maximum advance per cycle, lookup reach) and applying two of the
+optimizations the paper calls out:
+
+* **state splitting** — headers longer than the per-cycle advance limit are
+  carved into a matching chunk followed by continuation chunks;
+* **state merging** — a header with no lookup fields is folded into its
+  predecessors' table entries whenever the combined advance fits in one cycle,
+  eliminating its hardware state entirely.
+
+The output is deliberately *not* structurally identical to the input graph —
+that is what makes validating it against the original parser interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .hardware import (
+    ACCEPT_STATE,
+    REJECT_STATE,
+    HardwareConfig,
+    HardwareError,
+    HardwareParser,
+    TableEntry,
+)
+from .ir import DONE, DROP, Edge, Node, ParseGraph
+
+
+class CompileError(Exception):
+    """Raised when a graph cannot be mapped onto the hardware."""
+
+
+@dataclass
+class _NodeLayout:
+    """Placement information for one graph node."""
+
+    node: Node
+    byte_length: int
+    match_advance: int            # bytes consumed by the matching chunk
+    continuation_lengths: List[int]  # bytes consumed by each continuation chunk
+    lookup_bytes: List[int]       # byte offsets (within the header) in the window
+    merged: bool = False          # folded into predecessors; no own state
+
+
+def _lookup_bytes(node: Node) -> List[int]:
+    touched: Set[int] = set()
+    for field_name in node.lookup_fields:
+        offset = node.format.field_offset(field_name)
+        width = node.format.field(field_name).width
+        for bit in range(offset, offset + width):
+            touched.add(bit // 8)
+    return sorted(touched)
+
+
+def _field_match_bytes(node: Node, edge: Edge, lookup_bytes: List[int], window_bytes: int):
+    """Per-window-byte (mask, value) for one edge."""
+    mask = [0] * window_bytes
+    value = [0] * window_bytes
+    byte_position = {byte: index for index, byte in enumerate(lookup_bytes)}
+    for field_name, field_value in edge.values:
+        offset = node.format.field_offset(field_name)
+        width = node.format.field(field_name).width
+        for bit_index in range(width):
+            absolute_bit = offset + bit_index
+            byte = absolute_bit // 8
+            bit_in_byte = absolute_bit % 8
+            window_index = byte_position[byte]
+            bit_value = (field_value >> (width - 1 - bit_index)) & 1
+            mask[window_index] |= 1 << (7 - bit_in_byte)
+            value[window_index] |= bit_value << (7 - bit_in_byte)
+    return tuple(mask), tuple(value)
+
+
+class ParserGenCompiler:
+    """Compiles one parse graph onto one hardware configuration."""
+
+    def __init__(
+        self,
+        graph: ParseGraph,
+        config: Optional[HardwareConfig] = None,
+        merge_states: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.config = config or HardwareConfig()
+        self.config.validate()
+        self.merge_states = merge_states
+        self._layouts: Dict[str, _NodeLayout] = {}
+        self._state_ids: Dict[str, int] = {}
+        self._next_state_id = 0
+
+    # ------------------------------------------------------------------
+
+    def compile(self) -> HardwareParser:
+        reachable = sorted(self.graph.reachable_nodes())
+        for name in reachable:
+            self._layouts[name] = self._layout_node(self.graph.nodes[name])
+        if self.merge_states:
+            self._mark_merged(reachable)
+        for name in reachable:
+            if not self._layouts[name].merged:
+                self._allocate_states(name)
+        entries: List[TableEntry] = []
+        for name in reachable:
+            if not self._layouts[name].merged:
+                entries.extend(self._entries_for_node(name))
+        root_layout = self._layouts[self.graph.root]
+        parser = HardwareParser(
+            name=f"{self.graph.name}_hw",
+            config=self.config,
+            entries=entries,
+            initial_state=self._state_ids[self.graph.root],
+            initial_lookup=self._window_offsets(self.graph.root),
+            state_names={v: k for k, v in self._state_ids.items()},
+        )
+        parser.validate()
+        return parser
+
+    # ------------------------------------------------------------------
+
+    def _layout_node(self, node: Node) -> _NodeLayout:
+        byte_length = node.format.byte_length
+        lookup_bytes = _lookup_bytes(node)
+        if len(lookup_bytes) > self.config.window_bytes:
+            raise CompileError(
+                f"node {node.name!r} examines {len(lookup_bytes)} bytes but the window "
+                f"holds only {self.config.window_bytes}"
+            )
+        match_advance = min(byte_length, self.config.max_advance_bytes)
+        if lookup_bytes and lookup_bytes[-1] >= match_advance:
+            raise CompileError(
+                f"node {node.name!r}: lookup byte {lookup_bytes[-1]} lies beyond the "
+                f"matching chunk of {match_advance} bytes"
+            )
+        if lookup_bytes and lookup_bytes[-1] > self.config.max_lookup_offset:
+            raise CompileError(
+                f"node {node.name!r}: lookup byte {lookup_bytes[-1]} exceeds the hardware "
+                f"lookup reach of {self.config.max_lookup_offset}"
+            )
+        remaining = byte_length - match_advance
+        continuation: List[int] = []
+        while remaining > 0:
+            chunk = min(remaining, self.config.max_advance_bytes)
+            continuation.append(chunk)
+            remaining -= chunk
+        return _NodeLayout(node, byte_length, match_advance, continuation, lookup_bytes)
+
+    def _mark_merged(self, reachable: Sequence[str]) -> None:
+        """Fold lookup-free nodes into their predecessors when the advance fits."""
+        predecessors: Dict[str, List[str]] = {name: [] for name in reachable}
+        for name in reachable:
+            node = self.graph.nodes[name]
+            for target in [e.target for e in node.edges] + [node.default]:
+                if target in predecessors:
+                    predecessors[target].append(name)
+        def is_candidate(name: str) -> bool:
+            layout = self._layouts[name]
+            node = layout.node
+            return (
+                not node.lookup_fields
+                and not layout.continuation_lengths
+                and name != self.graph.root
+                and node.default not in (DONE, DROP)
+            )
+
+        candidates = {name for name in reachable if is_candidate(name)}
+        for name in reachable:
+            if name not in candidates:
+                continue
+            layout = self._layouts[name]
+            node = layout.node
+            target = node.default
+            if target in candidates:
+                # Avoid merge chains so the per-cycle advance bound stays easy
+                # to check; the target keeps its own hardware state.
+                continue
+            preds = predecessors[name]
+            if not preds:
+                continue
+            # Every predecessor must be able to absorb this node's bytes into
+            # the advance of its final chunk.  (The successor's lookup window is
+            # fetched after the combined advance, so its offsets are unaffected.)
+            absorbable = True
+            for pred in preds:
+                pred_layout = self._layouts[pred]
+                if pred_layout.merged:
+                    absorbable = False
+                    break
+                final_chunk = (
+                    pred_layout.continuation_lengths[-1]
+                    if pred_layout.continuation_lengths
+                    else pred_layout.match_advance
+                )
+                if final_chunk + layout.byte_length > self.config.max_advance_bytes:
+                    absorbable = False
+                    break
+            if absorbable:
+                layout.merged = True
+
+    def _allocate_states(self, name: str) -> None:
+        layout = self._layouts[name]
+        self._state_ids[name] = self._fresh_state(name)
+        chain = 0
+        for targets in self._successor_groups(layout.node):
+            for index in range(len(layout.continuation_lengths)):
+                self._state_ids[f"{name}#cont{chain}_{index}"] = self._fresh_state(
+                    f"{name}.cont{chain}.{index}"
+                )
+            chain += 1
+
+    def _fresh_state(self, label: str) -> int:
+        if self._next_state_id >= self.config.max_states:
+            raise CompileError("the parse graph needs more states than the hardware provides")
+        state_id = self._next_state_id
+        self._next_state_id += 1
+        return state_id
+
+    # ------------------------------------------------------------------
+
+    def _successor_groups(self, node: Node) -> List[str]:
+        """Distinct successor targets of a node, in edge order then default."""
+        targets: List[str] = []
+        for e in node.edges:
+            if e.target not in targets:
+                targets.append(e.target)
+        if node.default not in targets:
+            targets.append(node.default)
+        return targets
+
+    def _resolve_target(self, target: str) -> Tuple[int, Tuple[int, ...]]:
+        """Hardware state id and next-lookup window for a graph-level target,
+        following merged nodes transparently.
+
+        The bytes of merged nodes are folded into the *advance* of the entry
+        that jumps over them (see :meth:`_merged_extra_advance`), so the
+        next-lookup offsets are simply the final target's own lookup bytes.
+        """
+        while target not in (DONE, DROP) and self._layouts[target].merged:
+            target = self._layouts[target].node.default
+        if target == DONE:
+            return ACCEPT_STATE, self._pad_window([])
+        if target == DROP:
+            return REJECT_STATE, self._pad_window([])
+        return self._state_ids[target], self._pad_window(self._layouts[target].lookup_bytes)
+
+    def _merged_extra_advance(self, target: str) -> int:
+        """Bytes of merged nodes skipped on the way to ``target``."""
+        extra = 0
+        while target not in (DONE, DROP) and self._layouts[target].merged:
+            extra += self._layouts[target].byte_length
+            target = self._layouts[target].node.default
+        return extra
+
+    def _pad_window(self, offsets: Sequence[int]) -> Tuple[int, ...]:
+        padded = list(offsets)[: self.config.window_bytes]
+        while len(padded) < self.config.window_bytes:
+            padded.append(0)
+        return tuple(padded)
+
+    def _window_offsets(self, name: str) -> Tuple[int, ...]:
+        return self._pad_window(self._layouts[name].lookup_bytes)
+
+    # ------------------------------------------------------------------
+
+    def _entries_for_node(self, name: str) -> List[TableEntry]:
+        layout = self._layouts[name]
+        node = layout.node
+        entries: List[TableEntry] = []
+        groups = self._successor_groups(node)
+        chain_of_target = {target: index for index, target in enumerate(groups)}
+
+        def exit_entry_fields(target: str) -> Tuple[int, Tuple[int, ...], int]:
+            """next_state, next_lookup and extra advance for leaving the node."""
+            next_state, next_lookup = self._resolve_target(target)
+            return next_state, next_lookup, self._merged_extra_advance(target)
+
+        wildcard = tuple([0] * self.config.window_bytes)
+        for e in list(node.edges) + [Edge((), node.default)]:
+            target = e.target
+            mask, value = _field_match_bytes(node, e, layout.lookup_bytes, self.config.window_bytes)
+            if layout.continuation_lengths:
+                # Splitting: the matching chunk picks a per-target continuation chain.
+                chain = chain_of_target[target]
+                first_cont = self._state_ids[f"{name}#cont{chain}_0"]
+                entries.append(
+                    TableEntry(
+                        state=self._state_ids[name],
+                        match_mask=mask,
+                        match_value=value,
+                        next_state=first_cont,
+                        advance=layout.match_advance,
+                        next_lookup=self._pad_window([]),
+                    )
+                )
+            else:
+                next_state, next_lookup, extra = exit_entry_fields(target)
+                entries.append(
+                    TableEntry(
+                        state=self._state_ids[name],
+                        match_mask=mask,
+                        match_value=value,
+                        next_state=next_state,
+                        advance=layout.match_advance + extra,
+                        next_lookup=next_lookup,
+                    )
+                )
+        # Continuation chains (one per distinct successor) for split nodes.
+        if layout.continuation_lengths:
+            for target, chain in chain_of_target.items():
+                for index, chunk in enumerate(layout.continuation_lengths):
+                    state_id = self._state_ids[f"{name}#cont{chain}_{index}"]
+                    is_last = index == len(layout.continuation_lengths) - 1
+                    if is_last:
+                        next_state, next_lookup, extra = exit_entry_fields(target)
+                        advance = chunk + extra
+                    else:
+                        next_state = self._state_ids[f"{name}#cont{chain}_{index + 1}"]
+                        next_lookup = self._pad_window([])
+                        advance = chunk
+                    entries.append(
+                        TableEntry(
+                            state=state_id,
+                            match_mask=wildcard,
+                            match_value=wildcard,
+                            next_state=next_state,
+                            advance=advance,
+                            next_lookup=next_lookup,
+                        )
+                    )
+        return entries
+
+
+def compile_graph(
+    graph: ParseGraph,
+    config: Optional[HardwareConfig] = None,
+    merge_states: bool = True,
+) -> HardwareParser:
+    """Convenience wrapper around :class:`ParserGenCompiler`."""
+    return ParserGenCompiler(graph, config, merge_states).compile()

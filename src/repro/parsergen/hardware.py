@@ -1,0 +1,179 @@
+"""The hardware parser table representation and its simulator.
+
+parser-gen compiles parse graphs to a fixed-function hardware engine driven by
+a TCAM table (Figure 8 of the Leapfrog paper).  Every cycle the engine:
+
+1. reads a small *lookup window* — a handful of bytes fetched at offsets
+   (chosen by the previous cycle) relative to the current packet position,
+2. matches the pair (current state, window) against the table entries in
+   priority order under a per-byte mask,
+3. follows the winning entry: advance the position by a bounded number of
+   bytes, move to the next state, and remember the window offsets to fetch for
+   that state.
+
+This module defines the table format, the hardware configuration limits, and a
+cycle-accurate simulator used for differential testing against the parse-graph
+interpreter; :mod:`repro.parsergen.compiler` produces the tables and
+:mod:`repro.parsergen.backtranslate` converts them back into P4 automata for
+translation validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..p4a.bitvec import Bits
+
+#: Distinguished hardware state identifiers (Figure 8 prints accept as 255/255).
+ACCEPT_STATE = 255
+REJECT_STATE = 254
+
+
+class HardwareError(Exception):
+    """Raised on malformed tables or configurations."""
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Resource limits of the parser engine."""
+
+    window_bytes: int = 4          # how many bytes the TCAM examines per cycle
+    max_advance_bytes: int = 16    # how far the engine can move per cycle
+    max_lookup_offset: int = 15    # how far ahead a window byte may be fetched
+    max_states: int = 254          # user states (255/254 are accept/reject)
+
+    def validate(self) -> None:
+        if self.window_bytes <= 0 or self.max_advance_bytes <= 0:
+            raise HardwareError("window and advance must be positive")
+        if self.max_states > 254:
+            raise HardwareError("state identifiers above 253 are reserved")
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One TCAM entry.
+
+    ``match_mask``/``match_value`` have one byte per window byte; a mask byte of
+    0x00 makes that window byte a wildcard.  ``next_lookup`` gives the byte
+    offsets (relative to the position *after* advancing) that the engine
+    fetches for the next cycle's window.
+    """
+
+    state: int
+    match_mask: Tuple[int, ...]
+    match_value: Tuple[int, ...]
+    next_state: int
+    advance: int
+    next_lookup: Tuple[int, ...]
+
+    def matches(self, state: int, window: Sequence[int]) -> bool:
+        if state != self.state:
+            return False
+        return all(
+            (byte & mask) == (value & mask)
+            for byte, mask, value in zip(window, self.match_mask, self.match_value)
+        )
+
+    def describe(self) -> str:
+        mask = ", ".join(f"{b:02x}" for b in self.match_mask)
+        value = ", ".join(f"{b:02x}" for b in self.match_value)
+        lookup = ", ".join(str(o) for o in self.next_lookup)
+        return (
+            f"Match: ([{mask}], [{value}])  Next-State: {self.next_state}/255  "
+            f"Adv: {self.advance:3d}  Next-Lookup: [{lookup}]"
+        )
+
+
+@dataclass
+class HardwareParser:
+    """A compiled parser: the table plus the initial engine state."""
+
+    name: str
+    config: HardwareConfig
+    entries: List[TableEntry]
+    initial_state: int
+    initial_lookup: Tuple[int, ...]
+    state_names: Dict[int, str] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        self.config.validate()
+        for entry in self.entries:
+            if len(entry.match_mask) != self.config.window_bytes:
+                raise HardwareError("mask width does not match the window size")
+            if len(entry.match_value) != self.config.window_bytes:
+                raise HardwareError("value width does not match the window size")
+            if entry.advance < 0 or entry.advance > self.config.max_advance_bytes:
+                raise HardwareError(f"advance {entry.advance} exceeds the hardware limit")
+            if len(entry.next_lookup) != self.config.window_bytes:
+                raise HardwareError("next-lookup width does not match the window size")
+            for offset in entry.next_lookup:
+                if offset < 0 or offset > self.config.max_lookup_offset:
+                    raise HardwareError(f"lookup offset {offset} exceeds the hardware limit")
+
+    def entries_for_state(self, state: int) -> List[TableEntry]:
+        return [entry for entry in self.entries if entry.state == state]
+
+    def states(self) -> List[int]:
+        seen: List[int] = []
+        for entry in self.entries:
+            if entry.state not in seen:
+                seen.append(entry.state)
+        return seen
+
+    def dump(self) -> str:
+        """Render the table in the style of Figure 8."""
+        lines = [f"# {self.name}: {len(self.entries)} entries"]
+        for entry in self.entries:
+            name = self.state_names.get(entry.state, str(entry.state))
+            lines.append(f"[{name:>18}] {entry.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class HardwareRun:
+    accepted: bool
+    consumed_bytes: int
+    cycles: int
+    trace: List[int]
+
+
+def simulate(parser: HardwareParser, packet: Bits, max_cycles: int = 4096) -> HardwareRun:
+    """Cycle-accurate simulation of the hardware engine on ``packet``.
+
+    The packet must be byte aligned (hardware parsers operate on bytes).  A
+    packet is accepted when the engine reaches :data:`ACCEPT_STATE` having
+    consumed exactly the whole packet.  Windows that extend past the end of the
+    packet read zero bytes, but advancing past the end rejects, as does
+    reaching accept with bytes left over.
+    """
+    if packet.width % 8:
+        return HardwareRun(False, 0, 0, [])
+    data = [packet.slice(8 * i, 8 * i + 7).to_int() for i in range(packet.width // 8)]
+    position = 0
+    state = parser.initial_state
+    lookup = parser.initial_lookup
+    trace = [state]
+    for cycle in range(1, max_cycles + 1):
+        if state == ACCEPT_STATE:
+            return HardwareRun(position == len(data), position, cycle, trace)
+        if state == REJECT_STATE:
+            return HardwareRun(False, position, cycle, trace)
+        window = [
+            data[position + offset] if position + offset < len(data) else 0
+            for offset in lookup
+        ]
+        chosen: Optional[TableEntry] = None
+        for entry in parser.entries:
+            if entry.matches(state, window):
+                chosen = entry
+                break
+        if chosen is None:
+            return HardwareRun(False, position, cycle, trace)
+        if position + chosen.advance > len(data):
+            return HardwareRun(False, position, cycle, trace)
+        position += chosen.advance
+        state = chosen.next_state
+        lookup = chosen.next_lookup
+        trace.append(state)
+    return HardwareRun(False, position, max_cycles, trace)

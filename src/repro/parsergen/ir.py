@@ -1,0 +1,223 @@
+"""Parse-graph intermediate representation (the parser-gen input language).
+
+``parser-gen`` (Gibb et al., ANCS 2013) describes parsers as *parse graphs*:
+nodes are protocol headers with named, fixed-width fields; edges are guarded by
+the values of designated *lookup fields* and point to the next header.  This
+module defines that IR, a reference interpreter for it, and small utilities
+(reachability, statistics) used by the compiler and the scenarios.
+
+Widths are given in bits but headers must be whole bytes long, matching the
+byte-oriented hardware of parser-gen.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..p4a.bitvec import Bits
+
+#: Special edge targets.
+DONE = "accept"
+DROP = "reject"
+
+
+class ParseGraphError(Exception):
+    """Raised on malformed parse graphs."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named field of a header."""
+
+    name: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ParseGraphError(f"field {self.name!r} must have positive width")
+
+
+@dataclass(frozen=True)
+class HeaderFormat:
+    """A protocol header: an ordered list of fields."""
+
+    name: str
+    fields: Tuple[Field, ...]
+
+    @property
+    def width(self) -> int:
+        return sum(f.width for f in self.fields)
+
+    @property
+    def byte_length(self) -> int:
+        if self.width % 8:
+            raise ParseGraphError(f"header {self.name!r} is not byte aligned ({self.width} bits)")
+        return self.width // 8
+
+    def field_offset(self, name: str) -> int:
+        """Bit offset of a field from the start of the header."""
+        offset = 0
+        for f in self.fields:
+            if f.name == name:
+                return offset
+            offset += f.width
+        raise ParseGraphError(f"header {self.name!r} has no field {name!r}")
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise ParseGraphError(f"header {self.name!r} has no field {name!r}")
+
+
+def header(name: str, *fields: Tuple[str, int]) -> HeaderFormat:
+    """Convenience constructor: ``header("ipv4", ("proto", 8), ...)``."""
+    return HeaderFormat(name, tuple(Field(n, w) for n, w in fields))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A guarded edge: taken when every lookup field matches its value.
+
+    ``values`` maps lookup-field names to integers; fields omitted from the
+    mapping are wildcards.  ``target`` is a node name, :data:`DONE` or
+    :data:`DROP`.
+    """
+
+    values: Tuple[Tuple[str, int], ...]
+    target: str
+
+    def value_map(self) -> Dict[str, int]:
+        return dict(self.values)
+
+
+def edge(target: str, **values: int) -> Edge:
+    return Edge(tuple(sorted(values.items())), target)
+
+
+@dataclass
+class Node:
+    """A parse-graph node: a header plus its outgoing edges.
+
+    ``lookup_fields`` are the fields examined to choose the successor; when
+    empty the node has a single unconditional edge (or terminates).
+    """
+
+    name: str
+    format: HeaderFormat
+    lookup_fields: Tuple[str, ...] = ()
+    edges: Tuple[Edge, ...] = ()
+    default: str = DROP
+
+    def __post_init__(self) -> None:
+        for field_name in self.lookup_fields:
+            self.format.field(field_name)
+        for e in self.edges:
+            for field_name, _ in e.values:
+                if field_name not in self.lookup_fields:
+                    raise ParseGraphError(
+                        f"edge of node {self.name!r} constrains {field_name!r} which is "
+                        "not a lookup field"
+                    )
+
+
+@dataclass
+class ParseGraph:
+    """A rooted parse graph."""
+
+    name: str
+    root: str
+    nodes: Dict[str, Node] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.root not in self.nodes:
+            raise ParseGraphError(f"root node {self.root!r} is not defined")
+        for node in self.nodes.values():
+            targets = [e.target for e in node.edges] + [node.default]
+            for target in targets:
+                if target not in (DONE, DROP) and target not in self.nodes:
+                    raise ParseGraphError(
+                        f"node {node.name!r} references undefined node {target!r}"
+                    )
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def reachable_nodes(self) -> Set[str]:
+        seen = {self.root}
+        queue = deque([self.root])
+        while queue:
+            current = queue.popleft()
+            node = self.nodes[current]
+            for target in [e.target for e in node.edges] + [node.default]:
+                if target in (DONE, DROP) or target in seen:
+                    continue
+                seen.add(target)
+                queue.append(target)
+        return seen
+
+    def total_header_bits(self) -> int:
+        return sum(self.nodes[name].format.width for name in self.reachable_nodes())
+
+    def branched_bits(self) -> int:
+        return sum(
+            self.nodes[name].format.field(f).width
+            for name in self.reachable_nodes()
+            for f in self.nodes[name].lookup_fields
+        )
+
+
+def make_graph(name: str, root: str, nodes: Iterable[Node]) -> ParseGraph:
+    return ParseGraph(name, root, {node.name: node for node in nodes})
+
+
+# ---------------------------------------------------------------------------
+# Reference interpreter
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParseResult:
+    accepted: bool
+    headers: Dict[str, Dict[str, int]]
+    consumed_bits: int
+
+
+def interpret(graph: ParseGraph, packet: Bits) -> ParseResult:
+    """Run the parse graph over ``packet`` (the reference semantics).
+
+    A packet is accepted when a :data:`DONE` edge is reached exactly at the end
+    of the packet; running out of bits mid-header, hitting :data:`DROP`, or
+    finishing with unread bits all reject.
+    """
+    position = 0
+    headers: Dict[str, Dict[str, int]] = {}
+    current = graph.root
+    while True:
+        node = graph.nodes[current]
+        width = node.format.width
+        if position + width > packet.width:
+            return ParseResult(False, headers, position)
+        data = packet.slice(position, position + width - 1) if width else Bits("")
+        position += width
+        values: Dict[str, int] = {}
+        offset = 0
+        for f in node.format.fields:
+            values[f.name] = data.slice(offset, offset + f.width - 1).to_int()
+            offset += f.width
+        headers[node.name] = values
+        target = node.default
+        for e in node.edges:
+            if all(values[name] == value for name, value in e.values):
+                target = e.target
+                break
+        if target == DONE:
+            return ParseResult(position == packet.width, headers, position)
+        if target == DROP:
+            return ParseResult(False, headers, position)
+        current = target

@@ -1,0 +1,271 @@
+"""The four parser-gen benchmark scenarios (Section 7.2).
+
+Gibb et al. evaluate their parser generator on four deployment scenarios —
+Edge, Service Provider, Datacenter and Enterprise — each supporting a
+different set of protocols.  The parse graphs below model those protocol mixes
+with realistic header layouts (Ethernet, 802.1Q, MPLS, IPv4/IPv6, GRE, VXLAN,
+TCP/UDP/ICMP).  ``mini_*`` variants with the same shape but far fewer nodes
+are provided for fast tests and the default benchmark configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .ir import DONE, DROP, Node, ParseGraph, edge, header, make_graph
+
+# ---------------------------------------------------------------------------
+# Header formats
+# ---------------------------------------------------------------------------
+
+ETHERNET = header("ethernet", ("dst", 48), ("src", 48), ("ethertype", 16))
+VLAN = header("vlan", ("pcp", 3), ("dei", 1), ("vid", 12), ("ethertype", 16))
+MPLS = header("mpls", ("label", 20), ("tc", 3), ("bos", 1), ("ttl", 8))
+IPV4 = header(
+    "ipv4",
+    ("version_ihl", 8),
+    ("tos", 8),
+    ("length", 16),
+    ("id", 16),
+    ("flags_frag", 16),
+    ("ttl", 8),
+    ("protocol", 8),
+    ("checksum", 16),
+    ("src", 32),
+    ("dst", 32),
+)
+IPV6 = header(
+    "ipv6",
+    ("version_class_flow", 32),
+    ("payload_len", 16),
+    ("next_header", 8),
+    ("hop_limit", 8),
+    ("src", 128),
+    ("dst", 128),
+)
+TCP = header("tcp", ("src_port", 16), ("dst_port", 16), ("rest", 128))
+UDP = header("udp", ("src_port", 16), ("dst_port", 16), ("length", 16), ("checksum", 16))
+ICMP = header("icmp", ("type", 8), ("code", 8), ("checksum", 16), ("rest", 32))
+GRE = header("gre", ("flags", 16), ("protocol", 16))
+VXLAN = header("vxlan", ("flags", 8), ("reserved", 24), ("vni", 24), ("reserved2", 8))
+
+# EtherType and protocol numbers.
+ETH_VLAN = 0x8100
+ETH_MPLS = 0x8847
+ETH_IPV4 = 0x0800
+ETH_IPV6 = 0x86DD
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_GRE = 47
+VXLAN_PORT = 4789
+
+
+def _terminal(name: str, fmt) -> Node:
+    return Node(name, fmt, (), (), DONE)
+
+
+def _l4_nodes(suffix: str = "", include_icmp: bool = True) -> list:
+    nodes = [_terminal(f"tcp{suffix}", TCP), _terminal(f"udp{suffix}", UDP)]
+    if include_icmp:
+        nodes.append(_terminal(f"icmp{suffix}", ICMP))
+    return nodes
+
+
+def _ipv4_node(name: str, targets: Dict[int, str], default: str = DROP) -> Node:
+    return Node(
+        name,
+        IPV4,
+        ("protocol",),
+        tuple(edge(target, protocol=value) for value, target in targets.items()),
+        default,
+    )
+
+
+def _ipv6_node(name: str, targets: Dict[int, str], default: str = DROP) -> Node:
+    return Node(
+        name,
+        IPV6,
+        ("next_header",),
+        tuple(edge(target, next_header=value) for value, target in targets.items()),
+        default,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def enterprise() -> ParseGraph:
+    """Campus/company router: Ethernet, up to two VLAN tags, IPv4/IPv6, L4."""
+    l3 = {ETH_IPV4: "ipv4", ETH_IPV6: "ipv6"}
+    l4 = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
+    nodes = [
+        Node("ethernet", ETHERNET, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in {ETH_VLAN: "vlan0", **l3}.items()), DROP),
+        Node("vlan0", VLAN, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in {ETH_VLAN: "vlan1", **l3}.items()), DROP),
+        Node("vlan1", VLAN, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in l3.items()), DROP),
+        _ipv4_node("ipv4", l4),
+        _ipv6_node("ipv6", l4),
+        *_l4_nodes(),
+    ]
+    return make_graph("enterprise", "ethernet", nodes)
+
+
+def edge_router() -> ParseGraph:
+    """Gateway router: VLANs, an MPLS stack of depth two, GRE tunnelling."""
+    l3 = {ETH_IPV4: "ipv4", ETH_IPV6: "ipv6"}
+    l4 = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp", PROTO_GRE: "gre"}
+    inner_l4 = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
+    nodes = [
+        Node("ethernet", ETHERNET, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in
+                   {ETH_VLAN: "vlan0", ETH_MPLS: "mpls0", **l3}.items()), DROP),
+        Node("vlan0", VLAN, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in
+                   {ETH_VLAN: "vlan1", ETH_MPLS: "mpls0", **l3}.items()), DROP),
+        Node("vlan1", VLAN, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in
+                   {ETH_MPLS: "mpls0", **l3}.items()), DROP),
+        Node("mpls0", MPLS, ("bos",), (edge("mpls1", bos=0), edge("ipv4_mpls", bos=1)), DROP),
+        Node("mpls1", MPLS, ("bos",), (edge("ipv4_mpls", bos=1),), DROP),
+        _ipv4_node("ipv4", l4),
+        _ipv6_node("ipv6", l4),
+        _ipv4_node("ipv4_mpls", inner_l4),
+        Node("gre", GRE, ("protocol",),
+             (edge("ipv4_inner", protocol=ETH_IPV4), edge("ipv6_inner", protocol=ETH_IPV6)), DROP),
+        _ipv4_node("ipv4_inner", inner_l4),
+        _ipv6_node("ipv6_inner", inner_l4),
+        *_l4_nodes(),
+    ]
+    return make_graph("edge", "ethernet", nodes)
+
+
+def service_provider() -> ParseGraph:
+    """Core router: a deep MPLS label stack in front of the IP payload."""
+    l3 = {ETH_IPV4: "ipv4", ETH_IPV6: "ipv6"}
+    l4 = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+    depth = 4
+    nodes = [
+        Node("ethernet", ETHERNET, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in {ETH_MPLS: "mpls0", **l3}.items()), DROP),
+        _ipv4_node("ipv4", l4),
+        _ipv6_node("ipv6", l4),
+        _ipv4_node("ipv4_mpls", l4),
+        *_l4_nodes(include_icmp=False),
+    ]
+    for level in range(depth):
+        next_target = f"mpls{level + 1}" if level + 1 < depth else DROP
+        edges = [edge("ipv4_mpls", bos=1)]
+        if next_target != DROP:
+            edges.append(edge(next_target, bos=0))
+        nodes.append(Node(f"mpls{level}", MPLS, ("bos",), tuple(edges), DROP))
+    return make_graph("service_provider", "ethernet", nodes)
+
+
+def datacenter() -> ParseGraph:
+    """Top-of-rack switch: VLAN, IPv4/IPv6, VXLAN tunnelling to an inner stack."""
+    l3 = {ETH_IPV4: "ipv4", ETH_IPV6: "ipv6"}
+    inner_l3 = {ETH_IPV4: "ipv4_inner", ETH_IPV6: "ipv6_inner"}
+    nodes = [
+        Node("ethernet", ETHERNET, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in {ETH_VLAN: "vlan", **l3}.items()), DROP),
+        Node("vlan", VLAN, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in l3.items()), DROP),
+        _ipv4_node("ipv4", {PROTO_TCP: "tcp", PROTO_UDP: "udp"}),
+        _ipv6_node("ipv6", {PROTO_TCP: "tcp", PROTO_UDP: "udp"}),
+        _terminal("tcp", TCP),
+        Node("udp", UDP, ("dst_port",), (edge("vxlan", dst_port=VXLAN_PORT),), DONE),
+        Node("vxlan", VXLAN, (), (), "ethernet_inner"),
+        Node("ethernet_inner", ETHERNET, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in {ETH_VLAN: "vlan_inner", **inner_l3}.items()),
+             DROP),
+        Node("vlan_inner", VLAN, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in inner_l3.items()), DROP),
+        _ipv4_node("ipv4_inner", {PROTO_TCP: "tcp_inner", PROTO_UDP: "udp_inner"}),
+        _ipv6_node("ipv6_inner", {PROTO_TCP: "tcp_inner", PROTO_UDP: "udp_inner"}),
+        _terminal("tcp_inner", TCP),
+        _terminal("udp_inner", UDP),
+    ]
+    return make_graph("datacenter", "ethernet", nodes)
+
+
+# ---------------------------------------------------------------------------
+# Miniature variants (same shape, fewer protocols) for tests and quick benches
+# ---------------------------------------------------------------------------
+
+MINI_ETHERNET = header("ethernet", ("addr", 16), ("ethertype", 8))
+MINI_VLAN = header("vlan", ("vid", 8), ("ethertype", 8))
+MINI_IPV4 = header("ipv4", ("meta", 8), ("protocol", 8))
+MINI_IPV6 = header("ipv6", ("meta", 24), ("next_header", 8))
+MINI_TCP = header("tcp", ("ports", 16))
+MINI_UDP = header("udp", ("ports", 8))
+
+MINI_ETH_VLAN = 0x81
+MINI_ETH_IPV4 = 0x08
+MINI_ETH_IPV6 = 0x86
+MINI_PROTO_TCP = 6
+MINI_PROTO_UDP = 17
+
+
+def mini_enterprise() -> ParseGraph:
+    """A small Enterprise-shaped graph used by tests and quick benchmarks."""
+    l3 = {MINI_ETH_IPV4: "ipv4", MINI_ETH_IPV6: "ipv6"}
+    l4 = {MINI_PROTO_TCP: "tcp", MINI_PROTO_UDP: "udp"}
+    nodes = [
+        Node("ethernet", MINI_ETHERNET, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in {MINI_ETH_VLAN: "vlan", **l3}.items()), DROP),
+        Node("vlan", MINI_VLAN, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in l3.items()), DROP),
+        Node("ipv4", MINI_IPV4, ("protocol",),
+             tuple(edge(t, protocol=v) for v, t in l4.items()), DROP),
+        Node("ipv6", MINI_IPV6, ("next_header",),
+             tuple(edge(t, next_header=v) for v, t in l4.items()), DROP),
+        _terminal("tcp", MINI_TCP),
+        _terminal("udp", MINI_UDP),
+    ]
+    return make_graph("mini_enterprise", "ethernet", nodes)
+
+
+def mini_edge() -> ParseGraph:
+    """A small Edge-shaped graph (adds an MPLS-like tag in front of IP)."""
+    mini_mpls = header("mpls", ("label", 7), ("bos", 1))
+    l3 = {MINI_ETH_IPV4: "ipv4", MINI_ETH_IPV6: "ipv6"}
+    nodes = [
+        Node("ethernet", MINI_ETHERNET, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in
+                   {MINI_ETH_VLAN: "vlan", 0x47: "mpls0", **l3}.items()), DROP),
+        Node("vlan", MINI_VLAN, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in l3.items()), DROP),
+        Node("mpls0", mini_mpls, ("bos",), (edge("mpls1", bos=0), edge("ipv4", bos=1)), DROP),
+        Node("mpls1", mini_mpls, ("bos",), (edge("ipv4", bos=1),), DROP),
+        Node("ipv4", MINI_IPV4, ("protocol",),
+             (edge("tcp", protocol=MINI_PROTO_TCP), edge("udp", protocol=MINI_PROTO_UDP)), DROP),
+        Node("ipv6", MINI_IPV6, ("next_header",),
+             (edge("tcp", next_header=MINI_PROTO_TCP), edge("udp", next_header=MINI_PROTO_UDP)),
+             DROP),
+        _terminal("tcp", MINI_TCP),
+        _terminal("udp", MINI_UDP),
+    ]
+    return make_graph("mini_edge", "ethernet", nodes)
+
+
+SCENARIOS: Dict[str, Callable[[], ParseGraph]] = {
+    "enterprise": enterprise,
+    "edge": edge_router,
+    "service_provider": service_provider,
+    "datacenter": datacenter,
+    "mini_enterprise": mini_enterprise,
+    "mini_edge": mini_edge,
+}
+
+
+def scenario(name: str) -> ParseGraph:
+    """Look up a scenario by name (see :data:`SCENARIOS`)."""
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}") from None

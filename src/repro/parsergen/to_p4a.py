@@ -1,0 +1,77 @@
+"""Translation from parse graphs to P4 automata.
+
+Each parse-graph node becomes a P4A state that extracts the node's header into
+a single header variable and selects the successor on the lookup-field slices.
+This is the "reference" translation used both by the applicability studies
+(self-comparison of a scenario's P4A) and as the left-hand side of the
+translation-validation study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..p4a.bitvec import Bits
+from ..p4a.syntax import (
+    ACCEPT,
+    REJECT,
+    ExactPattern,
+    Extract,
+    Goto,
+    HeaderRef,
+    P4Automaton,
+    Select,
+    SelectCase,
+    Slice,
+    State,
+    WILDCARD,
+)
+from ..p4a.typing import check_automaton
+from .ir import DONE, DROP, Node, ParseGraph
+
+
+def _p4a_target(target: str) -> str:
+    if target == DONE:
+        return ACCEPT
+    if target == DROP:
+        return REJECT
+    return target
+
+
+def _node_transition(node: Node):
+    header_name = f"hdr_{node.name}"
+    if not node.lookup_fields:
+        return Goto(_p4a_target(node.default))
+    exprs = []
+    for field_name in node.lookup_fields:
+        offset = node.format.field_offset(field_name)
+        width = node.format.field(field_name).width
+        exprs.append(Slice(HeaderRef(header_name), offset, offset + width - 1))
+    cases: List[SelectCase] = []
+    for e in node.edges:
+        values = e.value_map()
+        patterns = []
+        for field_name in node.lookup_fields:
+            if field_name in values:
+                width = node.format.field(field_name).width
+                patterns.append(ExactPattern(Bits.from_int(values[field_name], width)))
+            else:
+                patterns.append(WILDCARD)
+        cases.append(SelectCase(tuple(patterns), _p4a_target(e.target)))
+    # The default edge becomes a final all-wildcard case.
+    cases.append(SelectCase(tuple(WILDCARD for _ in node.lookup_fields), _p4a_target(node.default)))
+    return Select(tuple(exprs), tuple(cases))
+
+
+def graph_to_p4a(graph: ParseGraph, name: str = None) -> Tuple[P4Automaton, str]:
+    """Translate ``graph`` into a P4A.  Returns the automaton and its start state."""
+    headers: Dict[str, int] = {}
+    states: Dict[str, State] = {}
+    for node_name in sorted(graph.reachable_nodes()):
+        node = graph.nodes[node_name]
+        header_name = f"hdr_{node.name}"
+        headers[header_name] = node.format.width
+        states[node.name] = State(node.name, (Extract(header_name),), _node_transition(node))
+    automaton = P4Automaton(name or f"{graph.name}_p4a", headers, states)
+    check_automaton(automaton)
+    return automaton, graph.root

@@ -1,0 +1,5 @@
+"""Protocol parser library: the case-study parsers from the paper's figures."""
+
+from . import mpls, tiny
+
+__all__ = ["mpls", "tiny"]

@@ -1,0 +1,165 @@
+"""Sloppy and strict Ethernet/IP parsers (Figure 10).
+
+The *sloppy* (lenient) parser assumes that anything that is not IPv4 is IPv6;
+the *strict* parser checks the EtherType explicitly and rejects unknown types.
+The two are **not** language equivalent — they disagree exactly on packets with
+an unknown EtherType — which makes them the input for two relational case
+studies:
+
+* **External filtering**: the parsers agree on every packet whose EtherType is
+  IPv4 or IPv6, i.e. the packets an external filter would let through.  This is
+  phrased by replacing the "equally accepting" initial relation with one that
+  allows acceptance mismatches only when the parsed EtherType is neither IPv4
+  nor IPv6 (:func:`external_filter_initial_relation`).
+* **Relational verification**: whenever *both* parsers accept, their stores
+  agree on the EtherType and on whichever IP header that type selects
+  (:func:`store_correspondence`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..logic.confrel import LEFT, RIGHT, CHdr, CLit, Formula
+from ..logic.simplify import mk_and, mk_eq, mk_impl, mk_not, mk_or, mk_slice
+from ..p4a.bitvec import Bits
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import P4Automaton
+from ..core.reachability import ReachabilityAnalysis
+from ..core.templates import GuardedFormula
+
+START = "parse_eth"
+
+ETHERTYPE_IPV4 = 0x8600  # the stylised value used in Figure 10
+ETHERTYPE_IPV6 = 0x86DD
+
+
+def _build(
+    name: str,
+    strict: bool,
+    eth_bits: int,
+    ipv4_bits: int,
+    ipv6_bits: int,
+    type_bits: int,
+) -> P4Automaton:
+    builder = AutomatonBuilder(name)
+    builder.header("ether", eth_bits).header("ipv4", ipv4_bits).header("ipv6", ipv6_bits)
+    type_lo = eth_bits - type_bits
+    type_hi = eth_bits - 1
+    ipv4_pattern = Bits.from_int(ETHERTYPE_IPV4 % (1 << type_bits), type_bits)
+    ipv6_pattern = Bits.from_int(ETHERTYPE_IPV6 % (1 << type_bits), type_bits)
+    if strict:
+        cases = [
+            (ipv6_pattern, "parse_ipv6"),
+            (ipv4_pattern, "parse_ipv4"),
+            ("_", "reject"),
+        ]
+    else:
+        cases = [
+            (ipv4_pattern, "parse_ipv4"),
+            ("_", "parse_ipv6"),
+        ]
+    builder.state("parse_eth").extract("ether").select(f"ether[{type_lo}:{type_hi}]", cases)
+    builder.state("parse_ipv4").extract("ipv4").accept()
+    builder.state("parse_ipv6").extract("ipv6").accept()
+    return builder.build()
+
+
+def sloppy_parser(
+    eth_bits: int = 112, ipv4_bits: int = 160, ipv6_bits: int = 320, type_bits: int = 16
+) -> P4Automaton:
+    """The lenient parser: not-IPv4 is treated as IPv6."""
+    return _build("ethernet_ip_sloppy", False, eth_bits, ipv4_bits, ipv6_bits, type_bits)
+
+
+def strict_parser(
+    eth_bits: int = 112, ipv4_bits: int = 160, ipv6_bits: int = 320, type_bits: int = 16
+) -> P4Automaton:
+    """The strict parser: unknown EtherTypes are rejected."""
+    return _build("ethernet_ip_strict", True, eth_bits, ipv4_bits, ipv6_bits, type_bits)
+
+
+def scaled_sloppy(scale: int = 4) -> P4Automaton:
+    return sloppy_parser(eth_bits=2 * scale, ipv4_bits=scale, ipv6_bits=2 * scale, type_bits=4)
+
+
+def scaled_strict(scale: int = 4) -> P4Automaton:
+    return strict_parser(eth_bits=2 * scale, ipv4_bits=scale, ipv6_bits=2 * scale, type_bits=4)
+
+
+# ---------------------------------------------------------------------------
+# Relational specifications
+# ---------------------------------------------------------------------------
+
+
+def _ether_type(side: str, aut: P4Automaton) -> "CHdr":
+    eth_bits = aut.header_size("ether")
+    return CHdr(side, "ether", eth_bits)
+
+
+def _type_slice(side: str, aut: P4Automaton, type_bits: int):
+    eth_bits = aut.header_size("ether")
+    return mk_slice(_ether_type(side, aut), eth_bits - type_bits, eth_bits - 1)
+
+
+def known_type_formula(side: str, aut: P4Automaton, type_bits: int = 16) -> Formula:
+    """The EtherType stored on ``side`` is IPv4 or IPv6."""
+    type_expr = _type_slice(side, aut, type_bits)
+    ipv4 = CLit(Bits.from_int(ETHERTYPE_IPV4 % (1 << type_bits), type_bits))
+    ipv6 = CLit(Bits.from_int(ETHERTYPE_IPV6 % (1 << type_bits), type_bits))
+    return mk_or([mk_eq(type_expr, ipv4), mk_eq(type_expr, ipv6)])
+
+
+def external_filter_initial_relation(
+    sloppy: P4Automaton,
+    strict: P4Automaton,
+    reach: ReachabilityAnalysis,
+    type_bits: int = 16,
+) -> List[GuardedFormula]:
+    """Initial relation for the External Filtering study.
+
+    At every reachable template pair where exactly one side accepts, require
+    that the accepting side's parsed EtherType is *not* one of the filtered
+    (well-known) types.  Proving a pre-bisimulation for this relation shows the
+    two parsers agree on every packet an IPv4/IPv6 filter would admit.
+    """
+    formulas: List[GuardedFormula] = []
+    for pair in reach.accept_mismatch_pairs():
+        if pair.left.is_accepting():
+            condition = mk_not(known_type_formula(LEFT, sloppy, type_bits))
+        else:
+            condition = mk_not(known_type_formula(RIGHT, strict, type_bits))
+        formulas.append(GuardedFormula(pair, condition))
+    return formulas
+
+
+def store_correspondence(
+    sloppy: P4Automaton, strict: P4Automaton, type_bits: int = 16
+) -> Formula:
+    """Store relation for the Relational Verification study.
+
+    Whenever both parsers accept: the EtherTypes agree, and the IP header that
+    the type selects was parsed to the same value on both sides.
+    """
+    ether_eq = mk_eq(
+        CHdr(LEFT, "ether", sloppy.header_size("ether")),
+        CHdr(RIGHT, "ether", strict.header_size("ether")),
+    )
+    left_type = _type_slice(LEFT, sloppy, type_bits)
+    ipv4 = CLit(Bits.from_int(ETHERTYPE_IPV4 % (1 << type_bits), type_bits))
+    ipv6 = CLit(Bits.from_int(ETHERTYPE_IPV6 % (1 << type_bits), type_bits))
+    ipv4_eq = mk_eq(
+        CHdr(LEFT, "ipv4", sloppy.header_size("ipv4")),
+        CHdr(RIGHT, "ipv4", strict.header_size("ipv4")),
+    )
+    ipv6_eq = mk_eq(
+        CHdr(LEFT, "ipv6", sloppy.header_size("ipv6")),
+        CHdr(RIGHT, "ipv6", strict.header_size("ipv6")),
+    )
+    return mk_and(
+        [
+            ether_eq,
+            mk_impl(mk_eq(left_type, ipv4), ipv4_eq),
+            mk_impl(mk_eq(left_type, ipv6), ipv6_eq),
+        ]
+    )

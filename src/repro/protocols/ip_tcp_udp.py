@@ -1,0 +1,85 @@
+"""Stylised IP + TCP/UDP parsers from Figure 7: the State Rearrangement study.
+
+Compilers for hardware pipelines merge and split parser states to optimise
+resource usage.  The *reference* parser reads a 64-bit IP prefix and then
+branches to a 32-bit UDP state or a 64-bit TCP state.  The *combined* parser
+always reads the IP prefix plus the 32 bits that UDP and TCP share, and only
+then decides whether another 32 bits of TCP remain.  Leapfrog proves the two
+accept the same packets even though they chunk the input differently.
+"""
+
+from __future__ import annotations
+
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import P4Automaton
+
+REFERENCE_START = "parse_ip"
+COMBINED_START = "parse_combined"
+
+
+def reference_parser(ip_bits: int = 64, udp_bits: int = 32, tcp_bits: int = 64) -> P4Automaton:
+    """The reference parser (left of Figure 7): IP, then UDP or TCP."""
+    if tcp_bits <= udp_bits:
+        raise ValueError("the stylised TCP header must be longer than the UDP header")
+    builder = AutomatonBuilder("ip_tcpudp_reference")
+    builder.header("ip", ip_bits).header("udp", udp_bits).header("tcp", tcp_bits)
+    proto_lo, proto_hi = _protocol_field(ip_bits)
+    builder.state("parse_ip").extract("ip").select(
+        f"ip[{proto_lo}:{proto_hi}]",
+        [("0001", "parse_udp"), ("0000", "parse_tcp")],
+    )
+    builder.state("parse_udp").extract("udp").accept()
+    builder.state("parse_tcp").extract("tcp").accept()
+    return builder.build()
+
+
+def combined_parser(ip_bits: int = 64, udp_bits: int = 32, tcp_bits: int = 64) -> P4Automaton:
+    """The state-rearranged parser (right of Figure 7): IP plus the common
+    32-bit prefix in one state, then the TCP suffix if needed."""
+    if tcp_bits <= udp_bits:
+        raise ValueError("the stylised TCP header must be longer than the UDP header")
+    builder = AutomatonBuilder("ip_tcpudp_combined")
+    suffix_bits = tcp_bits - udp_bits
+    builder.header("ip", ip_bits).header("pref", udp_bits).header("suff", suffix_bits)
+    proto_lo, proto_hi = _protocol_field(ip_bits)
+    builder.state("parse_combined").extract("ip").extract("pref").select(
+        f"ip[{proto_lo}:{proto_hi}]",
+        [("0001", "accept"), ("0000", "parse_suff")],
+    )
+    builder.state("parse_suff").extract("suff").accept()
+    return builder.build()
+
+
+def _protocol_field(ip_bits: int) -> tuple:
+    """Bit range of the 4-bit protocol selector inside the stylised IP header.
+
+    Figure 7 uses bits 40..43 of a 64-bit header; scaled variants keep the
+    selector in the same relative position.
+    """
+    lo = (40 * ip_bits) // 64
+    return lo, lo + 3
+
+
+def scaled_reference(scale: int = 8) -> P4Automaton:
+    """A narrower reference parser (headers divided by ``64 // scale``)."""
+    return reference_parser(ip_bits=scale * 8, udp_bits=scale * 4, tcp_bits=scale * 8)
+
+
+def scaled_combined(scale: int = 8) -> P4Automaton:
+    return combined_parser(ip_bits=scale * 8, udp_bits=scale * 4, tcp_bits=scale * 8)
+
+
+def broken_combined(ip_bits: int = 64, udp_bits: int = 32, tcp_bits: int = 64) -> P4Automaton:
+    """A wrong rearrangement: the UDP branch forgets that the common prefix was
+    already consumed and reads it again.  Not equivalent to the reference."""
+    builder = AutomatonBuilder("ip_tcpudp_combined_broken")
+    suffix_bits = tcp_bits - udp_bits
+    builder.header("ip", ip_bits).header("pref", udp_bits).header("suff", suffix_bits)
+    proto_lo, proto_hi = _protocol_field(ip_bits)
+    builder.state("parse_combined").extract("ip").extract("pref").select(
+        f"ip[{proto_lo}:{proto_hi}]",
+        [("0001", "parse_again"), ("0000", "parse_suff")],
+    )
+    builder.state("parse_again").extract("pref").accept()
+    builder.state("parse_suff").extract("suff").accept()
+    return builder.build()

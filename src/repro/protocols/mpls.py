@@ -1,0 +1,94 @@
+"""MPLS/UDP parsers from Figure 1: the Speculative Extraction case study.
+
+The *reference* parser reads one 32-bit MPLS label at a time, looping until it
+sees the bottom-of-stack bit (bit 23), then reads a 64-bit UDP header.  The
+*vectorized* parser speculatively reads two labels per iteration; when the
+speculation overshoots (the first label was already the bottom of the stack)
+it reinterprets the second label as the first half of the UDP header.
+
+Both parsers accept the same packets; Leapfrog proves it.  Scaled variants
+with narrower labels are provided so the same structure can be exercised
+cheaply in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import P4Automaton
+
+REFERENCE_START = "q1"
+VECTORIZED_START = "q3"
+
+
+def reference_parser(label_bits: int = 32, udp_bits: int = 64, bos_bit: int = 23) -> P4Automaton:
+    """The reference MPLS/UDP parser (states q1, q2 of Figure 1)."""
+    if not 0 <= bos_bit < label_bits:
+        raise ValueError("bottom-of-stack bit must fall inside the label")
+    builder = AutomatonBuilder(f"mpls_reference_{label_bits}")
+    builder.header("mpls", label_bits).header("udp", udp_bits)
+    builder.state("q1").extract("mpls").select(
+        f"mpls[{bos_bit}:{bos_bit}]", [("0", "q1"), ("1", "q2")]
+    )
+    builder.state("q2").extract("udp").accept()
+    return builder.build()
+
+
+def vectorized_parser(label_bits: int = 32, udp_bits: int = 64, bos_bit: int = 23) -> P4Automaton:
+    """The vectorized MPLS/UDP parser (states q3, q4, q5 of Figure 1).
+
+    ``udp_bits`` must be twice ``label_bits`` so that the overshot label plus a
+    ``label_bits``-wide remainder reassemble into a full UDP header, exactly as
+    in the paper's example (32-bit labels, 64-bit UDP).
+    """
+    if udp_bits != 2 * label_bits:
+        raise ValueError("the vectorized parser requires udp_bits == 2 * label_bits")
+    if not 0 <= bos_bit < label_bits:
+        raise ValueError("bottom-of-stack bit must fall inside the label")
+    builder = AutomatonBuilder(f"mpls_vectorized_{label_bits}")
+    builder.header("old", label_bits).header("new", label_bits)
+    builder.header("tmp", label_bits).header("udp", udp_bits)
+    builder.state("q3").extract("old").extract("new").select(
+        [f"old[{bos_bit}:{bos_bit}]", f"new[{bos_bit}:{bos_bit}]"],
+        [
+            (("0", "0"), "q3"),
+            (("0", "1"), "q4"),
+            (("1", "_"), "q5"),
+        ],
+    )
+    builder.state("q4").extract("udp").accept()
+    builder.state("q5").extract("tmp").assign("udp", "new ++ tmp").accept()
+    return builder.build()
+
+
+def scaled_reference(label_bits: int = 4) -> P4Automaton:
+    """A structurally identical reference parser with small labels (for tests)."""
+    return reference_parser(label_bits=label_bits, udp_bits=2 * label_bits, bos_bit=label_bits - 1)
+
+
+def scaled_vectorized(label_bits: int = 4) -> P4Automaton:
+    """A structurally identical vectorized parser with small labels (for tests)."""
+    return vectorized_parser(label_bits=label_bits, udp_bits=2 * label_bits, bos_bit=label_bits - 1)
+
+
+def broken_vectorized(label_bits: int = 4) -> P4Automaton:
+    """A deliberately wrong vectorized parser: the overshoot branch reads a
+    single bit instead of the remaining half of the UDP header, so it accepts
+    packets that are ``label_bits - 1`` bits too short.  Used by negative
+    tests of the checker and the counterexample search."""
+    udp_bits = 2 * label_bits
+    bos = label_bits - 1
+    builder = AutomatonBuilder(f"mpls_vectorized_broken_{label_bits}")
+    builder.header("old", label_bits).header("new", label_bits)
+    builder.header("udp", udp_bits).header("stub", 1)
+    builder.state("q3").extract("old").extract("new").select(
+        [f"old[{bos}:{bos}]", f"new[{bos}:{bos}]"],
+        [
+            (("0", "0"), "q3"),
+            (("0", "1"), "q4"),
+            (("1", "_"), "q5"),
+        ],
+    )
+    builder.state("q4").extract("udp").accept()
+    # Bug: reads one bit instead of the remaining label_bits bits of UDP.
+    builder.state("q5").extract("stub").accept()
+    return builder.build()

@@ -1,0 +1,80 @@
+"""Tiny automata used throughout the tests and the paper's Figure 5 example.
+
+``IncrementalBits`` reads a two-bit packet one bit at a time; ``BigBits`` reads
+both bits at once.  The two accept the same language, which is the first
+equivalence proved in the paper's Coq listing (Figure 5).  Checked variants
+additionally require the first bit to be 1, and deliberately *wrong* variants
+are provided for negative tests of the checker and the counterexample search.
+"""
+
+from __future__ import annotations
+
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import ACCEPT, P4Automaton, REJECT
+
+INCREMENTAL_START = "Start"
+BIG_START = "Parse"
+
+
+def incremental_bits() -> P4Automaton:
+    """Reads two bits in two states and accepts unconditionally."""
+    builder = AutomatonBuilder("IncrementalBits")
+    builder.header("bit0", 1).header("bit1", 1)
+    builder.state("Start").extract("bit0").goto("Next")
+    builder.state("Next").extract("bit1").accept()
+    return builder.build()
+
+
+def big_bits() -> P4Automaton:
+    """Reads two bits in a single state and accepts unconditionally."""
+    builder = AutomatonBuilder("BigBits")
+    builder.header("bits", 2)
+    builder.state("Parse").extract("bits").accept()
+    return builder.build()
+
+
+def incremental_bits_checked() -> P4Automaton:
+    """Accepts two-bit packets whose first bit is 1, reading bit by bit."""
+    builder = AutomatonBuilder("IncrementalBitsChecked")
+    builder.header("bit0", 1).header("bit1", 1)
+    builder.state("Start").extract("bit0").select("bit0", [("1", "Next"), ("_", REJECT)])
+    builder.state("Next").extract("bit1").accept()
+    return builder.build()
+
+
+def big_bits_checked() -> P4Automaton:
+    """Accepts two-bit packets whose first bit is 1, reading both bits at once."""
+    builder = AutomatonBuilder("BigBitsChecked")
+    builder.header("bits", 2)
+    builder.state("Parse").extract("bits").select("bits[0:0]", [("1", ACCEPT), ("_", REJECT)])
+    return builder.build()
+
+
+def big_bits_wrong_length() -> P4Automaton:
+    """Accepts three-bit packets; *not* equivalent to ``incremental_bits``."""
+    builder = AutomatonBuilder("BigBitsWrongLength")
+    builder.header("bits", 3)
+    builder.state("Parse").extract("bits").accept()
+    return builder.build()
+
+
+def big_bits_wrong_check() -> P4Automaton:
+    """Accepts two-bit packets whose first bit is 0; not equivalent to the
+    checked variants."""
+    builder = AutomatonBuilder("BigBitsWrongCheck")
+    builder.header("bits", 2)
+    builder.state("Parse").extract("bits").select("bits[0:0]", [("0", ACCEPT), ("_", REJECT)])
+    return builder.build()
+
+
+def store_dependent() -> P4Automaton:
+    """A parser whose acceptance depends on an uninitialised header.
+
+    It extracts one bit but branches on a header that is never written, so the
+    set of accepted packets depends on the initial store — the bug pattern the
+    Header Initialization case study is about.
+    """
+    builder = AutomatonBuilder("StoreDependent")
+    builder.header("data", 1).header("ghost", 1)
+    builder.state("Start").extract("data").select("ghost", [("1", ACCEPT), ("_", REJECT)])
+    return builder.build()

@@ -1,0 +1,18 @@
+"""Benchmark harness support: metrics, table rendering and the case-study runner."""
+
+from .metrics import CaseMetrics, attach_run_statistics, structural_metrics
+from .runner import CaseOutcome, CaseStudy, case_studies, full_scale_requested, run_cases
+from .table import render_markdown, render_text
+
+__all__ = [
+    "CaseMetrics",
+    "CaseOutcome",
+    "CaseStudy",
+    "attach_run_statistics",
+    "case_studies",
+    "full_scale_requested",
+    "render_markdown",
+    "render_text",
+    "run_cases",
+    "structural_metrics",
+]

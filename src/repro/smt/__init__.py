@@ -1,0 +1,30 @@
+"""SMT substrate: bit-blasting, SAT solving, CEGIS and solver backends."""
+
+from .backend import (
+    ExternalBackend,
+    InternalBackend,
+    SolverBackend,
+    available_external_solvers,
+    default_backend,
+)
+from .bitblast import Bitblaster, BitblastResult, bitblast
+from .bvsolver import InternalBVSolver, SatResult, SatStatus, SolverStatistics
+from .cegis import ExistsForallResult, solve_exists_forall, substitute
+
+__all__ = [
+    "Bitblaster",
+    "BitblastResult",
+    "ExistsForallResult",
+    "ExternalBackend",
+    "InternalBackend",
+    "InternalBVSolver",
+    "SatResult",
+    "SatStatus",
+    "SolverBackend",
+    "SolverStatistics",
+    "available_external_solvers",
+    "bitblast",
+    "default_backend",
+    "solve_exists_forall",
+    "substitute",
+]

@@ -1,0 +1,150 @@
+"""Pluggable solver backends.
+
+The paper's tool targets several off-the-shelf SMT solvers behind a single
+interface (Z3, CVC4, Boolector), selected by a vernacular command.  This
+module provides the analogous abstraction:
+
+* :class:`InternalBackend` — the built-in bit-blasting QF_BV procedure, always
+  available and used by default.
+* :class:`ExternalBackend` — shells out to any SMT-LIB 2 compliant solver
+  found on ``PATH`` via the pretty-printer in :mod:`repro.logic.smtlib`.
+
+``default_backend()`` returns the internal backend unless the environment
+variable ``LEAPFROG_SOLVER`` requests an external one.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..logic import folbv, smtlib
+from ..logic.folbv import BFormula
+from ..p4a.bitvec import Bits
+from .bvsolver import InternalBVSolver, SatResult, SatStatus, SolverStatistics
+
+
+class BackendError(Exception):
+    """Raised when a backend cannot answer a query."""
+
+
+class SolverBackend:
+    """Interface implemented by every solver backend."""
+
+    name = "abstract"
+
+    def check_sat(self, formula: BFormula) -> SatResult:
+        raise NotImplementedError
+
+    @property
+    def statistics(self) -> SolverStatistics:
+        raise NotImplementedError
+
+
+class InternalBackend(SolverBackend):
+    """The built-in bit-blasting decision procedure."""
+
+    name = "internal"
+
+    def __init__(self, engine: str = "cdcl", validate_models: bool = True) -> None:
+        self._solver = InternalBVSolver(engine=engine, validate_models=validate_models)
+
+    def check_sat(self, formula: BFormula) -> SatResult:
+        return self._solver.check_sat(formula)
+
+    @property
+    def statistics(self) -> SolverStatistics:
+        return self._solver.statistics
+
+    @property
+    def solver(self) -> InternalBVSolver:
+        return self._solver
+
+
+#: Known external solvers and the command lines that make them read SMT-LIB
+#: from a file argument.
+EXTERNAL_SOLVER_COMMANDS: Dict[str, Sequence[str]] = {
+    "z3": ("z3", "-smt2"),
+    "cvc5": ("cvc5", "--lang", "smt2", "--produce-models"),
+    "cvc4": ("cvc4", "--lang", "smt2", "--produce-models"),
+    "boolector": ("boolector", "--smt2"),
+}
+
+
+def available_external_solvers() -> List[str]:
+    """External solvers found on ``PATH``."""
+    return [name for name, command in EXTERNAL_SOLVER_COMMANDS.items() if shutil.which(command[0])]
+
+
+class ExternalBackend(SolverBackend):
+    """An SMT-LIB 2 solver invoked as a subprocess."""
+
+    def __init__(self, solver: str, timeout: float = 60.0) -> None:
+        if solver not in EXTERNAL_SOLVER_COMMANDS:
+            raise BackendError(f"unknown external solver {solver!r}")
+        if not shutil.which(EXTERNAL_SOLVER_COMMANDS[solver][0]):
+            raise BackendError(f"external solver {solver!r} is not on PATH")
+        self.name = solver
+        self._command = EXTERNAL_SOLVER_COMMANDS[solver]
+        self._timeout = timeout
+        self._statistics = SolverStatistics()
+
+    def check_sat(self, formula: BFormula) -> SatResult:
+        import tempfile
+
+        script = smtlib.to_smtlib(formula, comments=[f"query issued to {self.name}"])
+        start = time.perf_counter()
+        with tempfile.NamedTemporaryFile("w", suffix=".smt2", delete=False) as handle:
+            handle.write(script)
+            path = handle.name
+        try:
+            completed = subprocess.run(
+                list(self._command) + [path],
+                capture_output=True,
+                text=True,
+                timeout=self._timeout,
+            )
+            output = completed.stdout
+        except subprocess.TimeoutExpired:
+            output = ""
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        elapsed = time.perf_counter() - start
+        answer = smtlib.parse_check_sat_result(output)
+        if answer is None:
+            result = SatResult(SatStatus.UNKNOWN, None, elapsed)
+        elif answer:
+            variables = folbv.free_variables(formula)
+            model = smtlib.parse_model_values(output, variables)
+            for name, width in variables.items():
+                model.setdefault(name, Bits.zeros(width))
+            result = SatResult(SatStatus.SAT, model, elapsed)
+        else:
+            result = SatResult(SatStatus.UNSAT, None, elapsed)
+        self._statistics.record(result)
+        return result
+
+    @property
+    def statistics(self) -> SolverStatistics:
+        return self._statistics
+
+
+def default_backend() -> SolverBackend:
+    """Pick a backend: ``LEAPFROG_SOLVER`` may name an external solver or
+    ``internal``/``internal-dpll``; the default is the internal CDCL solver."""
+    choice = os.environ.get("LEAPFROG_SOLVER", "internal").lower()
+    if choice in ("", "internal", "cdcl"):
+        return InternalBackend()
+    if choice in ("dpll", "internal-dpll"):
+        return InternalBackend(engine="dpll")
+    try:
+        return ExternalBackend(choice)
+    except BackendError:
+        return InternalBackend()

@@ -1,0 +1,178 @@
+"""Bit-blasting FOL(BV) formulas to CNF.
+
+The P4 automaton fragment of the bitvector theory contains no arithmetic —
+terms are built from variables, constants, extraction and concatenation only —
+so every term denotes a fixed-width vector of *bit atoms*, each of which is
+either a boolean constant or a single SAT literal.  Equalities become
+conjunctions of bit-level equivalences and the boolean structure is lowered
+with Tseitin gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..logic import folbv
+from ..logic.folbv import (
+    BAnd,
+    BEq,
+    BFalse,
+    BFormula,
+    BImplies,
+    BNot,
+    BOr,
+    BTrue,
+    BVConcatT,
+    BVConst,
+    BVExtract,
+    BVVar,
+    Term,
+)
+from ..p4a.bitvec import Bits
+from .sat.cnf import Cnf, CnfBuilder
+
+# A bit atom is either a concrete boolean or a SAT literal.
+BitAtom = Union[bool, int]
+
+
+class BitblastError(Exception):
+    """Raised when a formula cannot be bit-blasted."""
+
+
+@dataclass
+class BitblastResult:
+    """The CNF encoding of a FOL(BV) formula.
+
+    ``variable_bits`` maps each FOL(BV) variable to the list of SAT variables
+    encoding its bits (index 0 = first bit).  ``root_literal`` is a literal
+    asserted to be true iff the formula holds.
+    """
+
+    cnf: Cnf
+    variable_bits: Dict[str, List[int]]
+    root_literal: int
+
+    def decode_model(self, model: Dict[int, bool]) -> Dict[str, Bits]:
+        """Translate a SAT model back into bitvector values."""
+        values: Dict[str, Bits] = {}
+        for name, bit_vars in self.variable_bits.items():
+            values[name] = Bits("".join("1" if model.get(var, False) else "0" for var in bit_vars))
+        return values
+
+
+class Bitblaster:
+    """Stateful bit-blaster; reusable across several formulas sharing variables."""
+
+    def __init__(self) -> None:
+        self.builder = CnfBuilder()
+        self._variable_bits: Dict[str, List[int]] = {}
+        self._term_cache: Dict[Term, Tuple[BitAtom, ...]] = {}
+        self._formula_cache: Dict[BFormula, int] = {}
+
+    # -- variables -------------------------------------------------------------
+
+    def variable_bits(self, name: str, width: int) -> List[int]:
+        bits = self._variable_bits.get(name)
+        if bits is None:
+            bits = [self.builder.new_var() for _ in range(width)]
+            self._variable_bits[name] = bits
+        elif len(bits) != width:
+            raise BitblastError(
+                f"variable {name!r} used at widths {len(bits)} and {width}"
+            )
+        return bits
+
+    # -- terms -----------------------------------------------------------------
+
+    def blast_term(self, term: Term) -> Tuple[BitAtom, ...]:
+        cached = self._term_cache.get(term)
+        if cached is not None:
+            return cached
+        if isinstance(term, BVVar):
+            atoms: Tuple[BitAtom, ...] = tuple(self.variable_bits(term.name, term.var_width))
+        elif isinstance(term, BVConst):
+            atoms = tuple(bit == 1 for bit in term.value)
+        elif isinstance(term, BVExtract):
+            inner = self.blast_term(term.term)
+            atoms = inner[term.lo : term.hi + 1]
+        elif isinstance(term, BVConcatT):
+            atoms = self.blast_term(term.left) + self.blast_term(term.right)
+        else:
+            raise BitblastError(f"cannot bit-blast term {term!r}")
+        if len(atoms) != term.width:
+            raise BitblastError(
+                f"term {term} blasted to {len(atoms)} bits, expected {term.width}"
+            )
+        self._term_cache[term] = atoms
+        return atoms
+
+    # -- formulas ----------------------------------------------------------------
+
+    def _atom_literal(self, atom: BitAtom) -> int:
+        if isinstance(atom, bool):
+            return self.builder.constant(atom)
+        return atom
+
+    def _bit_equal(self, a: BitAtom, b: BitAtom) -> int:
+        if isinstance(a, bool) and isinstance(b, bool):
+            return self.builder.constant(a == b)
+        if isinstance(a, bool):
+            return self._atom_literal(b) if a else -self._atom_literal(b)
+        if isinstance(b, bool):
+            return a if b else -a
+        if a == b:
+            return self.builder.constant(True)
+        if a == -b:
+            return self.builder.constant(False)
+        return self.builder.gate_iff(a, b)
+
+    def blast_formula(self, formula: BFormula) -> int:
+        """Return a literal equivalent to ``formula``."""
+        cached = self._formula_cache.get(formula)
+        if cached is not None:
+            return cached
+        if isinstance(formula, BTrue):
+            literal = self.builder.constant(True)
+        elif isinstance(formula, BFalse):
+            literal = self.builder.constant(False)
+        elif isinstance(formula, BEq):
+            left = self.blast_term(formula.left)
+            right = self.blast_term(formula.right)
+            literal = self.builder.gate_and(
+                [self._bit_equal(a, b) for a, b in zip(left, right)]
+            )
+        elif isinstance(formula, BNot):
+            literal = -self.blast_formula(formula.operand)
+        elif isinstance(formula, BAnd):
+            literal = self.builder.gate_and([self.blast_formula(op) for op in formula.operands])
+        elif isinstance(formula, BOr):
+            literal = self.builder.gate_or([self.blast_formula(op) for op in formula.operands])
+        elif isinstance(formula, BImplies):
+            literal = self.builder.gate_implies(
+                self.blast_formula(formula.premise), self.blast_formula(formula.conclusion)
+            )
+        else:
+            raise BitblastError(f"cannot bit-blast formula {formula!r}")
+        self._formula_cache[formula] = literal
+        return literal
+
+    def assert_formula(self, formula: BFormula) -> int:
+        literal = self.blast_formula(formula)
+        self.builder.assert_literal(literal)
+        return literal
+
+    def result(self, root_literal: int) -> BitblastResult:
+        # Also allocate bits for variables that simplification may have removed
+        # from the CNF but that the caller expects in the model.
+        return BitblastResult(self.builder.cnf, dict(self._variable_bits), root_literal)
+
+
+def bitblast(formula: BFormula) -> BitblastResult:
+    """Bit-blast a single formula into a CNF whose satisfiability matches it."""
+    blaster = Bitblaster()
+    # Pre-allocate every free variable so models always mention them.
+    for name, width in folbv.free_variables(formula).items():
+        blaster.variable_bits(name, width)
+    root = blaster.assert_formula(formula)
+    return blaster.result(root)

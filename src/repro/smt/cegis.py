@@ -1,0 +1,179 @@
+"""CEGIS-style solving of exists-forall bitvector queries.
+
+The entailments produced by the equivalence-checking algorithm have the shape
+
+    ∃ configuration, goal variables . (∀ premise variables . premises) ∧ ¬goal
+
+because the symbolic variables inside stored relation conjuncts are implicitly
+universally quantified (Definition 4.3 quantifies ⟦φ⟧L over all valuations).
+The paper discharges such queries with an SMT solver's quantifier support;
+here they are solved with the classic counterexample-guided instantiation
+loop over the internal QF_BV procedure:
+
+1. guess values for the existential block that satisfy the matrix under the
+   instantiations collected so far;
+2. check whether the universal block really holds for that guess;
+3. if not, add the refuting universal assignment as a new instantiation and
+   repeat.
+
+Both sub-queries are quantifier free.  The loop terminates because the
+variable domains are finite, though a round limit is enforced in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..logic import folbv
+from ..logic.folbv import BFormula, BVConst, BVVar, Term
+from ..p4a.bitvec import Bits
+from .bvsolver import InternalBVSolver, SatStatus
+
+
+class CegisError(Exception):
+    """Raised when the CEGIS loop cannot make progress."""
+
+
+# ---------------------------------------------------------------------------
+# Substitution
+# ---------------------------------------------------------------------------
+
+
+def substitute_term(term: Term, values: Mapping[str, Bits]) -> Term:
+    if isinstance(term, BVVar):
+        if term.name in values:
+            return BVConst(values[term.name])
+        return term
+    if isinstance(term, folbv.BVExtract):
+        return folbv.BVExtract(substitute_term(term.term, values), term.lo, term.hi)
+    if isinstance(term, folbv.BVConcatT):
+        return folbv.BVConcatT(
+            substitute_term(term.left, values), substitute_term(term.right, values)
+        )
+    return term
+
+
+def substitute(formula: BFormula, values: Mapping[str, Bits]) -> BFormula:
+    """Replace variables by constant bitvectors throughout ``formula``."""
+    if isinstance(formula, folbv.BEq):
+        return folbv.BEq(
+            substitute_term(formula.left, values), substitute_term(formula.right, values)
+        )
+    if isinstance(formula, folbv.BNot):
+        return folbv.b_not(substitute(formula.operand, values))
+    if isinstance(formula, folbv.BAnd):
+        return folbv.b_and([substitute(op, values) for op in formula.operands])
+    if isinstance(formula, folbv.BOr):
+        return folbv.b_or([substitute(op, values) for op in formula.operands])
+    if isinstance(formula, folbv.BImplies):
+        return folbv.b_implies(
+            substitute(formula.premise, values), substitute(formula.conclusion, values)
+        )
+    if isinstance(formula, (folbv.BTrue, folbv.BFalse)):
+        return formula
+    raise CegisError(f"unknown formula {formula!r}")
+
+
+def rename_formula_variables(formula: BFormula, mapping: Mapping[str, str]) -> BFormula:
+    """Rename variables (keeping widths) according to ``mapping``."""
+    widths = folbv.free_variables(formula)
+    values = {
+        name: BVVar(mapping[name], widths[name]) for name in mapping if name in widths
+    }
+
+    def substitute_var_term(term: Term) -> Term:
+        if isinstance(term, BVVar) and term.name in mapping:
+            return BVVar(mapping[term.name], term.var_width)
+        if isinstance(term, folbv.BVExtract):
+            return folbv.BVExtract(substitute_var_term(term.term), term.lo, term.hi)
+        if isinstance(term, folbv.BVConcatT):
+            return folbv.BVConcatT(
+                substitute_var_term(term.left), substitute_var_term(term.right)
+            )
+        return term
+
+    def walk(f: BFormula) -> BFormula:
+        if isinstance(f, folbv.BEq):
+            return folbv.BEq(substitute_var_term(f.left), substitute_var_term(f.right))
+        if isinstance(f, folbv.BNot):
+            return folbv.b_not(walk(f.operand))
+        if isinstance(f, folbv.BAnd):
+            return folbv.b_and([walk(op) for op in f.operands])
+        if isinstance(f, folbv.BOr):
+            return folbv.b_or([walk(op) for op in f.operands])
+        if isinstance(f, folbv.BImplies):
+            return folbv.b_implies(walk(f.premise), walk(f.conclusion))
+        return f
+
+    return walk(formula)
+
+
+# ---------------------------------------------------------------------------
+# Exists-forall solving
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExistsForallResult:
+    """Outcome of an ∃∀ query.
+
+    ``holds`` is True when a witness for the existential block exists such that
+    the matrix holds for every assignment of the universal block; ``witness``
+    then carries the existential values.  ``rounds`` counts CEGIS iterations.
+    """
+
+    holds: Optional[bool]
+    witness: Optional[Dict[str, Bits]]
+    rounds: int
+
+
+def solve_exists_forall(
+    matrix: BFormula,
+    universal_vars: Mapping[str, int],
+    solver: Optional[InternalBVSolver] = None,
+    max_rounds: int = 64,
+) -> ExistsForallResult:
+    """Decide ``∃ E ∀ U . matrix`` where ``U`` is ``universal_vars``.
+
+    Every free variable of ``matrix`` not listed in ``universal_vars`` belongs
+    to the existential block.
+    """
+    solver = solver or InternalBVSolver()
+    all_vars = folbv.free_variables(matrix)
+    universal = {name: width for name, width in universal_vars.items() if name in all_vars}
+    existential = {name: width for name, width in all_vars.items() if name not in universal}
+
+    if not universal:
+        result = solver.check_sat(matrix)
+        if result.status is SatStatus.UNKNOWN:
+            return ExistsForallResult(None, None, 1)
+        return ExistsForallResult(result.is_sat, result.model, 1)
+
+    instantiations: List[Dict[str, Bits]] = []
+    for round_index in range(1, max_rounds + 1):
+        if instantiations:
+            candidate_formula = folbv.b_and(
+                [substitute(matrix, instantiation) for instantiation in instantiations]
+            )
+        else:
+            candidate_formula = folbv.B_TRUE
+        candidate = solver.check_sat(candidate_formula)
+        if candidate.status is SatStatus.UNKNOWN:
+            return ExistsForallResult(None, None, round_index)
+        if candidate.is_unsat:
+            return ExistsForallResult(False, None, round_index)
+        witness = {name: candidate.model.get(name, Bits.zeros(width))
+                   for name, width in existential.items()} if candidate.model else {
+                       name: Bits.zeros(width) for name, width in existential.items()}
+        # Verify the universal block for this witness.
+        check = solver.check_sat(folbv.b_not(substitute(matrix, witness)))
+        if check.status is SatStatus.UNKNOWN:
+            return ExistsForallResult(None, None, round_index)
+        if check.is_unsat:
+            return ExistsForallResult(True, witness, round_index)
+        refutation = {
+            name: check.model.get(name, Bits.zeros(width)) for name, width in universal.items()
+        }
+        instantiations.append(refutation)
+    return ExistsForallResult(None, None, max_rounds)

@@ -1,0 +1,35 @@
+"""Brute-force SAT solving by exhaustive enumeration.
+
+Usable only for very small formulas (≈20 variables); serves as the ground
+truth in property-based tests of the DPLL and CDCL solvers.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Optional, Sequence, Tuple
+
+from .cnf import Cnf
+
+
+def brute_force_solve(cnf: Cnf, limit: int = 22) -> Tuple[bool, Optional[Dict[int, bool]]]:
+    """Return ``(satisfiable, model)`` by enumerating every assignment."""
+    if cnf.num_vars > limit:
+        raise ValueError(f"brute force limited to {limit} variables, got {cnf.num_vars}")
+    variables = list(range(1, cnf.num_vars + 1))
+    for values in product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(_clause_satisfied(clause, assignment) for clause in cnf.clauses):
+            return True, assignment
+    return False, None
+
+
+def _clause_satisfied(clause: Sequence[int], assignment: Dict[int, bool]) -> bool:
+    return any(
+        assignment[abs(literal)] == (literal > 0) for literal in clause
+    ) if clause else False
+
+
+def check_model(cnf: Cnf, model: Dict[int, bool]) -> bool:
+    """Whether ``model`` satisfies every clause of ``cnf``."""
+    return all(_clause_satisfied(clause, model) for clause in cnf.clauses)

@@ -1,0 +1,137 @@
+"""CNF representation and Tseitin gate encoding.
+
+Literals are non-zero integers in the DIMACS convention: variable ``v`` is the
+positive literal ``v`` and its negation is ``-v``.  The :class:`CnfBuilder`
+allocates variables, collects clauses and offers Tseitin-style gate encoders
+(and/or/not/xor/iff/implies) that return a literal equivalent to the gate's
+output, which is how the bit-blaster lowers boolean structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: a number of variables and a list of clauses."""
+
+    num_vars: int = 0
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        for literal in clause:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise ValueError(f"invalid literal {literal} (num_vars={self.num_vars})")
+        self.clauses.append(clause)
+
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+
+class CnfBuilder:
+    """Incrementally builds a CNF, with Tseitin encodings for common gates."""
+
+    def __init__(self) -> None:
+        self.cnf = Cnf()
+        self._true_literal: Optional[int] = None
+        # Cache gate outputs so repeated subterms share encodings.
+        self._and_cache: Dict[Tuple[int, ...], int] = {}
+        self._or_cache: Dict[Tuple[int, ...], int] = {}
+        self._iff_cache: Dict[Tuple[int, int], int] = {}
+
+    # -- variables and clauses ------------------------------------------------
+
+    def new_var(self) -> int:
+        self.cnf.num_vars += 1
+        return self.cnf.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        self.cnf.add_clause(literals)
+
+    @property
+    def num_vars(self) -> int:
+        return self.cnf.num_vars
+
+    @property
+    def clauses(self) -> List[Tuple[int, ...]]:
+        return self.cnf.clauses
+
+    # -- constants -------------------------------------------------------------
+
+    def true_literal(self) -> int:
+        """A literal constrained to be true (allocated lazily)."""
+        if self._true_literal is None:
+            self._true_literal = self.new_var()
+            self.add_clause([self._true_literal])
+        return self._true_literal
+
+    def false_literal(self) -> int:
+        return -self.true_literal()
+
+    def constant(self, value: bool) -> int:
+        return self.true_literal() if value else self.false_literal()
+
+    # -- gates -----------------------------------------------------------------
+
+    def gate_not(self, literal: int) -> int:
+        return -literal
+
+    def gate_and(self, literals: Sequence[int]) -> int:
+        literals = tuple(sorted(set(literals)))
+        if not literals:
+            return self.true_literal()
+        if len(literals) == 1:
+            return literals[0]
+        cached = self._and_cache.get(literals)
+        if cached is not None:
+            return cached
+        output = self.new_var()
+        for literal in literals:
+            self.add_clause([-output, literal])
+        self.add_clause([output] + [-l for l in literals])
+        self._and_cache[literals] = output
+        return output
+
+    def gate_or(self, literals: Sequence[int]) -> int:
+        literals = tuple(sorted(set(literals)))
+        if not literals:
+            return self.false_literal()
+        if len(literals) == 1:
+            return literals[0]
+        cached = self._or_cache.get(literals)
+        if cached is not None:
+            return cached
+        output = self.new_var()
+        for literal in literals:
+            self.add_clause([output, -literal])
+        self.add_clause([-output] + list(literals))
+        self._or_cache[literals] = output
+        return output
+
+    def gate_implies(self, premise: int, conclusion: int) -> int:
+        return self.gate_or([-premise, conclusion])
+
+    def gate_iff(self, a: int, b: int) -> int:
+        key = (a, b) if a <= b else (b, a)
+        cached = self._iff_cache.get(key)
+        if cached is not None:
+            return cached
+        output = self.new_var()
+        self.add_clause([-output, -a, b])
+        self.add_clause([-output, a, -b])
+        self.add_clause([output, a, b])
+        self.add_clause([output, -a, -b])
+        self._iff_cache[key] = output
+        return output
+
+    def gate_xor(self, a: int, b: int) -> int:
+        return self.gate_not(self.gate_iff(a, b))
+
+    def assert_literal(self, literal: int) -> None:
+        self.add_clause([literal])

@@ -1,0 +1,89 @@
+"""A plain DPLL SAT solver.
+
+Recursive Davis–Putnam–Logemann–Loveland with unit propagation and pure
+literal elimination.  It is not meant to be fast: it acts as an independent
+reference implementation against which the CDCL solver is differentially
+tested, and as a fallback for tiny queries.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .cnf import Cnf
+
+
+def dpll_solve(cnf: Cnf) -> Tuple[bool, Optional[Dict[int, bool]]]:
+    """Return ``(satisfiable, model)``.  The model assigns every variable."""
+    clauses = [frozenset(clause) for clause in cnf.clauses]
+    assignment: Dict[int, bool] = {}
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10 * cnf.num_vars + 1000))
+    try:
+        result = _dpll(clauses, assignment)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    if result is None:
+        return False, None
+    for variable in range(1, cnf.num_vars + 1):
+        result.setdefault(variable, False)
+    return True, result
+
+
+def _simplify(clauses: List[FrozenSet[int]], literal: int) -> Optional[List[FrozenSet[int]]]:
+    """Assign ``literal`` true: drop satisfied clauses, shrink the others."""
+    simplified: List[FrozenSet[int]] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            reduced = clause - {-literal}
+            if not reduced:
+                return None
+            simplified.append(reduced)
+        else:
+            simplified.append(clause)
+    return simplified
+
+
+def _dpll(
+    clauses: List[FrozenSet[int]], assignment: Dict[int, bool]
+) -> Optional[Dict[int, bool]]:
+    # Unit propagation.
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            if len(clause) == 1:
+                literal = next(iter(clause))
+                assignment[abs(literal)] = literal > 0
+                clauses = _simplify(clauses, literal)
+                if clauses is None:
+                    return None
+                changed = True
+                break
+    if not clauses:
+        return dict(assignment)
+    # Pure literal elimination.
+    literals = {literal for clause in clauses for literal in clause}
+    pure = [literal for literal in literals if -literal not in literals]
+    if pure:
+        for literal in pure:
+            assignment[abs(literal)] = literal > 0
+            clauses = _simplify(clauses, literal)
+            if clauses is None:
+                return None
+        return _dpll(clauses, assignment)
+    # Branch on the first literal of the first clause.
+    literal = next(iter(clauses[0]))
+    for choice in (literal, -literal):
+        branch_clauses = _simplify(clauses, choice)
+        if branch_clauses is None:
+            continue
+        branch_assignment = dict(assignment)
+        branch_assignment[abs(choice)] = choice > 0
+        result = _dpll(branch_clauses, branch_assignment)
+        if result is not None:
+            return result
+    return None

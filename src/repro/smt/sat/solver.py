@@ -1,0 +1,337 @@
+"""A CDCL (conflict-driven clause learning) SAT solver.
+
+This is the workhorse behind the internal bitvector decision procedure.  The
+implementation follows the standard MiniSat-style architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-like variable activities with exponential decay,
+* Luby-sequence restarts,
+* phase saving.
+
+The solver works on the :class:`~repro.smt.sat.cnf.Cnf` representation
+produced by the bit-blaster.  It favours clarity over raw speed, but is fast
+enough to discharge the verification conditions arising from the case studies
+in this repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cnf import Cnf
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+@dataclass
+class SolverStats:
+    """Counters reported by :meth:`CdclSolver.solve`."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+
+
+class CdclSolver:
+    """A CDCL solver over a fixed CNF instance."""
+
+    def __init__(self, cnf: Cnf) -> None:
+        self._num_vars = cnf.num_vars
+        self._clauses: List[List[int]] = []
+        # values[v] ∈ {_TRUE, _FALSE, _UNASSIGNED}, indexed by variable.
+        self._values = [_UNASSIGNED] * (self._num_vars + 1)
+        self._levels = [0] * (self._num_vars + 1)
+        self._reasons: List[Optional[int]] = [None] * (self._num_vars + 1)
+        self._activity = [0.0] * (self._num_vars + 1)
+        self._phase = [False] * (self._num_vars + 1)
+        self._trail: List[int] = []
+        self._trail_limits: List[int] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._activity_increment = 1.0
+        self._activity_decay = 0.95
+        self.stats = SolverStats()
+        self._ok = True
+        for clause in cnf.clauses:
+            self._add_clause(list(clause), learned=False)
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+
+    def _add_clause(self, literals: List[int], learned: bool) -> Optional[int]:
+        if not self._ok:
+            return None
+        if not learned:
+            # Remove duplicates; drop tautologies.
+            unique = []
+            seen = set()
+            for literal in literals:
+                if -literal in seen:
+                    return None
+                if literal not in seen:
+                    seen.add(literal)
+                    unique.append(literal)
+            literals = unique
+        if not literals:
+            self._ok = False
+            return None
+        if len(literals) == 1:
+            if not self._enqueue(literals[0], None):
+                self._ok = False
+            return None
+        index = len(self._clauses)
+        self._clauses.append(literals)
+        self._watch(literals[0], index)
+        self._watch(literals[1], index)
+        if learned:
+            self.stats.learned_clauses += 1
+        return index
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self._watches.setdefault(-literal, []).append(clause_index)
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        value = self._values[abs(literal)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: Optional[int]) -> bool:
+        current = self._value(literal)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        variable = abs(literal)
+        self._values[variable] = _TRUE if literal > 0 else _FALSE
+        self._levels[variable] = self._decision_level()
+        self._reasons[variable] = reason
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> Optional[int]:
+        """Exhaustive unit propagation; returns a conflicting clause index or None."""
+        head = len(self._trail) - 1 if self._trail else 0
+        queue_position = getattr(self, "_queue_position", 0)
+        while queue_position < len(self._trail):
+            literal = self._trail[queue_position]
+            queue_position += 1
+            self.stats.propagations += 1
+            watch_list = self._watches.get(literal, [])
+            new_watch_list = []
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self._clauses[clause_index]
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == -literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == _TRUE:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) != _FALSE:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self._watch(clause[1], clause_index)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watch_list.append(clause_index)
+                if self._value(first) == _FALSE:
+                    new_watch_list.extend(watch_list[i:])
+                    self._watches[literal] = new_watch_list
+                    self._queue_position = len(self._trail)
+                    return clause_index
+                self._enqueue(first, clause_index)
+            self._watches[literal] = new_watch_list
+        self._queue_position = queue_position
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _bump(self, variable: int) -> None:
+        self._activity[variable] += self._activity_increment
+        if self._activity[variable] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._activity_increment *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._activity_increment /= self._activity_decay
+
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+        """First-UIP analysis.  Returns the learned clause and backjump level."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal = 0
+        clause = self._clauses[conflict_index]
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for clause_literal in clause:
+                if literal != 0 and clause_literal == literal:
+                    continue
+                variable = abs(clause_literal)
+                if seen[variable] or self._levels[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump(variable)
+                if self._levels[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            # Find the next literal on the trail to resolve on.
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            resolve_literal = self._trail[trail_index]
+            variable = abs(resolve_literal)
+            seen[variable] = False
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                learned[0] = -resolve_literal
+                break
+            reason = self._reasons[variable]
+            clause = self._clauses[reason]
+            literal = resolve_literal
+
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(self._levels[abs(l)] for l in learned[1:])
+        return learned, backjump
+
+    def _backjump(self, level: int) -> None:
+        while self._decision_level() > level:
+            limit = self._trail_limits.pop()
+            while len(self._trail) > limit:
+                literal = self._trail.pop()
+                variable = abs(literal)
+                self._values[variable] = _UNASSIGNED
+                self._reasons[variable] = None
+        self._queue_position = min(getattr(self, "_queue_position", 0), len(self._trail))
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _decide(self) -> Optional[int]:
+        best_variable = None
+        best_activity = -1.0
+        for variable in range(1, self._num_vars + 1):
+            if self._values[variable] == _UNASSIGNED and self._activity[variable] > best_activity:
+                best_activity = self._activity[variable]
+                best_variable = variable
+        if best_variable is None:
+            return None
+        return best_variable if self._phase[best_variable] else -best_variable
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _luby(index: int) -> int:
+        """The Luby restart sequence 1 1 2 1 1 2 4 ... (``index`` starts at 1)."""
+        if index < 1:
+            index = 1
+        while True:
+            # Smallest k with index <= 2^k - 1.
+            k = 1
+            while (1 << k) - 1 < index:
+                k += 1
+            if index == (1 << k) - 1:
+                return 1 << (k - 1)
+            index -= (1 << (k - 1)) - 1
+
+    def solve(self, max_conflicts: Optional[int] = None) -> Tuple[Optional[bool], Optional[Dict[int, bool]]]:
+        """Solve the instance.
+
+        Returns ``(True, model)``, ``(False, None)`` or ``(None, None)`` when
+        ``max_conflicts`` is exhausted.
+        """
+        if not self._ok:
+            return False, None
+        self._queue_position = 0
+        conflict = self._propagate()
+        if conflict is not None:
+            return False, None
+        restart_count = 1
+        restart_limit = 32 * self._luby(restart_count)
+        conflicts_since_restart = 0
+        total_conflicts = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                total_conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    return False, None
+                learned, backjump_level = self._analyze(conflict)
+                self._backjump(backjump_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return False, None
+                else:
+                    index = self._add_clause(learned, learned=True)
+                    if index is not None:
+                        self._enqueue(learned[0], index)
+                self._decay_activities()
+                if max_conflicts is not None and total_conflicts >= max_conflicts:
+                    return None, None
+                if conflicts_since_restart >= restart_limit:
+                    restart_count += 1
+                    self.stats.restarts += 1
+                    restart_limit = 32 * self._luby(restart_count)
+                    conflicts_since_restart = 0
+                    self._backjump(0)
+                continue
+            decision = self._decide()
+            if decision is None:
+                model = {
+                    variable: self._values[variable] == _TRUE
+                    for variable in range(1, self._num_vars + 1)
+                }
+                return True, model
+            self.stats.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self._decision_level()
+            )
+            self._enqueue(decision, None)
+
+
+def cdcl_solve(cnf: Cnf, max_conflicts: Optional[int] = None) -> Tuple[Optional[bool], Optional[Dict[int, bool]]]:
+    """Convenience wrapper: build a solver and run it."""
+    return CdclSolver(cnf).solve(max_conflicts=max_conflicts)

@@ -1,0 +1,159 @@
+"""Tests for templates, leap sizes and the reachability abstraction."""
+
+import pytest
+
+from repro.core.reachability import (
+    ReachabilityAnalysis,
+    full_template_product,
+    successor_pairs_bit,
+    successor_pairs_leap,
+    successor_templates_bit,
+    successor_templates_leap,
+)
+from repro.core.templates import (
+    ACCEPT_TEMPLATE,
+    REJECT_TEMPLATE,
+    GuardedFormula,
+    Template,
+    TemplatePair,
+    TemplateError,
+    all_templates,
+    check_template,
+    guard,
+    leap_size,
+    template_of,
+)
+from repro.p4a.semantics import initial_configuration, multi_step, step
+from repro.p4a.bitvec import Bits
+from repro.protocols import mpls, tiny
+
+REFERENCE = mpls.scaled_reference(4)     # 4-bit labels, 8-bit UDP
+VECTORIZED = mpls.scaled_vectorized(4)
+
+
+class TestTemplates:
+    def test_template_of_configuration(self):
+        config = initial_configuration(REFERENCE, "q1")
+        assert template_of(config) == Template("q1", 0)
+        stepped = step(REFERENCE, config, 1)
+        assert template_of(stepped) == Template("q1", 1)
+
+    def test_check_template_bounds(self):
+        check_template(REFERENCE, Template("q1", 3))
+        with pytest.raises(TemplateError):
+            check_template(REFERENCE, Template("q1", 4))
+        with pytest.raises(TemplateError):
+            check_template(REFERENCE, Template("accept", 1))
+
+    def test_all_templates_count(self):
+        # q1 has 4 positions, q2 has 8, plus accept and reject.
+        assert len(all_templates(REFERENCE)) == 4 + 8 + 2
+
+    def test_accept_mismatch(self):
+        assert TemplatePair(ACCEPT_TEMPLATE, Template("q1", 0)).accept_mismatch()
+        assert not TemplatePair(ACCEPT_TEMPLATE, ACCEPT_TEMPLATE).accept_mismatch()
+        assert TemplatePair(ACCEPT_TEMPLATE, ACCEPT_TEMPLATE).both_accepting()
+
+    def test_guard_helper(self):
+        formula = guard(Template("q1", 0), Template("q3", 0))
+        assert isinstance(formula, GuardedFormula)
+        assert formula.left.state == "q1" and formula.right.state == "q3"
+
+
+class TestLeapSize:
+    def test_both_final(self):
+        pair = TemplatePair(ACCEPT_TEMPLATE, REJECT_TEMPLATE)
+        assert leap_size(REFERENCE, VECTORIZED, pair) == 1
+
+    def test_one_final(self):
+        pair = TemplatePair(Template("q1", 1), ACCEPT_TEMPLATE)
+        assert leap_size(REFERENCE, VECTORIZED, pair) == 3
+
+    def test_min_of_remainders(self):
+        pair = TemplatePair(Template("q2", 2), Template("q3", 0))
+        # q2 needs 8-2 = 6 more bits, q3 needs 8; the leap is 6.
+        assert leap_size(REFERENCE, VECTORIZED, pair) == 6
+
+    def test_leap_matches_configuration_dynamics(self):
+        """After a leap, both sides land exactly on the predicted templates."""
+        pair = TemplatePair(Template("q1", 0), Template("q3", 0))
+        leap = leap_size(REFERENCE, VECTORIZED, pair)
+        left = initial_configuration(REFERENCE, "q1")
+        right = initial_configuration(VECTORIZED, "q3")
+        packet = Bits("1" * leap)
+        left_after = multi_step(REFERENCE, left, packet)
+        right_after = multi_step(VECTORIZED, right, packet)
+        successors = successor_pairs_leap(REFERENCE, VECTORIZED, pair)
+        assert TemplatePair(template_of(left_after), template_of(right_after)) in successors
+
+
+class TestSuccessors:
+    def test_bit_successors_buffering(self):
+        assert successor_templates_bit(REFERENCE, Template("q2", 0)) == (Template("q2", 1),)
+
+    def test_bit_successors_transition(self):
+        targets = successor_templates_bit(REFERENCE, Template("q1", 3))
+        assert set(targets) == {Template("q1", 0), Template("q2", 0), REJECT_TEMPLATE}
+
+    def test_final_successor(self):
+        assert successor_templates_bit(REFERENCE, ACCEPT_TEMPLATE) == (REJECT_TEMPLATE,)
+        assert successor_templates_leap(REFERENCE, ACCEPT_TEMPLATE, 5) == (REJECT_TEMPLATE,)
+
+    def test_leap_overshoot_rejected(self):
+        with pytest.raises(ValueError):
+            successor_templates_leap(REFERENCE, Template("q1", 0), 5)
+
+    def test_pair_successors_product(self):
+        pair = TemplatePair(Template("q1", 3), Template("q3", 7))
+        bit_successors = successor_pairs_bit(REFERENCE, VECTORIZED, pair)
+        assert all(isinstance(p, TemplatePair) for p in bit_successors)
+        assert len(bit_successors) == 3 * 4  # q1 targets x q3 targets (incl. rejects)
+
+
+class TestReachability:
+    def test_reachable_pairs_contain_start(self):
+        start = TemplatePair(Template("q1", 0), Template("q3", 0))
+        reach = ReachabilityAnalysis(REFERENCE, VECTORIZED, [start])
+        assert reach.is_reachable(start)
+        assert len(reach) > 1
+
+    def test_leaps_reach_fewer_pairs_than_bit_steps(self):
+        start = TemplatePair(Template("q1", 0), Template("q3", 0))
+        with_leaps = ReachabilityAnalysis(REFERENCE, VECTORIZED, [start], use_leaps=True)
+        without = ReachabilityAnalysis(REFERENCE, VECTORIZED, [start], use_leaps=False)
+        assert len(with_leaps) < len(without)
+
+    def test_predecessors_are_inverse_of_successors(self):
+        start = TemplatePair(Template("q1", 0), Template("q3", 0))
+        reach = ReachabilityAnalysis(REFERENCE, VECTORIZED, [start])
+        for pair in reach.reachable:
+            for successor in reach.successors(pair):
+                assert pair in reach.predecessors(successor)
+
+    def test_accept_mismatch_pairs_found(self):
+        start = TemplatePair(Template("q1", 0), Template("q3", 0))
+        reach = ReachabilityAnalysis(REFERENCE, VECTORIZED, [start])
+        mismatches = reach.accept_mismatch_pairs()
+        assert mismatches
+        assert all(pair.accept_mismatch() for pair in mismatches)
+
+    def test_reachability_soundness_against_simulation(self):
+        """Every concretely reached template pair is predicted reachable."""
+        import random
+
+        rng = random.Random(3)
+        start = TemplatePair(Template("q1", 0), Template("q3", 0))
+        reach = ReachabilityAnalysis(REFERENCE, VECTORIZED, [start], use_leaps=False)
+        for _ in range(30):
+            packet = Bits("".join(rng.choice("01") for _ in range(rng.randint(0, 24))))
+            left = initial_configuration(REFERENCE, "q1")
+            right = initial_configuration(VECTORIZED, "q3")
+            for bit in packet:
+                left = step(REFERENCE, left, bit)
+                right = step(VECTORIZED, right, bit)
+                pair = TemplatePair(template_of(left), template_of(right))
+                assert reach.is_reachable(pair)
+
+    def test_full_product_covers_everything(self):
+        product = full_template_product(REFERENCE, VECTORIZED)
+        assert len(product) == len(all_templates(REFERENCE)) * len(all_templates(VECTORIZED))

@@ -1,0 +1,75 @@
+"""Tests for the reporting metrics and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.p4a.pretty import pretty
+from repro.protocols import mpls, tiny
+from repro.reporting.metrics import CaseMetrics, attach_run_statistics, structural_metrics
+from repro.reporting.table import render_markdown, render_text
+from repro.core.equivalence import check_language_equivalence
+
+
+class TestMetrics:
+    def test_structural_metrics_match_table2_columns(self):
+        metrics = structural_metrics(
+            "Speculative loop", mpls.reference_parser(), mpls.vectorized_parser()
+        )
+        assert metrics.states == 5
+        assert metrics.branched_bits == 1 + 2
+        assert metrics.total_bits == (32 + 64) + (32 + 32 + 32 + 64)
+
+    def test_attach_run_statistics(self):
+        result = check_language_equivalence(
+            tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse"
+        )
+        metrics = structural_metrics("tiny", tiny.incremental_bits(), tiny.big_bits())
+        attach_run_statistics(metrics, result.statistics, result.verdict)
+        assert metrics.verdict is True
+        assert metrics.runtime_seconds >= 0
+        assert "runtime_seconds" in metrics.as_dict()
+
+    def test_render_handles_unknown_verdict(self):
+        rows = [CaseMetrics("pending", 2, 1, 4)]
+        assert "-" in render_text(rows)
+        assert "| pending |" in render_markdown(rows)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "Speculative loop" in output
+
+    def test_check_command_equivalent(self, tmp_path, capsys):
+        left = tmp_path / "left.p4a"
+        right = tmp_path / "right.p4a"
+        left.write_text(pretty(tiny.incremental_bits_checked()))
+        right.write_text(pretty(tiny.big_bits_checked()))
+        code = main([
+            "check", str(left), str(right), "--left-start", "Start", "--right-start", "Parse",
+        ])
+        assert code == 0
+        assert "PROVED" in capsys.readouterr().out
+
+    def test_check_command_refuted(self, tmp_path, capsys):
+        left = tmp_path / "left.p4a"
+        right = tmp_path / "right.p4a"
+        left.write_text(pretty(tiny.incremental_bits()))
+        right.write_text(pretty(tiny.big_bits_wrong_length()))
+        code = main([
+            "check", str(left), str(right), "--left-start", "Start", "--right-start", "Parse",
+        ])
+        assert code == 1
+        assert "REFUTED" in capsys.readouterr().out
+
+    def test_table_command_subset(self, capsys):
+        code = main(["table", "--case", "Speculative loop", "--markdown"])
+        assert code == 0
+        assert "Speculative loop" in capsys.readouterr().out
+
+    def test_dump_scenario(self, capsys):
+        code = main(["dump-scenario", "mini_edge", "--hardware"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ethernet" in output and "Match:" in output

@@ -1,0 +1,165 @@
+"""Tests for the lowering chain ConfRel → FOL(Conf) → FOL(BV) and SMT-LIB printing."""
+
+import pytest
+
+from repro.logic import folbv, folconf
+from repro.logic.compile import (
+    CompileError,
+    compile_entailment,
+    compile_validity,
+    lower_formula,
+    variable_name,
+)
+from repro.logic.confrel import (
+    LEFT,
+    RIGHT,
+    TRUE,
+    CBuf,
+    CConcat,
+    CHdr,
+    CLit,
+    CSlice,
+    CVar,
+    FEq,
+    FImpl,
+    FNot,
+    FOr,
+)
+from repro.logic.folconf import buffer_variable_name, store_variable_name
+from repro.logic.smtlib import (
+    parse_check_sat_result,
+    parse_model_values,
+    print_formula,
+    print_term,
+    sanitize_symbol,
+    to_smtlib,
+)
+from repro.p4a.bitvec import Bits
+
+H = CHdr(LEFT, "h", 4)
+G = CHdr(RIGHT, "g", 4)
+BUF = CBuf(LEFT, 2)
+X = CVar("x", 2)
+
+
+class TestLowering:
+    def test_header_becomes_store_variable(self):
+        lowered = lower_formula(FEq(H, G))
+        variables = folbv.free_variables(lowered)
+        assert store_variable_name(LEFT, "h") in variables
+        assert store_variable_name(RIGHT, "g") in variables
+
+    def test_buffer_and_variable_naming(self):
+        lowered = lower_formula(FEq(CConcat(BUF, X), CLit(Bits("0110"))))
+        variables = folbv.free_variables(lowered)
+        assert variables[buffer_variable_name(LEFT)] == 2
+        assert variables[variable_name("x")] == 2
+
+    def test_no_store_terms_remain(self):
+        lowered = lower_formula(FImpl(FEq(H, G), FEq(BUF, X)))
+        assert not folconf.contains_store_terms(lowered)
+
+    def test_zero_width_equality_is_true(self):
+        lowered = lower_formula(FEq(CLit(Bits("")), CLit(Bits(""))), simplify=False)
+        assert lowered == folbv.B_TRUE
+
+    def test_trivial_formula_lowers_to_true(self):
+        assert lower_formula(FEq(H, H)) == folbv.B_TRUE
+
+    def test_lowering_preserves_semantics_on_samples(self):
+        formula = FOr((FEq(CSlice(H, 0, 1), CLit(Bits("11"))), FEq(BUF, X)))
+        lowered = lower_formula(formula)
+        assignment = {
+            store_variable_name(LEFT, "h"): Bits("1100"),
+            buffer_variable_name(LEFT): Bits("01"),
+            variable_name("x"): Bits("01"),
+        }
+        assert folbv.eval_formula(lowered, assignment) is True
+        assignment[store_variable_name(LEFT, "h")] = Bits("0000")
+        assignment[variable_name("x")] = Bits("10")
+        assert folbv.eval_formula(lowered, assignment) is False
+
+    def test_compile_entailment_builds_negated_query(self):
+        query = compile_entailment([FEq(H, G)], FEq(H, G))
+        # premises ∧ ¬goal for identical formulas is unsatisfiable; evaluating
+        # under any assignment must give False.
+        assignment = {
+            store_variable_name(LEFT, "h"): Bits("1100"),
+            store_variable_name(RIGHT, "g"): Bits("1100"),
+        }
+        assert folbv.eval_formula(query.formula, assignment) is False
+        assert query.size >= 0
+
+    def test_compile_validity(self):
+        query = compile_validity(TRUE)
+        assert query.formula == folbv.B_FALSE
+
+
+class TestFolBV:
+    def test_width_checks(self):
+        with pytest.raises(folbv.FolBVError):
+            folbv.BEq(folbv.BVVar("a", 2), folbv.BVVar("b", 3))
+        with pytest.raises(folbv.FolBVError):
+            folbv.BVExtract(folbv.BVVar("a", 2), 1, 4)
+
+    def test_smart_connectives(self):
+        a = folbv.BEq(folbv.BVVar("a", 1), folbv.BVConst(Bits("1")))
+        assert folbv.b_and([a, folbv.B_TRUE]) == a
+        assert folbv.b_and([a, folbv.B_FALSE]) == folbv.B_FALSE
+        assert folbv.b_or([a, folbv.B_TRUE]) == folbv.B_TRUE
+        assert folbv.b_not(folbv.b_not(a)) == a
+        assert folbv.b_implies(folbv.B_TRUE, a) == a
+        assert folbv.b_implies(a, folbv.B_FALSE) == folbv.BNot(a)
+
+    def test_eval_term(self):
+        term = folbv.BVConcatT(folbv.BVVar("a", 2), folbv.BVExtract(folbv.BVVar("b", 4), 1, 2))
+        value = folbv.eval_term(term, {"a": Bits("10"), "b": Bits("0110")})
+        assert value == Bits("1011")
+
+    def test_free_variables_width_conflict(self):
+        formula = folbv.BAnd(
+            (
+                folbv.BEq(folbv.BVVar("a", 2), folbv.BVConst(Bits("10"))),
+                folbv.BEq(folbv.BVVar("a", 3), folbv.BVConst(Bits("100"))),
+            )
+        )
+        with pytest.raises(folbv.FolBVError):
+            folbv.free_variables(formula)
+
+
+class TestSmtLib:
+    def test_symbol_sanitisation(self):
+        assert sanitize_symbol("plain_name") == "plain_name"
+        assert sanitize_symbol("weird name") == "|weird name|"
+
+    def test_extract_index_flip(self):
+        # Our bit 0 is the most significant bit; SMT-LIB extract counts from
+        # the least significant end.
+        term = folbv.BVExtract(folbv.BVVar("v", 8), 0, 3)
+        assert print_term(term) == "((_ extract 7 4) v)"
+
+    def test_constant_printing(self):
+        assert print_term(folbv.BVConst(Bits("1010"))) == "#b1010"
+
+    def test_formula_printing(self):
+        formula = folbv.BImplies(
+            folbv.BEq(folbv.BVVar("a", 2), folbv.BVConst(Bits("10"))), folbv.B_FALSE
+        )
+        assert print_formula(formula) == "(=> (= a #b10) false)"
+
+    def test_script_structure(self):
+        lowered = lower_formula(FEq(H, G))
+        script = to_smtlib(lowered, comments=["unit test"])
+        assert script.startswith("; unit test\n(set-logic QF_BV)")
+        assert "(declare-const hdr_L_h (_ BitVec 4))" in script
+        assert "(check-sat)" in script and "(exit)" in script
+
+    def test_parse_check_sat(self):
+        assert parse_check_sat_result("sat\n((x #b1))") is True
+        assert parse_check_sat_result("unsat") is False
+        assert parse_check_sat_result("unknown") is None
+
+    def test_parse_model_values(self):
+        output = "sat\n((x #b1010) (y #x0f))"
+        model = parse_model_values(output, {"x": 4, "y": 8})
+        assert model == {"x": Bits("1010"), "y": Bits("00001111")}

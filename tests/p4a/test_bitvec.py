@@ -1,0 +1,124 @@
+"""Tests for the immutable bitvector type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.p4a.bitvec import EMPTY, Bits, bits
+
+bitstrings = st.text(alphabet="01", max_size=64)
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert Bits("0101").to_bitstring() == "0101"
+
+    def test_from_iterable(self):
+        assert Bits([1, 0, 1]).to_bitstring() == "101"
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(ValueError):
+            Bits("012")
+
+    def test_rejects_bad_bit_values(self):
+        with pytest.raises(ValueError):
+            Bits([2])
+
+    def test_zeros_and_ones(self):
+        assert Bits.zeros(3).to_bitstring() == "000"
+        assert Bits.ones(3).to_bitstring() == "111"
+
+    def test_from_int_msb_first(self):
+        assert Bits.from_int(5, 4).to_bitstring() == "0101"
+
+    def test_from_int_zero_width(self):
+        assert Bits.from_int(0, 0) == EMPTY
+
+    def test_from_int_overflow(self):
+        with pytest.raises(ValueError):
+            Bits.from_int(16, 4)
+
+    def test_from_int_negative(self):
+        with pytest.raises(ValueError):
+            Bits.from_int(-1, 4)
+
+    def test_from_bytes(self):
+        assert Bits.from_bytes(b"\xff\x00").to_bitstring() == "1111111100000000"
+
+    def test_bits_helper_int_requires_width(self):
+        with pytest.raises(ValueError):
+            bits(5)
+
+    def test_bits_helper(self):
+        assert bits("10") == Bits("10")
+        assert bits(2, 3) == Bits("010")
+        assert bits(Bits("1")) == Bits("1")
+
+
+class TestOperations:
+    def test_concat(self):
+        assert Bits("10").concat(Bits("01")) == Bits("1001")
+        assert (Bits("1") + Bits("0")).to_bitstring() == "10"
+
+    def test_round_trip_int(self):
+        assert Bits.from_int(Bits("1011").to_int(), 4) == Bits("1011")
+
+    def test_slice_inclusive(self):
+        assert Bits("1010").slice(1, 2) == Bits("01")
+
+    def test_slice_clamps_to_width(self):
+        # The paper's slice clamps both indices to |w| - 1.
+        assert Bits("101").slice(1, 10) == Bits("01")
+        assert Bits("101").slice(10, 20) == Bits("1")
+
+    def test_slice_empty_input(self):
+        assert EMPTY.slice(0, 5) == EMPTY
+
+    def test_slice_reversed_bounds(self):
+        assert Bits("101").slice(2, 1) == EMPTY
+
+    def test_take_drop(self):
+        assert Bits("10110").take(2) == Bits("10")
+        assert Bits("10110").drop(2) == Bits("110")
+
+    def test_bit_and_getitem(self):
+        value = Bits("10")
+        assert value.bit(0) == 1
+        assert value[1] == 0
+        assert value[0:1] == Bits("1")
+
+    def test_iteration(self):
+        assert list(Bits("101")) == [1, 0, 1]
+
+    def test_equality_and_hash(self):
+        assert Bits("10") == Bits("10")
+        assert Bits("10") != Bits("01")
+        assert hash(Bits("10")) == hash(Bits("10"))
+        assert Bits("1") != "1"
+
+    def test_str_of_empty(self):
+        assert str(EMPTY) == "ε"
+
+
+class TestProperties:
+    @given(bitstrings, bitstrings)
+    def test_concat_width(self, a, b):
+        assert Bits(a).concat(Bits(b)).width == len(a) + len(b)
+
+    @given(bitstrings, bitstrings)
+    def test_concat_matches_string_concat(self, a, b):
+        assert Bits(a).concat(Bits(b)).to_bitstring() == a + b
+
+    @given(bitstrings, st.integers(0, 70), st.integers(0, 70))
+    def test_slice_always_within_bounds(self, a, lo, hi):
+        result = Bits(a).slice(lo, hi)
+        assert result.width <= max(len(a), 1)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_int_round_trip(self, value):
+        assert Bits.from_int(value, 16).to_int() == value
+
+    @given(bitstrings)
+    def test_take_drop_partition(self, a):
+        value = Bits(a)
+        for split in range(len(a) + 1):
+            assert value.take(split).concat(value.drop(split)) == value

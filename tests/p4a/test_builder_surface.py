@@ -1,0 +1,184 @@
+"""Tests for the builder API, the surface-syntax parser and the pretty printer."""
+
+import pytest
+
+from repro.p4a import (
+    AutomatonBuilder,
+    Bits,
+    P4ASyntaxError,
+    P4ATypeError,
+    parse_automaton,
+    pretty,
+)
+from repro.p4a.builder import parse_expr_shorthand, parse_pattern_shorthand
+from repro.p4a.syntax import BVLit, Concat, ExactPattern, HeaderRef, Slice, WildcardPattern
+from repro.protocols import ethernet_vlan, ip_tcp_udp, mpls, tiny
+
+FIGURE_1_REFERENCE = """
+header mpls : 32;
+header udp : 64;
+
+q1 {
+  extract(mpls);
+  select(mpls[23:23]) {
+    0 => q1
+    1 => q2
+  }
+}
+
+q2 {
+  extract(udp);
+  goto accept;
+}
+"""
+
+
+class TestExprShorthand:
+    HEADERS = {"a": 4, "b": 8}
+
+    def test_header(self):
+        assert parse_expr_shorthand("a", self.HEADERS) == HeaderRef("a")
+
+    def test_slice(self):
+        assert parse_expr_shorthand("b[0:3]", self.HEADERS) == Slice(HeaderRef("b"), 0, 3)
+
+    def test_concat(self):
+        expr = parse_expr_shorthand("a ++ b", self.HEADERS)
+        assert expr == Concat(HeaderRef("a"), HeaderRef("b"))
+
+    def test_binary_literal(self):
+        assert parse_expr_shorthand("0b1010", self.HEADERS) == BVLit(Bits("1010"))
+
+    def test_hex_literal(self):
+        assert parse_expr_shorthand("0xA", self.HEADERS) == BVLit(Bits("1010"))
+
+    def test_passthrough_expr(self):
+        expr = HeaderRef("a")
+        assert parse_expr_shorthand(expr, self.HEADERS) is expr
+
+    def test_unknown_name(self):
+        with pytest.raises(P4ATypeError):
+            parse_expr_shorthand("zzz", self.HEADERS)
+
+    def test_pattern_wildcard(self):
+        assert parse_pattern_shorthand("_") == WildcardPattern()
+
+    def test_pattern_binary(self):
+        assert parse_pattern_shorthand("0b01") == ExactPattern(Bits("01"))
+        assert parse_pattern_shorthand("01") == ExactPattern(Bits("01"))
+
+    def test_pattern_hex(self):
+        assert parse_pattern_shorthand("0x8847") == ExactPattern(Bits.from_int(0x8847, 16))
+
+
+class TestBuilder:
+    def test_conflicting_header_sizes(self):
+        builder = AutomatonBuilder("bad")
+        builder.header("h", 4)
+        with pytest.raises(P4ATypeError):
+            builder.header("h", 8)
+
+    def test_reserved_state_name(self):
+        builder = AutomatonBuilder("bad")
+        with pytest.raises(P4ATypeError):
+            builder.state("accept")
+
+    def test_headers_bulk(self):
+        builder = AutomatonBuilder("bulk")
+        builder.headers({"a": 1, "b": 2})
+        builder.state("s0").extract("a").accept()
+        assert builder.build().headers == {"a": 1, "b": 2}
+
+    def test_ordered_cases_preserved(self):
+        builder = AutomatonBuilder("ordered")
+        builder.header("h", 2)
+        builder.state("s0").extract("h").select("h", [("11", "accept"), ("_", "reject")])
+        aut = builder.build()
+        assert aut.state("s0").transition.cases[0].target == "accept"
+
+
+class TestSurfaceParser:
+    def test_parses_figure_1(self):
+        aut = parse_automaton(FIGURE_1_REFERENCE, name="mpls")
+        assert set(aut.states) == {"q1", "q2"}
+        assert aut.headers == {"mpls": 32, "udp": 64}
+
+    def test_parsed_equals_builder_version(self):
+        parsed = parse_automaton(FIGURE_1_REFERENCE, name="mpls_reference_32")
+        assert parsed.states == mpls.reference_parser().states
+        assert parsed.headers == mpls.reference_parser().headers
+
+    def test_inline_extract_sizes(self):
+        aut = parse_automaton("q { extract(h, 8); goto accept; }")
+        assert aut.headers == {"h": 8}
+
+    def test_conflicting_inline_size(self):
+        with pytest.raises(P4ASyntaxError):
+            parse_automaton("q { extract(h, 8); extract(h, 4); goto accept; }")
+
+    def test_assignment_and_concat(self):
+        source = """
+        header a : 2; header b : 2; header c : 4;
+        s { extract(a); extract(b); c := a ++ b; goto accept; }
+        """
+        aut = parse_automaton(source)
+        assert aut.op_size("s") == 4
+
+    def test_tuple_select(self):
+        source = """
+        header a : 1; header b : 1;
+        s { extract(a); extract(b);
+            select(a, b) { (0, 0) => accept (1, _) => reject } }
+        """
+        aut = parse_automaton(source)
+        cases = aut.state("s").transition.cases
+        assert len(cases) == 2 and len(cases[0].patterns) == 2
+
+    def test_comments_are_ignored(self):
+        aut = parse_automaton("// a comment\nq { extract(h, 1); goto accept; } # trailing")
+        assert "q" in aut.states
+
+    def test_missing_transition(self):
+        with pytest.raises(P4ASyntaxError, match="no transition"):
+            parse_automaton("q { extract(h, 1); }", check=False)
+
+    def test_unexpected_character(self):
+        with pytest.raises(P4ASyntaxError):
+            parse_automaton("q { extract(h, 1); goto accept; } %")
+
+    def test_decimal_pattern_is_rejected(self):
+        with pytest.raises(P4ASyntaxError, match="ambiguous"):
+            parse_automaton(
+                "header h : 4;\nq { extract(h); select(h) { 12 => accept } }"
+            )
+
+    def test_automaton_header_line(self):
+        aut = parse_automaton("automaton demo;\nq { extract(h, 1); goto accept; }")
+        assert aut.name == "demo"
+
+    def test_arity_mismatch(self):
+        with pytest.raises(P4ASyntaxError, match="patterns"):
+            parse_automaton(
+                "header a : 1; header b : 1;\n"
+                "s { extract(a); extract(b); select(a, b) { 0 => accept } }"
+            )
+
+
+class TestPrettyRoundTrip:
+    @pytest.mark.parametrize(
+        "automaton",
+        [
+            tiny.incremental_bits(),
+            tiny.big_bits_checked(),
+            mpls.reference_parser(),
+            mpls.vectorized_parser(),
+            ip_tcp_udp.reference_parser(),
+            ip_tcp_udp.combined_parser(),
+            ethernet_vlan.vlan_parser(),
+        ],
+        ids=lambda a: a.name,
+    )
+    def test_pretty_then_parse_round_trips(self, automaton):
+        reparsed = parse_automaton(pretty(automaton), name=automaton.name)
+        assert reparsed.headers == automaton.headers
+        assert reparsed.states == automaton.states

@@ -1,0 +1,200 @@
+"""Tests for the concrete P4A semantics (Definitions 3.1–3.6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.p4a import Bits
+from repro.p4a.semantics import (
+    Configuration,
+    accepts,
+    eval_expr,
+    eval_transition,
+    exec_ops,
+    initial_configuration,
+    initial_store,
+    language_sample,
+    multi_step,
+    parse_packet,
+    run_trace,
+    step,
+)
+from repro.p4a.syntax import ACCEPT, BVLit, Concat, Goto, HeaderRef, REJECT, Slice
+from repro.protocols import mpls, tiny
+
+from ..helpers import chained_automaton, fixed_length_automaton, one_bit_automaton
+
+
+class TestExpressions:
+    def test_header_lookup(self):
+        assert eval_expr(HeaderRef("h"), {"h": Bits("1010")}) == Bits("1010")
+
+    def test_literal(self):
+        assert eval_expr(BVLit(Bits("01")), {}) == Bits("01")
+
+    def test_concat_and_slice(self):
+        store = {"a": Bits("10"), "b": Bits("01")}
+        expr = Slice(Concat(HeaderRef("a"), HeaderRef("b")), 1, 2)
+        assert eval_expr(expr, store) == Bits("00")
+
+    def test_missing_header_raises(self):
+        from repro.p4a.errors import P4ASemanticsError
+
+        with pytest.raises(P4ASemanticsError):
+            eval_expr(HeaderRef("h"), {})
+
+
+class TestOperations:
+    def test_extract_consumes_in_order(self):
+        aut = mpls.vectorized_parser()
+        store = initial_store(aut)
+        data = Bits("1" * 32 + "0" * 32)
+        result = exec_ops(aut, aut.state("q3"), store, data)
+        assert result["old"] == Bits("1" * 32)
+        assert result["new"] == Bits("0" * 32)
+
+    def test_assignment_uses_updated_store(self):
+        aut = mpls.vectorized_parser()
+        store = initial_store(aut)
+        data = Bits("1" * 32)
+        result = exec_ops(aut, aut.state("q5"), store, data)
+        # q5 extracts tmp then sets udp := new ++ tmp.
+        assert result["tmp"] == Bits("1" * 32)
+        assert result["udp"] == store["new"].concat(Bits("1" * 32))
+
+    def test_wrong_data_width_raises(self):
+        from repro.p4a.errors import P4ASemanticsError
+
+        aut = mpls.reference_parser()
+        with pytest.raises(P4ASemanticsError):
+            exec_ops(aut, aut.state("q1"), initial_store(aut), Bits("1"))
+
+
+class TestTransitions:
+    def test_goto(self):
+        assert eval_transition(Goto("accept"), {}) == ACCEPT
+
+    def test_select_first_match_wins(self):
+        aut = mpls.vectorized_parser()
+        select = aut.state("q3").transition
+        store = {"old": Bits("0" * 32), "new": Bits("0" * 32)}
+        assert eval_transition(select, store) == "q3"
+        store = {"old": Bits("0" * 32), "new": Bits("0" * 23 + "1" + "0" * 8)}
+        assert eval_transition(select, store) == "q4"
+        store = {"old": Bits("0" * 23 + "1" + "0" * 8), "new": Bits("1" * 32)}
+        assert eval_transition(select, store) == "q5"
+
+    def test_select_falls_through_to_reject(self):
+        aut = tiny.big_bits_checked()
+        select = aut.state("Parse").transition
+        assert eval_transition(select, {"bits": Bits("00")}) == REJECT
+
+
+class TestDynamics:
+    def test_buffering_until_op_size(self):
+        aut = fixed_length_automaton(3)
+        config = initial_configuration(aut, "s0")
+        config = step(aut, config, 1)
+        assert config.state == "s0" and config.buffer == Bits("1")
+        config = step(aut, config, 0)
+        assert config.buffer == Bits("10")
+        config = step(aut, config, 1)
+        assert config.state == ACCEPT and config.buffer.width == 0
+
+    def test_accept_steps_to_reject(self):
+        aut = fixed_length_automaton(1)
+        config = multi_step(aut, initial_configuration(aut, "s0"), Bits("1"))
+        assert config.state == ACCEPT
+        assert step(aut, config, 0).state == REJECT
+
+    def test_reject_is_absorbing(self):
+        aut = one_bit_automaton("1")
+        config = multi_step(aut, initial_configuration(aut, "s0"), Bits("00"))
+        assert config.state == REJECT
+        assert step(aut, config, 1).state == REJECT
+
+    def test_invalid_bit(self):
+        from repro.p4a.errors import P4ASemanticsError
+
+        aut = one_bit_automaton()
+        with pytest.raises(P4ASemanticsError):
+            step(aut, initial_configuration(aut, "s0"), 2)
+
+    def test_acceptance_requires_exact_length(self):
+        aut = fixed_length_automaton(4)
+        assert accepts(aut, "s0", Bits("1011"))
+        assert not accepts(aut, "s0", Bits("101"))
+        assert not accepts(aut, "s0", Bits("10111"))
+
+    def test_run_trace_length(self):
+        aut = fixed_length_automaton(2)
+        trace = list(run_trace(aut, "s0", Bits("10")))
+        assert len(trace) == 3
+        assert trace[-1].is_accepting()
+
+    def test_parse_packet_returns_store(self):
+        aut = mpls.reference_parser()
+        label = Bits("0" * 23 + "1" + "0" * 8)
+        packet = label.concat(Bits("1" * 64))
+        accepted, store = parse_packet(aut, "q1", packet)
+        assert accepted
+        assert store["mpls"] == label
+        assert store["udp"] == Bits("1" * 64)
+
+    def test_language_sample_enumerates_short_packets(self):
+        aut = one_bit_automaton("1")
+        assert list(language_sample(aut, "s0", 2)) == [Bits("1")]
+
+    def test_configuration_str_and_store(self):
+        aut = one_bit_automaton()
+        config = initial_configuration(aut, "s0")
+        assert "s0" in str(config)
+        assert config.store_dict() == initial_store(aut)
+
+
+class TestMplsBehaviour:
+    """Concrete behavioural checks of the Figure 1 parsers."""
+
+    def label(self, bottom: bool, bits: int = 32) -> Bits:
+        value = ["0"] * bits
+        value[23] = "1" if bottom else "0"
+        return Bits("".join(value))
+
+    def test_reference_accepts_one_label(self):
+        aut = mpls.reference_parser()
+        packet = self.label(True).concat(Bits("0" * 64))
+        assert accepts(aut, "q1", packet)
+
+    def test_reference_requires_bottom_of_stack(self):
+        aut = mpls.reference_parser()
+        packet = self.label(False).concat(Bits("0" * 64))
+        assert not accepts(aut, "q1", packet)
+
+    def test_vectorized_matches_reference_on_samples(self):
+        reference = mpls.reference_parser()
+        vectorized = mpls.vectorized_parser()
+        rng = random.Random(7)
+        for labels in range(1, 5):
+            packet = Bits("")
+            for index in range(labels):
+                packet = packet.concat(self.label(index == labels - 1))
+            packet = packet.concat(Bits("".join(rng.choice("01") for _ in range(64))))
+            assert accepts(reference, "q1", packet)
+            assert accepts(vectorized, "q3", packet)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="01", max_size=40))
+    def test_scaled_parsers_agree_on_random_packets(self, bits):
+        reference = mpls.scaled_reference(2)
+        vectorized = mpls.scaled_vectorized(2)
+        packet = Bits(bits)
+        assert accepts(reference, "q1", packet) == accepts(vectorized, "q3", packet)
+
+
+class TestChained:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=3), st.text(alphabet="01", max_size=16))
+    def test_chained_accepts_exactly_total_length(self, chunks, bits):
+        aut = chained_automaton(tuple(chunks))
+        assert accepts(aut, "s0", Bits(bits)) == (len(bits) == sum(chunks))

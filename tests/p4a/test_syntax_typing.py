@@ -1,0 +1,193 @@
+"""Tests for the P4A abstract syntax and typing judgements."""
+
+import pytest
+
+from repro.p4a import (
+    ACCEPT,
+    REJECT,
+    AutomatonBuilder,
+    Bits,
+    BVLit,
+    Concat,
+    ExactPattern,
+    Extract,
+    Goto,
+    HeaderRef,
+    P4ATypeError,
+    P4Automaton,
+    Select,
+    SelectCase,
+    Slice,
+    State,
+    WILDCARD,
+    check_automaton,
+    expr_width,
+    is_well_typed,
+)
+from repro.protocols import mpls, tiny
+
+
+def simple_automaton() -> P4Automaton:
+    return tiny.incremental_bits()
+
+
+class TestSyntax:
+    def test_reserved_state_names(self):
+        with pytest.raises(P4ATypeError):
+            P4Automaton("bad", {"h": 1}, {ACCEPT: State(ACCEPT, (Extract("h"),), Goto(ACCEPT))})
+
+    def test_positive_header_sizes(self):
+        with pytest.raises(P4ATypeError):
+            P4Automaton("bad", {"h": 0}, {})
+
+    def test_state_lookup_error(self):
+        with pytest.raises(P4ATypeError):
+            simple_automaton().state("nope")
+
+    def test_header_lookup_error(self):
+        with pytest.raises(P4ATypeError):
+            simple_automaton().header_size("nope")
+
+    def test_op_size_counts_extracts_only(self):
+        aut = mpls.vectorized_parser()
+        assert aut.op_size("q3") == 64      # two 32-bit extracts
+        assert aut.op_size("q5") == 32      # one extract; the assignment is free
+
+    def test_total_and_branched_bits(self):
+        aut = mpls.reference_parser()
+        assert aut.total_header_bits() == 32 + 64
+        assert aut.branched_bits() == 1     # a single 1-bit select
+
+    def test_transition_targets_goto(self):
+        aut = tiny.incremental_bits()
+        assert aut.transition_targets("Start") == ("Next",)
+
+    def test_transition_targets_select_adds_implicit_reject(self):
+        aut = mpls.reference_parser()
+        # The select has no wildcard case, so reject is an implicit target.
+        assert set(aut.transition_targets("q1")) == {"q1", "q2", REJECT}
+
+    def test_transition_targets_select_with_wildcard(self):
+        aut = tiny.store_dependent()
+        assert set(aut.transition_targets("Start")) == {ACCEPT, REJECT}
+
+    def test_str_renders_all_states(self):
+        text = str(mpls.reference_parser())
+        assert "q1" in text and "q2" in text and "mpls" in text
+
+
+class TestExprWidth:
+    def test_header_width(self):
+        aut = mpls.reference_parser()
+        assert expr_width(aut, HeaderRef("mpls")) == 32
+
+    def test_literal_width(self):
+        aut = simple_automaton()
+        assert expr_width(aut, BVLit(Bits("101"))) == 3
+
+    def test_concat_width(self):
+        aut = mpls.vectorized_parser()
+        assert expr_width(aut, Concat(HeaderRef("old"), HeaderRef("new"))) == 64
+
+    def test_slice_width(self):
+        aut = mpls.reference_parser()
+        assert expr_width(aut, Slice(HeaderRef("mpls"), 4, 7)) == 4
+
+    def test_slice_clamping(self):
+        aut = mpls.reference_parser()
+        assert expr_width(aut, Slice(HeaderRef("mpls"), 30, 100)) == 2
+
+    def test_slice_bad_bounds(self):
+        aut = mpls.reference_parser()
+        with pytest.raises(P4ATypeError):
+            expr_width(aut, Slice(HeaderRef("mpls"), 5, 3))
+        with pytest.raises(P4ATypeError):
+            expr_width(aut, Slice(HeaderRef("mpls"), -1, 3))
+
+    def test_unknown_header(self):
+        with pytest.raises(P4ATypeError):
+            expr_width(simple_automaton(), HeaderRef("missing"))
+
+
+class TestTypingJudgement:
+    def test_case_study_parsers_are_well_typed(self):
+        for aut in (
+            tiny.incremental_bits(),
+            tiny.big_bits_checked(),
+            mpls.reference_parser(),
+            mpls.vectorized_parser(),
+        ):
+            check_automaton(aut)
+            assert is_well_typed(aut)
+
+    def test_state_must_extract(self):
+        builder = AutomatonBuilder("noprogress")
+        builder.header("h", 4)
+        builder.state("s0").assign("h", "0b0000").accept()
+        with pytest.raises(P4ATypeError, match="extracts no bits"):
+            builder.build()
+
+    def test_assignment_width_mismatch(self):
+        builder = AutomatonBuilder("badassign")
+        builder.header("h", 4).header("g", 2)
+        builder.state("s0").extract("h").assign("h", "g").accept()
+        with pytest.raises(P4ATypeError, match="width"):
+            builder.build()
+
+    def test_goto_target_must_exist(self):
+        builder = AutomatonBuilder("badgoto")
+        builder.header("h", 1)
+        builder.state("s0").extract("h").goto("nowhere")
+        with pytest.raises(P4ATypeError, match="does not exist"):
+            builder.build()
+
+    def test_select_target_must_exist(self):
+        builder = AutomatonBuilder("badselect")
+        builder.header("h", 1)
+        builder.state("s0").extract("h").select("h", [("1", "nowhere")])
+        with pytest.raises(P4ATypeError, match="does not exist"):
+            builder.build()
+
+    def test_pattern_width_mismatch(self):
+        builder = AutomatonBuilder("badpattern")
+        builder.header("h", 2)
+        builder.state("s0").extract("h").select("h", [("1", "accept")])
+        with pytest.raises(P4ATypeError, match="width"):
+            builder.build()
+
+    def test_pattern_arity_mismatch(self):
+        aut = P4Automaton(
+            "arity",
+            {"h": 2},
+            {
+                "s0": State(
+                    "s0",
+                    (Extract("h"),),
+                    Select(
+                        (HeaderRef("h"),),
+                        (SelectCase((ExactPattern(Bits("10")), WILDCARD), ACCEPT),),
+                    ),
+                )
+            },
+        )
+        with pytest.raises(P4ATypeError, match="patterns"):
+            check_automaton(aut)
+
+    def test_empty_automaton_rejected(self):
+        with pytest.raises(P4ATypeError, match="no states"):
+            check_automaton(P4Automaton("empty", {"h": 1}, {}))
+
+    def test_wildcard_patterns_always_ok(self):
+        builder = AutomatonBuilder("wild")
+        builder.header("h", 3)
+        builder.state("s0").extract("h").select("h", [("_", "accept")])
+        assert is_well_typed(builder.build())
+
+    def test_collects_multiple_errors(self):
+        builder = AutomatonBuilder("multi")
+        builder.header("h", 2)
+        builder.state("s0").extract("h").goto("nowhere")
+        builder.state("s1").extract("h").select("h", [("1", "accept")])
+        with pytest.raises(P4ATypeError) as excinfo:
+            builder.build()
+        assert "nowhere" in str(excinfo.value) and "width" in str(excinfo.value)

@@ -1,0 +1,234 @@
+"""Tests for the parser-gen substrate: IR, compiler, hardware simulator and
+back-translation, including differential tests across all four layers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.p4a.bitvec import Bits
+from repro.p4a.semantics import accepts
+from repro.parsergen import (
+    DONE,
+    DROP,
+    HardwareConfig,
+    compile_graph,
+    edge,
+    graph_to_p4a,
+    hardware_to_p4a,
+    header,
+    interpret,
+    make_graph,
+    scenario,
+    simulate,
+)
+from repro.parsergen.compiler import CompileError
+from repro.parsergen.ir import Node, ParseGraphError
+
+
+def tiny_graph():
+    eth = header("eth", ("addr", 8), ("ethertype", 8))
+    ip = header("ip", ("meta", 8), ("proto", 8))
+    payload = header("payload", ("data", 8))
+    nodes = [
+        Node("eth", eth, ("ethertype",), (edge("ip", ethertype=0x08),), DROP),
+        Node("ip", ip, ("proto",), (edge("payload", proto=1), edge(DONE, proto=2)), DROP),
+        Node("payload", payload, (), (), DONE),
+    ]
+    return make_graph("tiny", "eth", nodes)
+
+
+def graph_packet(*byte_values):
+    return Bits.from_bytes(bytes(byte_values))
+
+
+class TestIr:
+    def test_header_offsets_and_widths(self):
+        eth = header("eth", ("dst", 48), ("src", 48), ("ethertype", 16))
+        assert eth.width == 112 and eth.byte_length == 14
+        assert eth.field_offset("ethertype") == 96
+        assert eth.field("src").width == 48
+
+    def test_unknown_field_rejected(self):
+        eth = header("eth", ("dst", 48))
+        with pytest.raises(ParseGraphError):
+            eth.field_offset("nope")
+
+    def test_edge_must_constrain_lookup_fields(self):
+        fmt = header("h", ("a", 8), ("b", 8))
+        with pytest.raises(ParseGraphError):
+            Node("n", fmt, ("a",), (edge(DONE, b=1),), DROP)
+
+    def test_graph_validation(self):
+        fmt = header("h", ("a", 8))
+        with pytest.raises(ParseGraphError):
+            make_graph("bad", "missing", [Node("n", fmt, (), (), DONE)])
+        with pytest.raises(ParseGraphError):
+            make_graph("bad", "n", [Node("n", fmt, (), (), "ghost")])
+
+    def test_interpreter_accepts_exact_packets(self):
+        graph = tiny_graph()
+        assert interpret(graph, graph_packet(1, 8, 0, 1, 5)).accepted
+        assert interpret(graph, graph_packet(1, 8, 0, 2)).accepted
+        assert not interpret(graph, graph_packet(1, 8, 0, 3)).accepted       # unknown proto
+        assert not interpret(graph, graph_packet(1, 9, 0, 1, 5)).accepted    # wrong ethertype
+        assert not interpret(graph, graph_packet(1, 8, 0, 1)).accepted       # truncated
+        assert not interpret(graph, graph_packet(1, 8, 0, 2, 9)).accepted    # trailing bytes
+
+    def test_interpreter_records_fields(self):
+        result = interpret(tiny_graph(), graph_packet(0xAA, 8, 0, 2))
+        assert result.headers["eth"]["addr"] == 0xAA
+        assert result.headers["ip"]["proto"] == 2
+
+    def test_statistics(self):
+        graph = scenario("enterprise")
+        assert graph.total_header_bits() > 500
+        assert graph.branched_bits() >= 3 * 8
+
+
+class TestCompiler:
+    def test_tiny_graph_compiles(self):
+        hardware = compile_graph(tiny_graph())
+        hardware.validate()
+        assert len(hardware.entries) >= 4
+        assert "Match:" in hardware.dump()
+
+    def test_state_splitting_for_long_headers(self):
+        graph = scenario("enterprise")
+        hardware = compile_graph(graph, HardwareConfig(max_advance_bytes=16))
+        # IPv6 is 40 bytes, so it must be split into several hardware states.
+        assert len(hardware.states()) > len(graph.reachable_nodes())
+
+    def test_state_merging_reduces_states(self):
+        graph = scenario("datacenter")
+        merged = compile_graph(graph, merge_states=True)
+        unmerged = compile_graph(graph, merge_states=False)
+        assert len(merged.states()) <= len(unmerged.states())
+
+    def test_window_limit_enforced(self):
+        fmt = header("wide", ("a", 16), ("b", 16), ("c", 16), ("d", 16), ("e", 16))
+        node = Node("wide", fmt, ("a", "b", "c", "d", "e"),
+                    (edge(DONE, a=1, b=2, c=3, d=4, e=5),), DROP)
+        graph = make_graph("wide", "wide", [node])
+        with pytest.raises(CompileError, match="window"):
+            compile_graph(graph, HardwareConfig(window_bytes=4))
+
+    def test_lookup_beyond_matching_chunk_rejected(self):
+        fmt = header("long", ("pad", 8 * 20), ("kind", 8))
+        node = Node("long", fmt, ("kind",), (edge(DONE, kind=1),), DROP)
+        graph = make_graph("long", "long", [node])
+        with pytest.raises(CompileError):
+            compile_graph(graph, HardwareConfig(max_advance_bytes=16, max_lookup_offset=15))
+
+    def test_state_budget_enforced(self):
+        graph = scenario("edge")
+        with pytest.raises(CompileError, match="states"):
+            compile_graph(graph, HardwareConfig(max_states=3))
+
+
+class TestHardwareSimulator:
+    def test_unaligned_packet_rejected(self):
+        hardware = compile_graph(tiny_graph())
+        assert not simulate(hardware, Bits("1010101")).accepted
+
+    def test_acceptance_matches_interpreter(self):
+        graph = tiny_graph()
+        hardware = compile_graph(graph)
+        for packet in (
+            graph_packet(1, 8, 0, 1, 5),
+            graph_packet(1, 8, 0, 2),
+            graph_packet(1, 7, 0, 1, 5),
+            graph_packet(1, 8, 0, 2, 2),
+        ):
+            assert simulate(hardware, packet).accepted == interpret(graph, packet).accepted
+
+    def test_trace_records_states(self):
+        hardware = compile_graph(tiny_graph())
+        run = simulate(hardware, graph_packet(1, 8, 0, 1, 5))
+        assert run.accepted and len(run.trace) >= 3
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            HardwareConfig(window_bytes=0).validate()
+
+
+def _random_walk_packet(graph, rng):
+    """Build a packet by walking the graph, mostly following real edges."""
+    bits = ""
+    node_name = graph.root
+    for _ in range(12):
+        node = graph.nodes[node_name]
+        segment = [rng.choice("01") for _ in range(node.format.width)]
+        if node.edges and rng.random() < 0.85:
+            chosen = rng.choice(node.edges)
+            for field_name, value in chosen.values:
+                offset = node.format.field_offset(field_name)
+                width = node.format.field(field_name).width
+                segment[offset : offset + width] = list(format(value, f"0{width}b"))
+        bits += "".join(segment)
+        values = {}
+        offset = 0
+        for field in node.format.fields:
+            values[field.name] = int("".join(segment[offset : offset + field.width]), 2)
+            offset += field.width
+        target = node.default
+        for graph_edge in node.edges:
+            if all(values[name] == value for name, value in graph_edge.values):
+                target = graph_edge.target
+                break
+        if target in (DONE, DROP):
+            break
+        node_name = target
+    if rng.random() < 0.25:
+        bits += "".join(rng.choice("01") for _ in range(8 * rng.randint(1, 2)))
+    return Bits(bits)
+
+
+@pytest.mark.parametrize("name", ["mini_enterprise", "mini_edge", "enterprise", "datacenter"])
+def test_four_layer_differential(name):
+    """Graph interpreter, hardware simulator, P4A and back-translated P4A agree."""
+    rng = random.Random(hash(name) & 0xFFFF)
+    graph = scenario(name)
+    hardware = compile_graph(graph)
+    p4a, start = graph_to_p4a(graph)
+    back, back_start = hardware_to_p4a(hardware)
+    for _ in range(60):
+        packet = _random_walk_packet(graph, rng)
+        expected = interpret(graph, packet).accepted
+        assert simulate(hardware, packet).accepted == expected
+        assert accepts(p4a, start, packet) == expected
+        assert accepts(back, back_start, packet) == expected
+
+
+class TestBacktranslation:
+    def test_structure(self):
+        hardware = compile_graph(scenario("mini_edge"))
+        automaton, start = hardware_to_p4a(hardware)
+        assert start in automaton.states
+        assert all(name.startswith(("hw_", "win_")) or "adv" in name
+                   for name in list(automaton.states) + list(automaton.headers))
+
+    def test_merged_entries_create_auxiliary_states(self):
+        hardware = compile_graph(scenario("datacenter"), merge_states=True)
+        automaton, _ = hardware_to_p4a(hardware)
+        # The VXLAN header is merged into the UDP state, which shows up as an
+        # auxiliary advance state in the back-translation.
+        assert any("adv" in name for name in automaton.states)
+
+    def test_scenarios_compile_and_translate(self):
+        for name in ("enterprise", "edge", "service_provider", "datacenter"):
+            hardware = compile_graph(scenario(name))
+            automaton, start = hardware_to_p4a(hardware)
+            assert start in automaton.states
+
+
+class TestGraphToP4a:
+    def test_states_match_reachable_nodes(self):
+        graph = scenario("enterprise")
+        automaton, start = graph_to_p4a(graph)
+        assert set(automaton.states) == graph.reachable_nodes()
+        assert start == graph.root
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            scenario("metro")

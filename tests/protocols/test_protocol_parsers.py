@@ -1,0 +1,224 @@
+"""Behavioural tests of the case-study protocol parsers."""
+
+import random
+
+import pytest
+
+from repro.p4a.bitvec import Bits
+from repro.p4a.semantics import accepts, parse_packet
+from repro.p4a.typing import check_automaton
+from repro.protocols import ethernet_ip, ethernet_vlan, ip_options, ip_tcp_udp, mpls, tiny
+
+from ..helpers import agree_on_packets
+
+
+def random_bits(rng, length):
+    return Bits("".join(rng.choice("01") for _ in range(length)))
+
+
+class TestWellTypedness:
+    @pytest.mark.parametrize(
+        "automaton",
+        [
+            tiny.incremental_bits(), tiny.big_bits(), tiny.incremental_bits_checked(),
+            tiny.big_bits_checked(), tiny.big_bits_wrong_length(), tiny.store_dependent(),
+            mpls.reference_parser(), mpls.vectorized_parser(), mpls.broken_vectorized(),
+            ip_tcp_udp.reference_parser(), ip_tcp_udp.combined_parser(),
+            ip_tcp_udp.broken_combined(),
+            ethernet_vlan.vlan_parser(), ethernet_vlan.buggy_parser(),
+            ethernet_ip.sloppy_parser(), ethernet_ip.strict_parser(),
+            ip_options.generic_parser(1, 3), ip_options.timestamp_parser(1, 6),
+            ip_options.broken_generic(1, 3),
+        ],
+        ids=lambda a: a.name,
+    )
+    def test_case_study_parsers_type_check(self, automaton):
+        check_automaton(automaton)
+
+
+class TestIpTcpUdp:
+    def ip_header(self, proto_nibble: str) -> Bits:
+        bits = ["0"] * 64
+        bits[40:44] = list(proto_nibble)
+        return Bits("".join(bits))
+
+    def test_udp_path(self):
+        aut = ip_tcp_udp.reference_parser()
+        packet = self.ip_header("0001").concat(Bits.zeros(32))
+        assert accepts(aut, "parse_ip", packet)
+
+    def test_tcp_path(self):
+        aut = ip_tcp_udp.reference_parser()
+        packet = self.ip_header("0000").concat(Bits.zeros(64))
+        assert accepts(aut, "parse_ip", packet)
+
+    def test_unknown_protocol_rejected(self):
+        aut = ip_tcp_udp.reference_parser()
+        packet = self.ip_header("0110").concat(Bits.zeros(32))
+        assert not accepts(aut, "parse_ip", packet)
+
+    def test_reference_and_combined_agree_on_random_packets(self):
+        rng = random.Random(11)
+        packets = [random_bits(rng, rng.choice([64, 96, 128, 100])) for _ in range(60)]
+        assert agree_on_packets(
+            ip_tcp_udp.reference_parser(), "parse_ip",
+            ip_tcp_udp.combined_parser(), "parse_combined", packets,
+        )
+
+    def test_broken_combined_differs(self):
+        aut = ip_tcp_udp.broken_combined()
+        packet = self.ip_header("0001").concat(Bits.zeros(64))
+        assert accepts(aut, "parse_combined", packet)
+        assert not accepts(ip_tcp_udp.reference_parser(), "parse_ip", packet)
+
+    def test_scaled_variants_are_well_typed(self):
+        check_automaton(ip_tcp_udp.scaled_reference(4))
+        check_automaton(ip_tcp_udp.scaled_combined(4))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ip_tcp_udp.reference_parser(udp_bits=64, tcp_bits=64)
+
+
+class TestEthernetVlan:
+    def frame(self, tagged: bool, vlan_nibble: str = "0000") -> Bits:
+        ether = ["0"] * 112
+        ether[0] = "1" if tagged else "0"
+        packet = "".join(ether)
+        if tagged:
+            vlan = vlan_nibble + "0" * 28
+            packet += vlan
+        packet += "0" * 160      # ip
+        packet += "0" * 64       # udp
+        return Bits(packet)
+
+    def test_untagged_frame_accepted(self):
+        aut = ethernet_vlan.vlan_parser()
+        assert accepts(aut, ethernet_vlan.START, self.frame(False))
+
+    def test_tagged_frame_accepted(self):
+        aut = ethernet_vlan.vlan_parser()
+        assert accepts(aut, ethernet_vlan.START, self.frame(True))
+
+    def test_reserved_vlan_rejected(self):
+        aut = ethernet_vlan.vlan_parser()
+        assert not accepts(aut, ethernet_vlan.START, self.frame(True, "1111"))
+
+    def test_default_value_masks_initial_store(self):
+        aut = ethernet_vlan.vlan_parser()
+        poisoned = {name: Bits.ones(size) for name, size in aut.headers.items()}
+        assert accepts(aut, ethernet_vlan.START, self.frame(False), poisoned)
+
+    def test_buggy_parser_leaks_initial_store(self):
+        aut = ethernet_vlan.buggy_parser()
+        poisoned = {name: Bits.ones(size) for name, size in aut.headers.items()}
+        clean = {name: Bits.zeros(size) for name, size in aut.headers.items()}
+        packet = self.frame(False)
+        assert accepts(aut, ethernet_vlan.START, packet, clean)
+        assert not accepts(aut, ethernet_vlan.START, packet, poisoned)
+
+
+class TestEthernetIp:
+    def frame(self, ethertype: int, payload_bits: int) -> Bits:
+        ether = Bits.zeros(96).concat(Bits.from_int(ethertype, 16))
+        return ether.concat(Bits.zeros(payload_bits))
+
+    def test_strict_rejects_unknown_type(self):
+        strict = ethernet_ip.strict_parser()
+        assert not accepts(strict, ethernet_ip.START, self.frame(0x1234, 320))
+
+    def test_sloppy_accepts_unknown_type_as_ipv6(self):
+        sloppy = ethernet_ip.sloppy_parser()
+        assert accepts(sloppy, ethernet_ip.START, self.frame(0x1234, 320))
+
+    def test_both_accept_ipv4(self):
+        packet = self.frame(ethernet_ip.ETHERTYPE_IPV4, 160)
+        assert accepts(ethernet_ip.sloppy_parser(), ethernet_ip.START, packet)
+        assert accepts(ethernet_ip.strict_parser(), ethernet_ip.START, packet)
+
+    def test_both_accept_ipv6(self):
+        packet = self.frame(ethernet_ip.ETHERTYPE_IPV6, 320)
+        assert accepts(ethernet_ip.sloppy_parser(), ethernet_ip.START, packet)
+        assert accepts(ethernet_ip.strict_parser(), ethernet_ip.START, packet)
+
+    def test_store_correspondence_formula_mentions_both_sides(self):
+        relation = ethernet_ip.store_correspondence(
+            ethernet_ip.sloppy_parser(), ethernet_ip.strict_parser()
+        )
+        text = str(relation)
+        assert "ether<" in text and "ether>" in text
+
+
+class TestMplsVariants:
+    def test_scaled_sizes_validate(self):
+        with pytest.raises(ValueError):
+            mpls.reference_parser(bos_bit=40)
+        with pytest.raises(ValueError):
+            mpls.vectorized_parser(label_bits=16, udp_bits=64)
+
+    def test_vectorized_store_reassembles_udp(self):
+        aut = mpls.vectorized_parser()
+        label_last = Bits("0" * 23 + "1" + "0" * 8)
+        udp = Bits("10" * 32)
+        packet = label_last.concat(udp)
+        accepted, store = parse_packet(aut, "q3", packet)
+        assert accepted
+        assert store["udp"] == udp
+
+
+class TestIpOptions:
+    def option(self, type_byte: int, length_byte: int, data_bytes: bytes = b"") -> Bits:
+        return Bits.from_bytes(bytes([type_byte, length_byte]) + data_bytes)
+
+    def test_end_of_options_accepts_single_slot(self):
+        aut = ip_options.generic_parser(1, 2)
+        assert accepts(aut, ip_options.START, self.option(0, 0))
+
+    def test_generic_data_option(self):
+        aut = ip_options.generic_parser(1, 2)
+        packet = self.option(7, 2, b"\xab\xcd")
+        assert accepts(aut, ip_options.START, packet)
+
+    def test_unknown_length_rejected(self):
+        aut = ip_options.generic_parser(1, 2)
+        assert not accepts(aut, ip_options.START, self.option(7, 5, b"\x00" * 5))
+
+    def test_value_register_shifting(self):
+        aut = ip_options.generic_parser(1, 2)
+        accepted, store = parse_packet(aut, ip_options.START, self.option(7, 1, b"\xff"))
+        assert accepted
+        assert store["v0"].slice(0, 7) == Bits.ones(8)
+
+    def test_two_slots_require_two_options(self):
+        aut = ip_options.generic_parser(2, 2)
+        one_option = self.option(7, 1, b"\x01")
+        two_options = one_option.concat(self.option(0, 0))
+        assert not accepts(aut, ip_options.START, one_option)
+        assert accepts(aut, ip_options.START, two_options)
+
+    def test_timestamp_parser_agrees_with_generic(self):
+        generic = ip_options.generic_parser(1, 6)
+        timestamp = ip_options.timestamp_parser(1, 6)
+        rng = random.Random(5)
+        packets = [
+            self.option(0x44, 0x06, bytes(rng.randrange(256) for _ in range(6))),
+            self.option(0x07, 0x06, bytes(rng.randrange(256) for _ in range(6))),
+            self.option(0x00, 0x00),
+            self.option(0x44, 0x05, bytes(5)),
+        ]
+        assert agree_on_packets(generic, ip_options.START, timestamp, ip_options.START, packets)
+
+    def test_broken_generic_differs(self):
+        good = ip_options.generic_parser(1, 3)
+        broken = ip_options.broken_generic(1, 3)
+        packet = self.option(7, 2, b"\x00\x00")
+        assert accepts(good, ip_options.START, packet)
+        assert not accepts(broken, ip_options.START, packet)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ip_options.generic_parser(0)
+        with pytest.raises(ValueError):
+            ip_options.timestamp_parser(1, 5)
+        with pytest.raises(ValueError):
+            ip_options.broken_generic(1, 1)

@@ -1,0 +1,182 @@
+"""Tests for the SAT layer: CNF building, DPLL, CDCL, and their agreement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat.brute import brute_force_solve, check_model
+from repro.smt.sat.cnf import Cnf, CnfBuilder
+from repro.smt.sat.dpll import dpll_solve
+from repro.smt.sat.solver import CdclSolver, cdcl_solve
+
+
+def cnf_from_clauses(num_vars, clauses) -> Cnf:
+    cnf = Cnf(num_vars=num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestCnfBuilder:
+    def test_invalid_literal_rejected(self):
+        cnf = Cnf(num_vars=1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_dimacs_output(self):
+        cnf = cnf_from_clauses(2, [(1, -2)])
+        assert cnf.to_dimacs() == "p cnf 2 1\n1 -2 0\n"
+
+    def test_gates_behave_like_boolean_functions(self):
+        builder = CnfBuilder()
+        a, b = builder.new_var(), builder.new_var()
+        gates = {
+            "and": builder.gate_and([a, b]),
+            "or": builder.gate_or([a, b]),
+            "xor": builder.gate_xor(a, b),
+            "iff": builder.gate_iff(a, b),
+            "implies": builder.gate_implies(a, b),
+        }
+        expected = {
+            "and": lambda x, y: x and y,
+            "or": lambda x, y: x or y,
+            "xor": lambda x, y: x != y,
+            "iff": lambda x, y: x == y,
+            "implies": lambda x, y: (not x) or y,
+        }
+        for x in (False, True):
+            for y in (False, True):
+                # Force the inputs and solve; the gate output must match.
+                for name, output in gates.items():
+                    cnf = Cnf(builder.num_vars, list(builder.clauses))
+                    cnf.add_clause([a if x else -a])
+                    cnf.add_clause([b if y else -b])
+                    cnf.add_clause([output])
+                    sat, _ = dpll_solve(cnf)
+                    assert sat == expected[name](x, y), (name, x, y)
+
+    def test_gate_caching(self):
+        builder = CnfBuilder()
+        a, b = builder.new_var(), builder.new_var()
+        assert builder.gate_and([a, b]) == builder.gate_and([b, a])
+        assert builder.gate_or([a]) == a
+        assert builder.gate_and([]) == builder.true_literal()
+        assert builder.gate_or([]) == builder.false_literal()
+
+    def test_constants(self):
+        builder = CnfBuilder()
+        assert builder.constant(True) == builder.true_literal()
+        assert builder.constant(False) == builder.false_literal()
+
+
+class TestSolversOnFixedInstances:
+    def test_empty_formula_is_sat(self):
+        cnf = Cnf(num_vars=2)
+        assert cdcl_solve(cnf)[0] is True
+        assert dpll_solve(cnf)[0] is True
+
+    def test_empty_clause_is_unsat(self):
+        cnf = Cnf(num_vars=1)
+        cnf.clauses.append(())
+        assert cdcl_solve(cnf)[0] is False
+
+    def test_unit_contradiction(self):
+        cnf = cnf_from_clauses(1, [(1,), (-1,)])
+        assert cdcl_solve(cnf)[0] is False
+        assert dpll_solve(cnf)[0] is False
+
+    def test_simple_sat_model_is_valid(self):
+        cnf = cnf_from_clauses(3, [(1, 2), (-1, 3), (-2, -3)])
+        sat, model = cdcl_solve(cnf)
+        assert sat is True
+        assert check_model(cnf, model)
+
+    def test_pigeonhole_2_into_1_is_unsat(self):
+        # Two pigeons, one hole: x1 and x2 but not both.
+        cnf = cnf_from_clauses(2, [(1,), (2,), (-1, -2)])
+        assert cdcl_solve(cnf)[0] is False
+
+    def test_php_3_into_2_is_unsat(self):
+        # Pigeonhole principle: 3 pigeons into 2 holes.  Variables p_ij.
+        def var(pigeon, hole):
+            return pigeon * 2 + hole + 1
+
+        clauses = []
+        for pigeon in range(3):
+            clauses.append(tuple(var(pigeon, hole) for hole in range(2)))
+        for hole in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    clauses.append((-var(p1, hole), -var(p2, hole)))
+        cnf = cnf_from_clauses(6, clauses)
+        assert cdcl_solve(cnf)[0] is False
+        assert dpll_solve(cnf)[0] is False
+
+    def test_conflict_budget_returns_unknown(self):
+        def var(pigeon, hole):
+            return pigeon * 4 + hole + 1
+
+        clauses = []
+        for pigeon in range(5):
+            clauses.append(tuple(var(pigeon, hole) for hole in range(4)))
+        for hole in range(4):
+            for p1 in range(5):
+                for p2 in range(p1 + 1, 5):
+                    clauses.append((-var(p1, hole), -var(p2, hole)))
+        cnf = cnf_from_clauses(20, clauses)
+        sat, model = cdcl_solve(cnf, max_conflicts=1)
+        assert sat is None and model is None
+
+    def test_stats_are_collected(self):
+        cnf = cnf_from_clauses(3, [(1, 2), (-1, 3), (-2, -3), (-3, 1)])
+        solver = CdclSolver(cnf)
+        sat, _ = solver.solve()
+        assert sat is True
+        assert solver.stats.decisions >= 1
+        assert solver.stats.propagations >= 1
+
+    def test_luby_sequence(self):
+        assert [CdclSolver._luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Differential testing: CDCL vs DPLL vs brute force on random 3-CNF
+# ---------------------------------------------------------------------------
+
+_NUM_VARS = 8
+
+
+@st.composite
+def random_cnf(draw):
+    num_clauses = draw(st.integers(1, 30))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, 3))
+        clause = tuple(
+            draw(st.integers(1, _NUM_VARS)) * draw(st.sampled_from([1, -1])) for _ in range(width)
+        )
+        clauses.append(clause)
+    return cnf_from_clauses(_NUM_VARS, clauses)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_cnf())
+def test_cdcl_agrees_with_brute_force(cnf):
+    expected, _ = brute_force_solve(cnf)
+    sat, model = cdcl_solve(cnf)
+    assert sat == expected
+    if sat:
+        assert check_model(cnf, model)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_cnf())
+def test_dpll_agrees_with_brute_force(cnf):
+    expected, _ = brute_force_solve(cnf)
+    sat, model = dpll_solve(cnf)
+    assert sat == expected
+    if sat:
+        assert check_model(cnf, model)
