@@ -10,18 +10,20 @@ rows).
 
 import pytest
 
-from repro.reporting import case_studies, full_scale_requested
+from repro.core.engine import CaseJob
+from repro.reporting import full_scale_requested
 
 _APPLICABILITY_ROWS = ["Edge", "Service Provider", "Datacenter", "Enterprise"]
 
 
 @pytest.mark.parametrize("name", _APPLICABILITY_ROWS)
-def test_applicability_case(benchmark, record_case, name):
-    study = case_studies()[name]
+def test_applicability_case(benchmark, record_case, engine, name):
     full = full_scale_requested()
 
     def run():
-        return study(full=full)
+        [result] = engine.run([CaseJob(case=name, full=full)])
+        assert result.ok, result.error
+        return result.value
 
     outcome = benchmark.pedantic(run, iterations=1, rounds=1)
     assert outcome.verdict is True, f"{name} self-comparison should be proved"

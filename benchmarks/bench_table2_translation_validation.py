@@ -6,15 +6,17 @@ parser.  The default uses the mini Edge scenario; ``LEAPFROG_FULL=1`` runs the
 full Edge router stack.
 """
 
-from repro.reporting import case_studies, full_scale_requested
+from repro.core.engine import CaseJob
+from repro.reporting import full_scale_requested
 
 
-def test_translation_validation(benchmark, record_case):
-    study = case_studies()["Translation Validation"]
+def test_translation_validation(benchmark, record_case, engine):
     full = full_scale_requested()
 
     def run():
-        return study(full=full)
+        [result] = engine.run([CaseJob(case="Translation Validation", full=full)])
+        assert result.ok, result.error
+        return result.value
 
     outcome = benchmark.pedantic(run, iterations=1, rounds=1)
     assert outcome.verdict is True, "the parser-gen compiler output should be validated"

@@ -8,7 +8,8 @@ entailment checking through the internal solver) and records the Table 2 row.
 
 import pytest
 
-from repro.reporting import case_studies, full_scale_requested
+from repro.core.engine import CaseJob
+from repro.reporting import full_scale_requested
 
 _UTILITY_ROWS = [
     "State Rearrangement",
@@ -21,12 +22,13 @@ _UTILITY_ROWS = [
 
 
 @pytest.mark.parametrize("name", _UTILITY_ROWS)
-def test_utility_case(benchmark, record_case, name):
-    study = case_studies()[name]
+def test_utility_case(benchmark, record_case, engine, name):
     full = full_scale_requested()
 
     def run():
-        return study(full=full)
+        [result] = engine.run([CaseJob(case=name, full=full)])
+        assert result.ok, result.error
+        return result.value
 
     outcome = benchmark.pedantic(run, iterations=1, rounds=1)
     assert outcome.verdict is True, f"{name} should be proved"

@@ -12,13 +12,30 @@ range on a laptop with the pure-Python solver.
 
 from __future__ import annotations
 
+import os
 from typing import List
 
 import pytest
 
+from repro.core.engine import EquivalenceEngine
 from repro.reporting import CaseMetrics, render_text
 
 _COLLECTED: List[CaseMetrics] = []
+
+
+@pytest.fixture
+def engine() -> EquivalenceEngine:
+    """The execution engine every benchmark routes its verification through.
+
+    ``LEAPFROG_JOBS`` selects the worker count (default 1, the sequential
+    baseline) and ``LEAPFROG_CACHE_DIR`` enables the persistent solver-query
+    cache, so the same benchmark files measure sequential, parallel, cold and
+    warm configurations without edits.
+    """
+    return EquivalenceEngine(
+        jobs=int(os.environ.get("LEAPFROG_JOBS") or 1),
+        cache_dir=os.environ.get("LEAPFROG_CACHE_DIR") or None,
+    )
 
 
 @pytest.fixture

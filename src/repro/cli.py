@@ -46,11 +46,30 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--no-counterexample", action="store_true", help="skip the counterexample search"
     )
+    check.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the solver-query cache entirely (overrides --cache-dir)",
+    )
+    check.add_argument(
+        "--cache-dir", help="persist the solver-query cache to this directory"
+    )
 
     table = sub.add_parser("table", help="run the Table 2 case studies")
     table.add_argument("--full", action="store_true", help="use paper-sized parsers")
     table.add_argument("--case", action="append", help="run only the named case (repeatable)")
     table.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+    table.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run case studies across N worker processes (default: 1, sequential)",
+    )
+    table.add_argument(
+        "--cache-dir",
+        help="directory for the persistent solver-query cache, shared by all workers",
+    )
+    table.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-case wall-clock limit (enforced when --jobs > 1)",
+    )
 
     sub.add_parser("list", help="list the registered case studies")
 
@@ -66,7 +85,10 @@ def _command_check(args: argparse.Namespace) -> int:
     with open(args.right) as handle:
         right = parse_automaton(handle.read(), name=args.right)
     config = CheckerConfig(
-        use_leaps=not args.no_leaps, use_reachability=not args.no_reachability
+        use_leaps=not args.no_leaps,
+        use_reachability=not args.no_reachability,
+        use_query_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
     )
     result = check_language_equivalence(
         left,
@@ -84,7 +106,13 @@ def _command_check(args: argparse.Namespace) -> int:
 
 def _command_table(args: argparse.Namespace) -> int:
     names = args.case if args.case else None
-    metrics = run_cases(names=names, full=args.full)
+    metrics = run_cases(
+        names=names,
+        full=args.full,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+    )
     renderer = render_markdown if args.markdown else render_text
     print(renderer(metrics, title="Table 2 reproduction"))
     return 0

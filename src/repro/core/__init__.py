@@ -9,6 +9,14 @@ from .algorithm import (
 )
 from .certificate import Certificate, CertificateCheckResult, verify_certificate
 from .counterexample import Counterexample, find_counterexample
+from .engine import (
+    CaseJob,
+    EngineError,
+    EngineStatistics,
+    EquivalenceEngine,
+    EquivalenceJob,
+    JobResult,
+)
 from .entailment import EntailmentChecker, EntailmentOutcome
 from .equivalence import (
     EquivalenceResult,
@@ -29,6 +37,7 @@ from .templates import GuardedFormula, Template, TemplatePair, guard, leap_size
 from .wp import wp_formula, wp_set
 
 __all__ = [
+    "CaseJob",
     "Certificate",
     "CertificateCheckResult",
     "CheckerConfig",
@@ -36,9 +45,14 @@ __all__ = [
     "CheckerStatistics",
     "Counterexample",
     "DifferentialMismatch",
+    "EngineError",
+    "EngineStatistics",
     "EntailmentChecker",
     "EntailmentOutcome",
+    "EquivalenceEngine",
+    "EquivalenceJob",
     "EquivalenceResult",
+    "JobResult",
     "ExplicitCheckResult",
     "GuardedFormula",
     "PreBisimResult",

@@ -20,14 +20,15 @@ import time
 import tracemalloc
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional
 
 from ..logic.confrel import FTrue, Formula, TRUE
 from ..logic.simplify import simplify_formula
 from ..p4a.bitvec import Bits
 from ..p4a.syntax import P4Automaton
 from ..p4a.typing import check_automaton
-from ..smt.backend import InternalBackend, SolverBackend
+from ..smt.backend import SolverBackend
+from ..smt.cache import make_backend
 from .certificate import Certificate
 from .entailment import EntailmentChecker, EXACT
 from .init_rels import initial_relation
@@ -47,6 +48,12 @@ class CheckerConfig:
     ``use_leaps`` and ``use_reachability`` correspond to the two optimizations
     of Section 5 and exist primarily so the ablation benchmarks can disable
     them.  ``entailment_mode`` selects the fast or exact entailment strategy.
+
+    ``use_query_cache`` memoizes solver queries by structural fingerprint for
+    the duration of the run; ``cache_dir`` additionally persists the memo to a
+    sqlite store shared across runs and across engine workers.  Both only
+    apply when the checker builds its own backend (an explicitly supplied
+    backend is used as-is).
     """
 
     use_leaps: bool = True
@@ -55,6 +62,8 @@ class CheckerConfig:
     max_iterations: int = 200_000
     track_memory: bool = True
     frontier_order: str = "fifo"  # or "lifo"
+    use_query_cache: bool = True
+    cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -71,6 +80,7 @@ class CheckerStatistics:
     peak_memory_bytes: int = 0
     entailment: Dict[str, int] = field(default_factory=dict)
     solver: Dict[str, float] = field(default_factory=dict)
+    cache: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -84,6 +94,7 @@ class CheckerStatistics:
             "peak_memory_bytes": self.peak_memory_bytes,
             "entailment": dict(self.entailment),
             "solver": dict(self.solver),
+            "cache": dict(self.cache),
         }
 
 
@@ -126,7 +137,10 @@ class PreBisimulationChecker:
         self.left_start = left_start
         self.right_start = right_start
         self.config = config or CheckerConfig()
-        self.backend = backend or InternalBackend()
+        self._owns_backend = backend is None
+        self.backend = backend if backend is not None else make_backend(
+            use_cache=self.config.use_query_cache, cache_dir=self.config.cache_dir
+        )
         self.entailment = EntailmentChecker(self.backend, mode=self.config.entailment_mode)
         self.initial_pure = initial_pure
         self.store_relation = store_relation
@@ -156,6 +170,8 @@ class PreBisimulationChecker:
     def run(self) -> PreBisimResult:
         statistics = CheckerStatistics()
         start_time = time.perf_counter()
+        cache_stats = getattr(self.backend, "cache_statistics", None)
+        cache_before = cache_stats.as_dict() if cache_stats is not None else None
         tracking_memory = False
         if self.config.track_memory and not tracemalloc.is_tracing():
             tracemalloc.start()
@@ -179,6 +195,23 @@ class PreBisimulationChecker:
                 "max_time": solver_stats.max_time,
                 "p99_time": solver_stats.percentile_time(0.99),
             }
+            if cache_stats is not None:
+                # Delta against the run's start, so a backend shared across
+                # several checker runs still reports per-run cache numbers.
+                after = cache_stats.as_dict()
+                delta = {
+                    key: after[key] - cache_before[key]
+                    for key in ("hits", "misses", "memory_hits", "disk_hits", "stores")
+                }
+                lookups = delta["hits"] + delta["misses"]
+                delta["hit_rate"] = round(delta["hits"] / lookups, 4) if lookups else 0.0
+                statistics.cache = delta
+            if self._owns_backend:
+                # Release the persistent cache's file handle deterministically
+                # (the store reopens transparently if this checker runs again).
+                close = getattr(self.backend, "close", None)
+                if close is not None:
+                    close()
         return result
 
     # ------------------------------------------------------------------

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..logic.confrel import FALSE, FTrue, Formula, TRUE
+from ..logic.confrel import FALSE, FTrue, Formula
 from ..logic.simplify import simplify_formula
 from ..p4a.syntax import P4Automaton
 from ..smt.backend import SolverBackend

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..logic.compile import lower_formula, variable_name
 from ..logic.confrel import LEFT, RIGHT, BVExpr, CLit, CVar, Formula, TRUE
-from ..logic.folconf import buffer_variable_name, store_variable_name
+from ..logic.folconf import store_variable_name
 from ..logic.simplify import mk_and, mk_concat, simplify_formula
 from ..p4a.bitvec import Bits
 from ..p4a.semantics import Store, accepts

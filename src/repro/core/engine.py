@@ -1,0 +1,324 @@
+"""A job-based execution engine for equivalence-checking workloads.
+
+The Table 2 reproduction and the ablation study run many independent
+verification problems; nothing couples one automaton pair to another, so the
+engine fans jobs out across worker processes (one :mod:`multiprocessing`
+process per job, a bounded number alive at once) while keeping the interface
+deterministic:
+
+* results are returned **in job-submission order**, whatever the completion
+  order of the workers;
+* a job is either a :class:`CaseJob` (a registered Table 2 case study, looked
+  up by name inside the worker so only strings and configs cross the process
+  boundary) or an :class:`EquivalenceJob` (an explicit automaton pair —
+  automata are plain frozen dataclasses and pickle cleanly);
+* every job can carry a wall-clock **timeout**; an expired job's worker is
+  terminated and the job reported as a ``timeout`` :class:`JobResult`, so a
+  hung case can neither poison the run nor starve the queued jobs;
+* failures inside a worker are captured per job as ``error`` results.
+
+With ``jobs=1`` (the default) everything runs inline in the calling process —
+no pool, no pickling — which is the baseline that parallel runs are required
+to reproduce exactly.  Workers can share solver work through the persistent
+query cache: pass ``cache_dir`` and every job's checker stacks a
+:class:`~repro.smt.cache.CachingBackend` over the same sqlite store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..p4a.syntax import P4Automaton
+from .algorithm import CheckerConfig
+
+
+class EngineError(Exception):
+    """Raised on malformed jobs or engine misconfiguration."""
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaseJob:
+    """Run one registered case study (a Table 2 row) by name."""
+
+    case: str
+    full: bool = False
+    config: Optional[CheckerConfig] = None
+    job_id: Optional[str] = None
+    timeout: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        return self.job_id if self.job_id is not None else self.case
+
+
+@dataclass(frozen=True)
+class EquivalenceJob:
+    """Check language equivalence of an explicit automaton pair."""
+
+    left: P4Automaton
+    left_start: str
+    right: P4Automaton
+    right_start: str
+    config: Optional[CheckerConfig] = None
+    find_counterexamples: bool = False
+    job_id: Optional[str] = None
+    timeout: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        if self.job_id is not None:
+            return self.job_id
+        return f"{self.left.name} ~ {self.right.name}"
+
+
+Job = Union[CaseJob, EquivalenceJob]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one engine job, in one of three states.
+
+    ``ok`` — ``value`` holds the job's payload (a
+    :class:`~repro.reporting.runner.CaseOutcome` for case jobs, an
+    :class:`~repro.core.equivalence.EquivalenceResult` for equivalence jobs);
+    ``error`` — ``error`` holds the worker-side exception rendered as text;
+    ``timeout`` — the job did not produce a result within its timeout.
+    """
+
+    job_id: str
+    status: str
+    value: object = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class EngineStatistics:
+    """Aggregate accounting for one :meth:`EquivalenceEngine.run` call."""
+
+    jobs: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+    by_job: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "workers": self.workers,
+            "by_job": {name: round(seconds, 3) for name, seconds in self.by_job.items()},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker entry point (top level so it pickles under the spawn start method)
+# ---------------------------------------------------------------------------
+
+
+def _effective_config(job: Job, cache_dir: Optional[str]) -> Optional[CheckerConfig]:
+    config = job.config
+    if cache_dir is None:
+        return config
+    if config is None:
+        config = CheckerConfig()
+    if config.cache_dir is None:
+        config = dataclasses.replace(config, cache_dir=cache_dir)
+    return config
+
+
+def _execute_job(job: Job, cache_dir: Optional[str] = None) -> object:
+    config = _effective_config(job, cache_dir)
+    if isinstance(job, CaseJob):
+        from ..reporting.runner import case_studies
+
+        registry = case_studies()
+        if job.case not in registry:
+            raise EngineError(
+                f"unknown case study {job.case!r}; known: {', '.join(sorted(registry))}"
+            )
+        return registry[job.case](full=job.full, config=config)
+    if isinstance(job, EquivalenceJob):
+        from .equivalence import check_language_equivalence
+
+        return check_language_equivalence(
+            job.left,
+            job.left_start,
+            job.right,
+            job.right_start,
+            config=config,
+            find_counterexamples=job.find_counterexamples,
+        )
+    raise EngineError(f"unknown job type {type(job).__name__}")
+
+
+def _pooled_worker(conn, job: Job, cache_dir: Optional[str]) -> None:
+    """Child-process entry point: run one job, ship the outcome over a pipe."""
+    try:
+        payload = ("ok", _execute_job(job, cache_dir))
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
+        payload = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    except Exception as exc:  # unpicklable result
+        conn.send(("error", f"result not transferable: {type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class EquivalenceEngine:
+    """Executes equivalence-checking jobs, sequentially or across processes.
+
+    ``jobs`` is the worker count (1 = inline, no subprocesses).  ``timeout``
+    is the default per-job wall-clock limit in seconds, overridable per job;
+    timeouts are enforced only in pooled mode (an inline run has nowhere to
+    escape to), and the clock includes worker startup (process spawn plus
+    package import, a fraction of a second), so limits should comfortably
+    exceed that.  ``cache_dir`` threads a shared persistent query cache into
+    every job's checker configuration.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        timeout: Optional[float] = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        if jobs < 1:
+            raise EngineError(f"worker count must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.timeout = timeout
+        self.mp_context = mp_context
+        self.statistics = EngineStatistics()
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Run every job and return results in submission order."""
+        labels = [job.label for job in jobs]
+        if len(set(labels)) != len(labels):
+            raise EngineError("job labels must be unique; set job_id to disambiguate")
+        start = time.perf_counter()
+        self.statistics = EngineStatistics(jobs=len(jobs), workers=min(self.jobs, max(len(jobs), 1)))
+        if self.jobs == 1:
+            results = [self._run_inline(job) for job in jobs]
+        else:
+            # Pooled even for a single job, so per-job timeouts stay enforced.
+            results = self._run_pooled(jobs)
+        self.statistics.wall_seconds = time.perf_counter() - start
+        for result in results:
+            self.statistics.by_job[result.job_id] = result.elapsed
+            if result.status == "ok":
+                self.statistics.succeeded += 1
+            elif result.status == "timeout":
+                self.statistics.timed_out += 1
+            else:
+                self.statistics.failed += 1
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, job: Job) -> JobResult:
+        start = time.perf_counter()
+        try:
+            value = _execute_job(job, self.cache_dir)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
+            return JobResult(
+                job.label, "error", error=f"{type(exc).__name__}: {exc}",
+                elapsed=time.perf_counter() - start,
+            )
+        return JobResult(job.label, "ok", value=value, elapsed=time.perf_counter() - start)
+
+    def _run_pooled(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """One process per job, at most ``self.jobs`` alive at a time.
+
+        A dedicated process (instead of an executor pool) is what makes the
+        per-job timeout real: an expired job is ``terminate()``d, freeing its
+        slot immediately instead of leaving a hung worker to starve the queue.
+        Elapsed times are measured from each job's own start.
+        """
+        context = multiprocessing.get_context(self.mp_context)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending = deque(enumerate(jobs))
+        running: Dict[int, tuple] = {}  # index -> (process, pipe, started, limit, job)
+        try:
+            while pending or running:
+                while pending and len(running) < self.jobs:
+                    index, job = pending.popleft()
+                    receiver, sender = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=_pooled_worker, args=(sender, job, self.cache_dir), daemon=True
+                    )
+                    process.start()
+                    sender.close()
+                    limit = job.timeout if job.timeout is not None else self.timeout
+                    running[index] = (process, receiver, time.perf_counter(), limit, job)
+                multiprocessing.connection.wait(
+                    [entry[1] for entry in running.values()], timeout=0.05
+                )
+                for index in list(running):
+                    process, receiver, started, limit, job = running[index]
+                    elapsed = time.perf_counter() - started
+                    if receiver.poll():
+                        try:
+                            status, payload = receiver.recv()
+                        except Exception as exc:  # EOF, truncated pickle, OSError
+                            status = "error"
+                            detail = f": {exc}" if str(exc) else ""
+                            payload = f"worker result unreadable: {type(exc).__name__}{detail}"
+                        if status == "ok":
+                            results[index] = JobResult(job.label, "ok", value=payload,
+                                                       elapsed=elapsed)
+                        else:
+                            results[index] = JobResult(job.label, "error", error=payload,
+                                                       elapsed=elapsed)
+                    elif not process.is_alive():
+                        results[index] = JobResult(
+                            job.label, "error",
+                            error=f"worker exited with code {process.exitcode}",
+                            elapsed=elapsed,
+                        )
+                    elif limit is not None and elapsed > limit:
+                        process.terminate()
+                        results[index] = JobResult(
+                            job.label, "timeout",
+                            error=f"no result within {limit} seconds", elapsed=elapsed,
+                        )
+                    else:
+                        continue
+                    receiver.close()
+                    process.join()
+                    del running[index]
+        finally:
+            for process, receiver, _, _, _ in running.values():
+                process.terminate()
+                receiver.close()
+                process.join()
+        return [result for result in results if result is not None]

@@ -27,7 +27,7 @@ present.  The pure fast mode is kept for experiments on the trade-off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..logic import folbv
@@ -72,6 +72,8 @@ class EntailmentStatistics:
     cegis_entailed: int = 0
     cegis_refuted: int = 0
     unknown: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -83,6 +85,8 @@ class EntailmentStatistics:
             "cegis_entailed": self.cegis_entailed,
             "cegis_refuted": self.cegis_refuted,
             "unknown": self.unknown,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
 
@@ -121,7 +125,13 @@ class EntailmentChecker:
 
         # Fast path: shared-variable quantifier-free query.
         query = compile_entailment(canonical_premises, canonical_goal)
+        cache_stats = getattr(self.backend, "cache_statistics", None)
+        hits_before = cache_stats.hits if cache_stats is not None else 0
         result = self.backend.check_sat(query.formula)
+        if cache_stats is not None:
+            hit = cache_stats.hits - hits_before
+            self.statistics.cache_hits += hit
+            self.statistics.cache_misses += 1 - hit
         if result.status is SatStatus.UNSAT:
             self.statistics.smt_entailed += 1
             return EntailmentOutcome(True, "smt")
@@ -153,9 +163,9 @@ class EntailmentChecker:
             lowered_premises.append(lower_formula(renamed))
         lowered_goal = lower_formula(goal)
         matrix = folbv.b_and(lowered_premises + [folbv.b_not(lowered_goal)])
-        internal_solver = (
-            self.backend.solver if isinstance(self.backend, InternalBackend) else None
-        )
+        # Both InternalBackend and CachingBackend expose the underlying
+        # internal solver via .solver; other backends fall back to a fresh one.
+        internal_solver = getattr(self.backend, "solver", None)
         outcome = solve_exists_forall(
             matrix, universal_vars, solver=internal_solver, max_rounds=self.cegis_rounds
         )

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..logic.confrel import Formula, TRUE
-from ..p4a.bitvec import Bits
 from ..p4a.syntax import P4Automaton
 from ..smt.backend import InternalBackend, SolverBackend
 from .algorithm import CheckerConfig, CheckerStatistics, PreBisimResult, PreBisimulationChecker
@@ -79,7 +78,8 @@ def _run(
     find_counterexamples: bool,
     counterexample_max_leaps: int,
 ) -> EquivalenceResult:
-    backend = backend or InternalBackend()
+    # With no explicit backend, the checker builds its own stack from the
+    # config (internal solver, optionally wrapped in the query cache).
     checker = PreBisimulationChecker(
         left_aut,
         right_aut,

@@ -14,11 +14,11 @@ over-approximates the property of interest on the first iteration:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..logic.confrel import FALSE, Formula
 from .reachability import ReachabilityAnalysis
-from .templates import GuardedFormula, TemplatePair
+from .templates import GuardedFormula
 
 
 def accept_mismatch_formulas(reach: ReachabilityAnalysis) -> List[GuardedFormula]:

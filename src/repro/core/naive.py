@@ -15,10 +15,10 @@ import random
 from collections import deque
 from dataclasses import dataclass
 from itertools import product
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Iterator, Optional
 
 from ..p4a.bitvec import Bits
-from ..p4a.semantics import Configuration, Store, accepts, initial_configuration, step
+from ..p4a.semantics import Store, accepts, initial_configuration, step
 from ..p4a.syntax import P4Automaton, REJECT
 
 

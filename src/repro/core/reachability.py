@@ -19,9 +19,9 @@ Two abstractions are provided:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
-from ..p4a.syntax import FINAL_STATES, P4Automaton, REJECT
+from ..p4a.syntax import FINAL_STATES, P4Automaton
 from .templates import REJECT_TEMPLATE, Template, TemplatePair, leap_size
 
 

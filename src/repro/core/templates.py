@@ -13,7 +13,7 @@ transition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import List
 
 from ..logic.confrel import Formula, FTrue
 from ..p4a.semantics import Configuration

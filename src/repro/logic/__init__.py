@@ -1,15 +1,21 @@
 """Configuration-relation logic and the lowering chain to FOL(BV)."""
 
-from . import confrel, folbv, folconf, simplify, smtlib
+from . import confrel, fingerprint, folbv, folconf, simplify, smtlib
 from .compile import EntailmentQuery, compile_entailment, compile_validity, lower_formula
+from .fingerprint import confrel_fingerprint, folbv_fingerprint, intern_formula, intern_term
 
 __all__ = [
     "EntailmentQuery",
     "compile_entailment",
     "compile_validity",
     "confrel",
+    "confrel_fingerprint",
+    "fingerprint",
     "folbv",
+    "folbv_fingerprint",
     "folconf",
+    "intern_formula",
+    "intern_term",
     "lower_formula",
     "simplify",
     "smtlib",

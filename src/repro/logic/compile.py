@@ -19,7 +19,7 @@ The end-to-end :func:`compile_entailment` builds the negated validity query
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from . import confrel, folbv, folconf
 from .confrel import (

@@ -18,9 +18,9 @@ formulas against concrete configuration pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
-from ..p4a.bitvec import EMPTY, Bits
+from ..p4a.bitvec import Bits
 from ..p4a.semantics import Configuration
 
 # Side tags.

@@ -10,9 +10,7 @@ bitvector variables, producing FOL(BV).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
-from ..p4a.bitvec import Bits
 from . import folbv
 from .folbv import BFormula, Term
 

@@ -150,7 +150,6 @@ def _split_aligned(
     nothing to gain (a single pair covering everything).
     """
     pairs: List[Tuple[BVExpr, BVExpr]] = []
-    i = j = 0
     left_queue = list(left_parts)
     right_queue = list(right_parts)
     while left_queue and right_queue:

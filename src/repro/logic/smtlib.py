@@ -15,7 +15,7 @@ significant end.  The printer performs that flip.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from ..p4a.bitvec import Bits
 from . import folbv

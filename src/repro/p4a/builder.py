@@ -38,7 +38,6 @@ from .syntax import (
     Slice,
     State,
     WILDCARD,
-    WildcardPattern,
 )
 from .typing import check_automaton
 

@@ -9,9 +9,9 @@ this module is about the state graph only.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from .syntax import ACCEPT, FINAL_STATES, P4Automaton, REJECT
+from .syntax import FINAL_STATES, P4Automaton, REJECT
 
 
 def successors(aut: P4Automaton, state: str) -> Tuple[str, ...]:

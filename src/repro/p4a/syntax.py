@@ -9,7 +9,7 @@ bitvector variables shared between states.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Mapping, Sequence, Tuple, Union
 
 from .bitvec import Bits
 from .errors import P4ATypeError

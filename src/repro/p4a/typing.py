@@ -18,9 +18,7 @@ from typing import List
 
 from .errors import P4ATypeError
 from .syntax import (
-    ACCEPT,
     FINAL_STATES,
-    REJECT,
     Assign,
     BVLit,
     Concat,

@@ -21,14 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .hardware import (
-    ACCEPT_STATE,
-    REJECT_STATE,
-    HardwareConfig,
-    HardwareError,
-    HardwareParser,
-    TableEntry,
-)
+from .hardware import ACCEPT_STATE, REJECT_STATE, HardwareConfig, HardwareParser, TableEntry
 from .ir import DONE, DROP, Edge, Node, ParseGraph
 
 
@@ -109,7 +102,6 @@ class ParserGenCompiler:
         for name in reachable:
             if not self._layouts[name].merged:
                 entries.extend(self._entries_for_node(name))
-        root_layout = self._layouts[self.graph.root]
         parser = HardwareParser(
             name=f"{self.graph.name}_hw",
             config=self.config,

@@ -74,4 +74,10 @@ def attach_run_statistics(metrics: CaseMetrics, statistics: CheckerStatistics,
     metrics.reachable_pairs = statistics.reachable_pairs
     metrics.relation_size = statistics.relation_size
     metrics.solver_queries = int(statistics.solver.get("queries", 0))
+    if statistics.cache:
+        metrics.extra["cache_hit_percent"] = round(
+            100.0 * float(statistics.cache.get("hit_rate", 0.0)), 1
+        )
+        metrics.extra["cache_hits"] = int(statistics.cache.get("hits", 0))
+        metrics.extra["cache_misses"] = int(statistics.cache.get("misses", 0))
     return metrics

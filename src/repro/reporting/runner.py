@@ -23,7 +23,6 @@ from ..core.equivalence import (
 )
 from ..core.reachability import ReachabilityAnalysis
 from ..core.templates import Template, TemplatePair
-from ..p4a.syntax import P4Automaton
 from ..parsergen import compile_graph, graph_to_p4a, hardware_to_p4a, scenario
 from ..protocols import ethernet_ip, ethernet_vlan, ip_options, ip_tcp_udp, mpls
 from .metrics import CaseMetrics, attach_run_statistics, structural_metrics
@@ -232,15 +231,45 @@ def run_cases(
     names: Optional[Sequence[str]] = None,
     full: Optional[bool] = None,
     config: Optional[CheckerConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
 ) -> List[CaseMetrics]:
-    """Run the selected case studies and return their metric rows."""
+    """Run the selected case studies and return their metric rows.
+
+    The run goes through the :class:`~repro.core.engine.EquivalenceEngine`:
+    ``jobs`` selects the worker count (1 = in-process, the deterministic
+    baseline), ``cache_dir`` shares a persistent solver-query cache between
+    workers and across invocations, and ``timeout`` bounds each case's
+    wall-clock time in pooled mode.  Rows come back in registry order
+    regardless of which worker finished first.
+    """
+    from ..core.engine import CaseJob, EquivalenceEngine
+
     registry = case_studies()
     if names is None:
         names = list(registry)
     if full is None:
         full = full_scale_requested()
-    results = []
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        raise KeyError(f"unknown case studies: {', '.join(unknown)}")
+    engine = EquivalenceEngine(jobs=jobs, cache_dir=cache_dir, timeout=timeout)
+    # --case is repeatable, so the same name may appear twice; suffix repeats
+    # to keep engine job labels unique while preserving one row per request.
+    seen: Dict[str, int] = {}
+    case_jobs = []
     for name in names:
-        outcome = registry[name](full=full, config=config)
-        results.append(outcome.metrics)
-    return results
+        count = seen.get(name, 0)
+        seen[name] = count + 1
+        job_id = name if count == 0 else f"{name} ({count + 1})"
+        case_jobs.append(CaseJob(case=name, full=full, config=config, job_id=job_id))
+    results = engine.run(case_jobs)
+    metrics: List[CaseMetrics] = []
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"case study {result.job_id!r} {result.status}: {result.error}"
+            )
+        metrics.append(result.value.metrics)
+    return metrics

@@ -10,7 +10,7 @@ is what ``EXPERIMENTS.md`` embeds.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .metrics import CaseMetrics
 
@@ -25,6 +25,7 @@ _COLUMNS = (
     ("Pairs", "reachable_pairs"),
     ("Relation", "relation_size"),
     ("SMT queries", "solver_queries"),
+    ("Cache hit %", "cache_hit_percent"),
 )
 
 

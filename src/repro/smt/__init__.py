@@ -9,15 +9,19 @@ from .backend import (
 )
 from .bitblast import Bitblaster, BitblastResult, bitblast
 from .bvsolver import InternalBVSolver, SatResult, SatStatus, SolverStatistics
+from .cache import CacheStatistics, CachingBackend, PersistentQueryCache, make_backend
 from .cegis import ExistsForallResult, solve_exists_forall, substitute
 
 __all__ = [
     "Bitblaster",
     "BitblastResult",
+    "CacheStatistics",
+    "CachingBackend",
     "ExistsForallResult",
     "ExternalBackend",
     "InternalBackend",
     "InternalBVSolver",
+    "PersistentQueryCache",
     "SatResult",
     "SatStatus",
     "SolverBackend",
@@ -25,6 +29,7 @@ __all__ = [
     "available_external_solvers",
     "bitblast",
     "default_backend",
+    "make_backend",
     "solve_exists_forall",
     "substitute",
 ]

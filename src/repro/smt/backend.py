@@ -19,8 +19,7 @@ import os
 import shutil
 import subprocess
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..logic import folbv, smtlib
 from ..logic.folbv import BFormula

@@ -10,8 +10,8 @@ with Tseitin gates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
 
 from ..logic import folbv
 from ..logic.folbv import (

@@ -1,0 +1,224 @@
+"""Fingerprint-keyed caching of satisfiability queries.
+
+:class:`CachingBackend` wraps any :class:`~repro.smt.backend.SolverBackend`
+and memoizes ``check_sat`` answers by the structural fingerprint of the query
+(:mod:`repro.logic.fingerprint`).  Two layers are consulted in order:
+
+1. an **in-memory** dictionary, free to populate and always enabled;
+2. an optional **persistent** sqlite store shared across processes and runs,
+   enabled by passing a cache directory.  The engine uses it to share solver
+   work between parallel workers, and repeated benchmark runs start warm.
+
+Only definitive answers (``sat``/``unsat``) are cached; ``unknown`` results
+(e.g. a conflict-limited CDCL call) are always re-queried.  Models are stored
+with the answer so a cached ``sat`` still carries its witness.
+
+Caching is sound because the lowering chain is deterministic and fingerprints
+are structural: a formula with the same fingerprint is the same formula, so
+the solver would return the same status (and, with the deterministic internal
+solver, the same model).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..logic.fingerprint import FINGERPRINT_VERSION, folbv_fingerprint
+from ..logic.folbv import BFormula
+from ..p4a.bitvec import Bits
+from .backend import InternalBackend, SolverBackend
+from .bvsolver import InternalBVSolver, SatResult, SatStatus, SolverStatistics
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss accounting for one :class:`CachingBackend`."""
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def _encode_model(model: Optional[Dict[str, Bits]]) -> Optional[str]:
+    if model is None:
+        return None
+    return json.dumps({name: bits.to_bitstring() for name, bits in model.items()}, sort_keys=True)
+
+
+def _decode_model(payload: Optional[str]) -> Optional[Dict[str, Bits]]:
+    if payload is None:
+        return None
+    return {name: Bits(bitstring) for name, bitstring in json.loads(payload).items()}
+
+
+class PersistentQueryCache:
+    """A sqlite-backed fingerprint → result store, safe for concurrent use.
+
+    sqlite serializes writers itself; every ``put`` is one short transaction,
+    so multiple engine workers can share a cache directory.  The schema is
+    versioned by the fingerprint format so stale entries are never misread.
+    """
+
+    def __init__(self, directory: str) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(
+            directory, f"query_cache_v{FINGERPRINT_VERSION}.sqlite"
+        )
+        self._conn: Optional[sqlite3.Connection] = None
+        self._connection()  # create the schema eagerly so misconfiguration fails fast
+
+    def _connection(self) -> sqlite3.Connection:
+        # Reopens transparently after close(), so a cache handle stays usable
+        # for a later run while still releasing its file handle in between.
+        if self._conn is None:
+            self._conn = sqlite3.connect(self.path, timeout=30.0, check_same_thread=False)
+            # WAL + NORMAL avoids a journal fsync per stored query, which on
+            # fsync-bound filesystems would rival the solver time for the
+            # small fast queries the cache exists to absorb.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            with self._conn:
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS results ("
+                    " fingerprint TEXT PRIMARY KEY,"
+                    " status TEXT NOT NULL,"
+                    " model TEXT)"
+                )
+        return self._conn
+
+    def get(self, fingerprint: str) -> Optional[SatResult]:
+        row = self._connection().execute(
+            "SELECT status, model FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        if row is None:
+            return None
+        status, model_payload = row
+        return SatResult(SatStatus(status), _decode_model(model_payload), 0.0)
+
+    def put(self, fingerprint: str, result: SatResult) -> None:
+        conn = self._connection()
+        with conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO results (fingerprint, status, model) VALUES (?, ?, ?)",
+                (fingerprint, result.status.value, _encode_model(result.model)),
+            )
+
+    def __len__(self) -> int:
+        return self._connection().execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+class CachingBackend(SolverBackend):
+    """A solver backend that memoizes ``check_sat`` by query fingerprint."""
+
+    def __init__(
+        self,
+        inner: Optional[SolverBackend] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.inner = inner if inner is not None else InternalBackend()
+        self.name = f"cached+{self.inner.name}"
+        self.cache_statistics = CacheStatistics()
+        self._memory: Dict[str, SatResult] = {}
+        self._disk = PersistentQueryCache(cache_dir) if cache_dir else None
+
+    # ------------------------------------------------------------------
+
+    def check_sat(self, formula: BFormula) -> SatResult:
+        start = time.perf_counter()
+        # One linear serialization walk per query; interning here would cost
+        # more than the lookup it guards (per-node canonicalization is
+        # quadratic in formula depth).
+        fingerprint = folbv_fingerprint(formula)
+        cached = self._memory.get(fingerprint)
+        if cached is not None:
+            self.cache_statistics.hits += 1
+            self.cache_statistics.memory_hits += 1
+            return self._replay(cached, start)
+        if self._disk is not None:
+            cached = self._disk.get(fingerprint)
+            if cached is not None:
+                self._memory[fingerprint] = cached
+                self.cache_statistics.hits += 1
+                self.cache_statistics.disk_hits += 1
+                return self._replay(cached, start)
+        self.cache_statistics.misses += 1
+        result = self.inner.check_sat(formula)
+        if result.status is not SatStatus.UNKNOWN:
+            self._memory[fingerprint] = result
+            if self._disk is not None:
+                self._disk.put(fingerprint, result)
+            self.cache_statistics.stores += 1
+        return result
+
+    @staticmethod
+    def _replay(cached: SatResult, start: float) -> SatResult:
+        model = dict(cached.model) if cached.model is not None else None
+        return SatResult(cached.status, model, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def statistics(self) -> SolverStatistics:
+        """Statistics of the wrapped backend (actual solver work only)."""
+        return self.inner.statistics
+
+    @property
+    def solver(self) -> Optional[InternalBVSolver]:
+        """The underlying internal solver, when the wrapped backend has one."""
+        if isinstance(self.inner, InternalBackend):
+            return self.inner.solver
+        return None
+
+    @property
+    def persistent_path(self) -> Optional[str]:
+        return self._disk.path if self._disk is not None else None
+
+    def close(self) -> None:
+        if self._disk is not None:
+            self._disk.close()
+
+
+def make_backend(
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    inner: Optional[SolverBackend] = None,
+) -> SolverBackend:
+    """Build the standard backend stack: internal solver, optionally cached.
+
+    ``use_cache=False`` wins: it disables both cache layers even when a
+    ``cache_dir`` is supplied, so an explicit opt-out is never overridden.
+    """
+    backend = inner if inner is not None else InternalBackend()
+    if use_cache:
+        return CachingBackend(backend, cache_dir=cache_dir)
+    return backend

@@ -23,7 +23,7 @@ variable domains are finite, though a round limit is enforced in practice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from ..logic import folbv
 from ..logic.folbv import BFormula, BVConst, BVVar, Term
@@ -77,11 +77,6 @@ def substitute(formula: BFormula, values: Mapping[str, Bits]) -> BFormula:
 
 def rename_formula_variables(formula: BFormula, mapping: Mapping[str, str]) -> BFormula:
     """Rename variables (keeping widths) according to ``mapping``."""
-    widths = folbv.free_variables(formula)
-    values = {
-        name: BVVar(mapping[name], widths[name]) for name in mapping if name in widths
-    }
-
     def substitute_var_term(term: Term) -> Term:
         if isinstance(term, BVVar) and term.name in mapping:
             return BVVar(mapping[term.name], term.var_width)

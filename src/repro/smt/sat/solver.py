@@ -18,7 +18,7 @@ in this repository.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .cnf import Cnf
@@ -131,7 +131,6 @@ class CdclSolver:
 
     def _propagate(self) -> Optional[int]:
         """Exhaustive unit propagation; returns a conflicting clause index or None."""
-        head = len(self._trail) - 1 if self._trail else 0
         queue_position = getattr(self, "_queue_position", 0)
         while queue_position < len(self._trail):
             literal = self._trail[queue_position]

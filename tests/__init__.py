@@ -1,0 +1,1 @@
+"""Test package (required so relative imports of tests.helpers resolve)."""

@@ -16,10 +16,8 @@ from repro.core.naive import (
     explicit_bisimulation_check,
     random_differential_test,
 )
-from repro.core.templates import GuardedFormula, Template, TemplatePair
 from repro.logic.confrel import LEFT, RIGHT, CBuf, CHdr, CVar, FFalse, TRUE
 from repro.logic.simplify import mk_eq
-from repro.p4a.bitvec import Bits
 from repro.p4a.semantics import accepts
 from repro.protocols import mpls, tiny
 

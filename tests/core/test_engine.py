@@ -1,0 +1,202 @@
+"""Tests for the job-based parallel equivalence engine."""
+
+import pytest
+
+from repro.core.algorithm import CheckerConfig
+from repro.core.engine import (
+    CaseJob,
+    EngineError,
+    EquivalenceEngine,
+    EquivalenceJob,
+)
+from repro.protocols import tiny
+
+from ..helpers import fixed_length_automaton
+
+
+def _tiny_jobs():
+    return [
+        EquivalenceJob(
+            tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse", job_id="equiv"
+        ),
+        EquivalenceJob(
+            tiny.incremental_bits_checked(), "Start", tiny.big_bits_checked(), "Parse",
+            job_id="checked",
+        ),
+        EquivalenceJob(
+            tiny.incremental_bits(), "Start", tiny.big_bits_wrong_length(), "Parse",
+            job_id="wrong", find_counterexamples=True,
+        ),
+        EquivalenceJob(
+            fixed_length_automaton(3), "s0", fixed_length_automaton(3), "s0",
+            job_id="fixed3",
+        ),
+    ]
+
+
+def _comparable(results):
+    """Project each job result onto its deterministic, order-sensitive parts."""
+    projected = []
+    for result in results:
+        value = result.value
+        projected.append(
+            (
+                result.job_id,
+                result.status,
+                value.verdict,
+                value.statistics.iterations,
+                value.statistics.extended,
+                value.statistics.skipped,
+                value.statistics.relation_size,
+                value.statistics.reachable_pairs,
+                str(value.counterexample) if value.counterexample else None,
+                value.certificate.summary() if value.certificate else None,
+            )
+        )
+    return projected
+
+
+class TestSequentialEngine:
+    def test_results_in_submission_order(self):
+        engine = EquivalenceEngine(jobs=1)
+        results = engine.run(_tiny_jobs())
+        assert [r.job_id for r in results] == ["equiv", "checked", "wrong", "fixed3"]
+        assert all(r.ok for r in results)
+        assert results[0].value.verdict is True
+        assert results[2].value.verdict is False
+
+    def test_error_is_captured_per_job(self):
+        engine = EquivalenceEngine(jobs=1)
+        results = engine.run([
+            CaseJob(case="No Such Row", job_id="bad"),
+            EquivalenceJob(
+                tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse", job_id="good"
+            ),
+        ])
+        assert results[0].status == "error"
+        assert "No Such Row" in results[0].error
+        assert results[1].ok and results[1].value.verdict is True
+        assert engine.statistics.failed == 1
+        assert engine.statistics.succeeded == 1
+
+    def test_duplicate_labels_rejected(self):
+        engine = EquivalenceEngine(jobs=1)
+        job = EquivalenceJob(
+            tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse", job_id="dup"
+        )
+        with pytest.raises(EngineError, match="unique"):
+            engine.run([job, job])
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(EngineError):
+            EquivalenceEngine(jobs=0)
+
+    def test_case_job_runs_registered_study(self):
+        engine = EquivalenceEngine(jobs=1)
+        [result] = engine.run([CaseJob(case="Header initialization")])
+        assert result.ok
+        assert result.value.verdict is True
+        assert result.value.metrics.name == "Header initialization"
+
+
+class TestParallelEngine:
+    def test_parallel_results_identical_to_sequential(self):
+        jobs = _tiny_jobs()
+        sequential = EquivalenceEngine(jobs=1).run(jobs)
+        parallel = EquivalenceEngine(jobs=2).run(jobs)
+        assert _comparable(parallel) == _comparable(sequential)
+
+    def test_parallel_shares_persistent_cache(self, tmp_path):
+        jobs = _tiny_jobs()
+        cache_dir = str(tmp_path / "cache")
+        warm = EquivalenceEngine(jobs=1, cache_dir=cache_dir)
+        warm_results = warm.run(jobs)
+        parallel = EquivalenceEngine(jobs=2, cache_dir=cache_dir)
+        parallel_results = parallel.run(jobs)
+        assert _comparable(parallel_results) == _comparable(warm_results)
+        # Workers answered at least one solver query from the shared store.
+        total_hits = sum(
+            r.value.statistics.cache.get("hits", 0) for r in parallel_results if r.ok
+        )
+        assert total_hits > 0
+
+    def test_timeout_terminates_job_and_run_continues(self):
+        from repro.protocols import mpls
+
+        results = EquivalenceEngine(jobs=2).run([
+            EquivalenceJob(
+                mpls.reference_parser(), mpls.REFERENCE_START,
+                mpls.vectorized_parser(), mpls.VECTORIZED_START,
+                job_id="slow", timeout=0.01,
+            ),
+            EquivalenceJob(
+                tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse", job_id="fast"
+            ),
+        ])
+        assert results[0].status == "timeout"
+        assert "0.01" in results[0].error
+        assert results[1].ok and results[1].value.verdict is True
+
+    def test_single_job_with_multiple_workers_is_pooled(self):
+        # jobs > 1 must pool even for one job so its timeout stays enforced.
+        [result] = EquivalenceEngine(jobs=2).run([
+            EquivalenceJob(
+                tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse",
+                job_id="only", timeout=60.0,
+            )
+        ])
+        assert result.ok and result.value.verdict is True
+
+    def test_parallel_error_isolation(self):
+        results = EquivalenceEngine(jobs=2).run([
+            CaseJob(case="No Such Row", job_id="bad"),
+            EquivalenceJob(
+                tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse", job_id="good"
+            ),
+        ])
+        assert [r.job_id for r in results] == ["bad", "good"]
+        assert results[0].status == "error"
+        assert results[1].ok
+
+
+class TestConfigPlumbing:
+    def test_engine_cache_dir_threaded_into_job_config(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine = EquivalenceEngine(jobs=1, cache_dir=cache_dir)
+        [result] = engine.run([
+            EquivalenceJob(
+                tiny.incremental_bits_checked(), "Start", tiny.big_bits_checked(), "Parse",
+                job_id="cached",
+            )
+        ])
+        assert result.ok
+        assert result.value.statistics.cache.get("stores", 0) > 0
+
+    def test_job_config_cache_dir_wins(self, tmp_path):
+        mine = str(tmp_path / "mine")
+        engine_dir = str(tmp_path / "engine")
+        config = CheckerConfig(cache_dir=mine)
+        engine = EquivalenceEngine(jobs=1, cache_dir=engine_dir)
+        [result] = engine.run([
+            EquivalenceJob(
+                tiny.incremental_bits_checked(), "Start", tiny.big_bits_checked(), "Parse",
+                config=config, job_id="explicit",
+            )
+        ])
+        assert result.ok
+        import os
+
+        assert os.path.isdir(mine)
+        assert not os.path.isdir(engine_dir)
+
+    def test_run_cases_through_engine_matches_direct_run(self):
+        from repro.reporting import run_cases
+
+        sequential = run_cases(names=["Header initialization"], full=False)
+        parallel = run_cases(
+            names=["Header initialization", "Speculative loop"], full=False, jobs=2
+        )
+        assert sequential[0].verdict is True
+        assert [m.name for m in parallel] == ["Header initialization", "Speculative loop"]
+        assert all(m.verdict is True for m in parallel)
+        assert sequential[0].relation_size == parallel[0].relation_size

@@ -25,7 +25,7 @@ from repro.core.templates import (
 )
 from repro.p4a.semantics import initial_configuration, multi_step, step
 from repro.p4a.bitvec import Bits
-from repro.protocols import mpls, tiny
+from repro.protocols import mpls
 
 REFERENCE = mpls.scaled_reference(4)     # 4-bit labels, 8-bit UDP
 VECTORIZED = mpls.scaled_vectorized(4)

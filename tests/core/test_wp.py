@@ -12,7 +12,6 @@ import pytest
 
 from repro.core.templates import GuardedFormula, Template, TemplatePair, leap_size
 from repro.core.wp import (
-    LeapOutcome,
     WpError,
     exec_ops_symbolic,
     fresh_variable_name,
@@ -28,19 +27,17 @@ from repro.logic.confrel import (
     RIGHT,
     CBuf,
     CHdr,
-    CLit,
     CVar,
     FFalse,
     FTrue,
     eval_expr,
-    eval_formula,
     holds_for_all_valuations,
 )
 from repro.logic.simplify import mk_eq, simplify_formula
 from repro.p4a.bitvec import Bits
 from repro.p4a.semantics import Configuration, multi_step
 from repro.p4a.syntax import ACCEPT, REJECT, HeaderRef, Slice
-from repro.protocols import mpls, tiny
+from repro.protocols import mpls
 
 LEFT_AUT = mpls.scaled_reference(2)      # 2-bit labels, 4-bit UDP
 RIGHT_AUT = mpls.scaled_vectorized(2)

@@ -1,6 +1,5 @@
 """Tests for the reporting metrics and the command-line interface."""
 
-import pytest
 
 from repro.cli import main
 from repro.p4a.pretty import pretty

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.logic import folbv, folconf
-from repro.logic.compile import (
-    CompileError,
-    compile_entailment,
-    compile_validity,
-    lower_formula,
-    variable_name,
-)
+from repro.logic.compile import compile_entailment, compile_validity, lower_formula, variable_name
 from repro.logic.confrel import (
     LEFT,
     RIGHT,
@@ -22,7 +16,6 @@ from repro.logic.confrel import (
     CVar,
     FEq,
     FImpl,
-    FNot,
     FOr,
 )
 from repro.logic.folconf import buffer_variable_name, store_variable_name

