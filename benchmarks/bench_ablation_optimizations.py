@@ -46,6 +46,14 @@ _CONFIGS = {
     ),
 }
 
+# The incremental-session ablation: the same instance with the session on and
+# off must agree on everything the algorithm observes — verdict and relation
+# size — while the solving strategy underneath changes completely.
+_INCREMENTAL_CONFIGS = {
+    "incremental session": CheckerConfig(use_query_cache=False, use_incremental=True),
+    "one-shot solving": CheckerConfig(use_query_cache=False, use_incremental=False),
+}
+
 
 @pytest.mark.parametrize("variant", list(_CONFIGS))
 def test_optimization_ablation(benchmark, record_case, engine, variant):
@@ -67,6 +75,42 @@ def test_optimization_ablation(benchmark, record_case, engine, variant):
     metrics = structural_metrics(f"Speculative loop [{variant}]", left, right)
     attach_run_statistics(metrics, result.statistics, result.verdict)
     record_case(metrics)
+
+
+def test_incremental_ablation_verdict_parity(benchmark, record_case):
+    """Incremental on/off: identical verdicts and relation sizes, both recorded."""
+    from repro import envconfig
+    from repro.core.engine import EquivalenceEngine
+
+    left, left_start, right, right_start = _parsers()
+    # A local engine without the LEAPFROG_INCREMENTAL override: this benchmark
+    # *is* the on-vs-off comparison, so the per-job configs must stand.
+    engine = EquivalenceEngine(jobs=envconfig.jobs_from_env())
+
+    def run():
+        jobs = [
+            EquivalenceJob(
+                left, left_start, right, right_start,
+                config=config, find_counterexamples=False, job_id=variant,
+            )
+            for variant, config in _INCREMENTAL_CONFIGS.items()
+        ]
+        results = engine.run(jobs)
+        for result in results:
+            assert result.ok, result.error
+        return [result.value for result in results]
+
+    incremental, one_shot = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert incremental.verdict is True and one_shot.verdict is True
+    assert incremental.verdict == one_shot.verdict
+    assert (incremental.statistics.relation_size
+            == one_shot.statistics.relation_size)
+    assert (incremental.statistics.reachable_pairs
+            == one_shot.statistics.reachable_pairs)
+    for variant, result in zip(_INCREMENTAL_CONFIGS, (incremental, one_shot)):
+        metrics = structural_metrics(f"Speculative loop [{variant}]", left, right)
+        attach_run_statistics(metrics, result.statistics, result.verdict)
+        record_case(metrics)
 
 
 def test_explicit_state_baseline(benchmark, record_case):

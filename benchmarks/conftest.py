@@ -12,11 +12,11 @@ range on a laptop with the pure-Python solver.
 
 from __future__ import annotations
 
-import os
 from typing import List
 
 import pytest
 
+from repro import envconfig
 from repro.core.engine import EquivalenceEngine
 from repro.reporting import CaseMetrics, render_text
 
@@ -28,13 +28,17 @@ def engine() -> EquivalenceEngine:
     """The execution engine every benchmark routes its verification through.
 
     ``LEAPFROG_JOBS`` selects the worker count (default 1, the sequential
-    baseline) and ``LEAPFROG_CACHE_DIR`` enables the persistent solver-query
-    cache, so the same benchmark files measure sequential, parallel, cold and
-    warm configurations without edits.
+    baseline), ``LEAPFROG_CACHE_DIR`` enables the persistent solver-query
+    cache and ``LEAPFROG_INCREMENTAL=0/1`` pins the incremental solver
+    session on or off, so the same benchmark files measure sequential,
+    parallel, cold, warm and ablation configurations without edits.  All
+    three variables go through :mod:`repro.envconfig`, so a malformed value
+    fails the session with a clear message instead of a bare ``ValueError``.
     """
     return EquivalenceEngine(
-        jobs=int(os.environ.get("LEAPFROG_JOBS") or 1),
-        cache_dir=os.environ.get("LEAPFROG_CACHE_DIR") or None,
+        jobs=envconfig.jobs_from_env(),
+        cache_dir=envconfig.cache_dir_from_env(),
+        use_incremental=envconfig.incremental_from_env(),
     )
 
 

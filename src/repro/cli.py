@@ -17,13 +17,21 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import __version__
+from . import __version__, envconfig
 from .core.algorithm import CheckerConfig
 from .core.equivalence import check_language_equivalence
 from .p4a.pretty import pretty
 from .p4a.surface import parse_automaton
 from .parsergen import compile_graph, graph_to_p4a, scenario
 from .reporting import case_studies, render_markdown, render_text, run_cases
+
+
+def _jobs_argument(value: str) -> int:
+    """argparse type for ``--jobs``: a validated positive integer."""
+    try:
+        return envconfig.parse_jobs(value, source="--jobs")
+    except envconfig.EnvConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,22 +61,33 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--cache-dir", help="persist the solver-query cache to this directory"
     )
+    check.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the incremental solver session (one-shot query per check)",
+    )
 
     table = sub.add_parser("table", help="run the Table 2 case studies")
     table.add_argument("--full", action="store_true", help="use paper-sized parsers")
     table.add_argument("--case", action="append", help="run only the named case (repeatable)")
     table.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
     table.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="run case studies across N worker processes (default: 1, sequential)",
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help="run case studies across N worker processes "
+             "(default: LEAPFROG_JOBS or 1, sequential)",
     )
     table.add_argument(
         "--cache-dir",
-        help="directory for the persistent solver-query cache, shared by all workers",
+        help="directory for the persistent solver-query cache, shared by all "
+             "workers (default: LEAPFROG_CACHE_DIR)",
     )
     table.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-case wall-clock limit (enforced when --jobs > 1)",
+        help="per-case wall-clock limit (preemptive when --jobs > 1, "
+             "after-the-fact when sequential)",
+    )
+    table.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the incremental solver session in every case's checker",
     )
 
     sub.add_parser("list", help="list the registered case studies")
@@ -84,11 +103,18 @@ def _command_check(args: argparse.Namespace) -> int:
         left = parse_automaton(handle.read(), name=args.left)
     with open(args.right) as handle:
         right = parse_automaton(handle.read(), name=args.right)
+    cache_dir = args.cache_dir if args.cache_dir is not None else envconfig.cache_dir_from_env()
+    if args.no_incremental:
+        use_incremental = False
+    else:
+        env_incremental = envconfig.incremental_from_env()
+        use_incremental = True if env_incremental is None else env_incremental
     config = CheckerConfig(
         use_leaps=not args.no_leaps,
         use_reachability=not args.no_reachability,
         use_query_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
+        cache_dir=cache_dir,
+        use_incremental=use_incremental,
     )
     result = check_language_equivalence(
         left,
@@ -106,12 +132,16 @@ def _command_check(args: argparse.Namespace) -> int:
 
 def _command_table(args: argparse.Namespace) -> int:
     names = args.case if args.case else None
+    jobs = args.jobs if args.jobs is not None else envconfig.jobs_from_env()
+    cache_dir = args.cache_dir if args.cache_dir is not None else envconfig.cache_dir_from_env()
+    use_incremental = False if args.no_incremental else envconfig.incremental_from_env()
     metrics = run_cases(
         names=names,
         full=args.full,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
+        jobs=jobs,
+        cache_dir=cache_dir,
         timeout=args.timeout,
+        use_incremental=use_incremental,
     )
     renderer = render_markdown if args.markdown else render_text
     print(renderer(metrics, title="Table 2 reproduction"))
@@ -142,7 +172,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _command_list,
         "dump-scenario": _command_dump_scenario,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except envconfig.EnvConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -54,6 +54,11 @@ class CheckerConfig:
     sqlite store shared across runs and across engine workers.  Both only
     apply when the checker builds its own backend (an explicitly supplied
     backend is used as-is).
+
+    ``use_incremental`` routes entailment queries through one live
+    assumption-based solver session per run (premises encoded once, learned
+    clauses retained) instead of a fresh bit-blast + SAT run per query; it is
+    on by default and exists as a switch for the ablation benchmarks.
     """
 
     use_leaps: bool = True
@@ -64,6 +69,7 @@ class CheckerConfig:
     frontier_order: str = "fifo"  # or "lifo"
     use_query_cache: bool = True
     cache_dir: Optional[str] = None
+    use_incremental: bool = True
 
 
 @dataclass
@@ -141,7 +147,11 @@ class PreBisimulationChecker:
         self.backend = backend if backend is not None else make_backend(
             use_cache=self.config.use_query_cache, cache_dir=self.config.cache_dir
         )
-        self.entailment = EntailmentChecker(self.backend, mode=self.config.entailment_mode)
+        self.entailment = EntailmentChecker(
+            self.backend,
+            mode=self.config.entailment_mode,
+            use_incremental=self.config.use_incremental,
+        )
         self.initial_pure = initial_pure
         self.store_relation = store_relation
         self.extra_initial = list(extra_initial) if extra_initial is not None else None

@@ -94,7 +94,10 @@ def verify_certificate(
     from .reachability import ReachabilityAnalysis
     from .wp import wp_formula
 
-    checker = EntailmentChecker(backend, mode=EXACT)
+    # The re-checker is a deliberately independent backstop: it stays on the
+    # one-shot solving path so a defect in the incremental session machinery
+    # cannot corrupt both the proof search and its re-validation.
+    checker = EntailmentChecker(backend, mode=EXACT, use_incremental=False)
     result = CertificateCheckResult(ok=True)
     recorded = set(certificate.reachable_pairs)
 

@@ -12,9 +12,12 @@ deterministic:
   up by name inside the worker so only strings and configs cross the process
   boundary) or an :class:`EquivalenceJob` (an explicit automaton pair —
   automata are plain frozen dataclasses and pickle cleanly);
-* every job can carry a wall-clock **timeout**; an expired job's worker is
-  terminated and the job reported as a ``timeout`` :class:`JobResult`, so a
-  hung case can neither poison the run nor starve the queued jobs;
+* every job can carry a wall-clock **timeout**; in pooled mode an expired
+  job's worker is terminated and the job reported as a ``timeout``
+  :class:`JobResult`, so a hung case can neither poison the run nor starve
+  the queued jobs.  Inline mode cannot interrupt a running job, so it warns
+  up front and applies the limit after the fact (an over-budget job is still
+  reported as a ``timeout``);
 * failures inside a worker are captured per job as ``error`` results.
 
 With ``jobs=1`` (the default) everything runs inline in the calling process —
@@ -30,6 +33,7 @@ import dataclasses
 import multiprocessing
 import multiprocessing.connection
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
@@ -136,19 +140,29 @@ class EngineStatistics:
 # ---------------------------------------------------------------------------
 
 
-def _effective_config(job: Job, cache_dir: Optional[str]) -> Optional[CheckerConfig]:
+def _effective_config(
+    job: Job,
+    cache_dir: Optional[str],
+    use_incremental: Optional[bool] = None,
+) -> Optional[CheckerConfig]:
     config = job.config
-    if cache_dir is None:
+    if cache_dir is None and use_incremental is None:
         return config
     if config is None:
         config = CheckerConfig()
-    if config.cache_dir is None:
+    if cache_dir is not None and config.cache_dir is None:
         config = dataclasses.replace(config, cache_dir=cache_dir)
+    if use_incremental is not None and config.use_incremental != use_incremental:
+        config = dataclasses.replace(config, use_incremental=use_incremental)
     return config
 
 
-def _execute_job(job: Job, cache_dir: Optional[str] = None) -> object:
-    config = _effective_config(job, cache_dir)
+def _execute_job(
+    job: Job,
+    cache_dir: Optional[str] = None,
+    use_incremental: Optional[bool] = None,
+) -> object:
+    config = _effective_config(job, cache_dir, use_incremental)
     if isinstance(job, CaseJob):
         from ..reporting.runner import case_studies
 
@@ -172,10 +186,12 @@ def _execute_job(job: Job, cache_dir: Optional[str] = None) -> object:
     raise EngineError(f"unknown job type {type(job).__name__}")
 
 
-def _pooled_worker(conn, job: Job, cache_dir: Optional[str]) -> None:
+def _pooled_worker(
+    conn, job: Job, cache_dir: Optional[str], use_incremental: Optional[bool]
+) -> None:
     """Child-process entry point: run one job, ship the outcome over a pipe."""
     try:
-        payload = ("ok", _execute_job(job, cache_dir))
+        payload = ("ok", _execute_job(job, cache_dir, use_incremental))
     except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
         payload = ("error", f"{type(exc).__name__}: {exc}")
     try:
@@ -195,12 +211,20 @@ class EquivalenceEngine:
     """Executes equivalence-checking jobs, sequentially or across processes.
 
     ``jobs`` is the worker count (1 = inline, no subprocesses).  ``timeout``
-    is the default per-job wall-clock limit in seconds, overridable per job;
-    timeouts are enforced only in pooled mode (an inline run has nowhere to
-    escape to), and the clock includes worker startup (process spawn plus
-    package import, a fraction of a second), so limits should comfortably
-    exceed that.  ``cache_dir`` threads a shared persistent query cache into
-    every job's checker configuration.
+    is the default per-job wall-clock limit in seconds, overridable per job.
+    In pooled mode an expired job's worker is terminated; an inline run has
+    nowhere to escape to, so the engine warns up front that it can only
+    enforce the limit *after the fact* — an inline job that finishes beyond
+    its budget is reported as a ``timeout`` result with its value discarded.
+    (The two modes can differ right at the boundary: a pooled worker that
+    delivers its result just past the limit but before the reaper's next
+    poll still counts as ``ok``, whereas inline enforcement is strict.)
+    The pooled clock includes
+    worker startup (process spawn plus package import, a fraction of a
+    second), so limits should comfortably exceed that.  ``cache_dir`` threads
+    a shared persistent query cache into every job's checker configuration;
+    ``use_incremental`` (when not ``None``) overrides the incremental-session
+    toggle of every job's configuration.
     """
 
     def __init__(
@@ -209,6 +233,7 @@ class EquivalenceEngine:
         cache_dir: Optional[str] = None,
         timeout: Optional[float] = None,
         mp_context: str = "spawn",
+        use_incremental: Optional[bool] = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"worker count must be >= 1, got {jobs}")
@@ -216,6 +241,7 @@ class EquivalenceEngine:
         self.cache_dir = cache_dir
         self.timeout = timeout
         self.mp_context = mp_context
+        self.use_incremental = use_incremental
         self.statistics = EngineStatistics()
 
     # ------------------------------------------------------------------
@@ -228,6 +254,14 @@ class EquivalenceEngine:
         start = time.perf_counter()
         self.statistics = EngineStatistics(jobs=len(jobs), workers=min(self.jobs, max(len(jobs), 1)))
         if self.jobs == 1:
+            if any(self._job_limit(job) is not None for job in jobs):
+                warnings.warn(
+                    "timeouts in inline mode (jobs=1) are enforced only after "
+                    "a job finishes: a hung job cannot be interrupted; use "
+                    "jobs >= 2 for preemptive enforcement",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             results = [self._run_inline(job) for job in jobs]
         else:
             # Pooled even for a single job, so per-job timeouts stay enforced.
@@ -245,16 +279,39 @@ class EquivalenceEngine:
 
     # ------------------------------------------------------------------
 
+    def _job_limit(self, job: Job) -> Optional[float]:
+        return job.timeout if job.timeout is not None else self.timeout
+
     def _run_inline(self, job: Job) -> JobResult:
         start = time.perf_counter()
+        limit = self._job_limit(job)
         try:
-            value = _execute_job(job, self.cache_dir)
+            value = _execute_job(job, self.cache_dir, self.use_incremental)
         except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
+            elapsed = time.perf_counter() - start
+            if limit is not None and elapsed > limit:
+                # A pooled worker would have been killed before it could
+                # raise, so the over-budget failure is a timeout there too.
+                return self._inline_timeout(job, limit, elapsed)
             return JobResult(
                 job.label, "error", error=f"{type(exc).__name__}: {exc}",
-                elapsed=time.perf_counter() - start,
+                elapsed=elapsed,
             )
-        return JobResult(job.label, "ok", value=value, elapsed=time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        if limit is not None and elapsed > limit:
+            # Post-hoc enforcement: the job could not be interrupted, so the
+            # limit is applied to its wall-clock time after the fact.
+            return self._inline_timeout(job, limit, elapsed)
+        return JobResult(job.label, "ok", value=value, elapsed=elapsed)
+
+    @staticmethod
+    def _inline_timeout(job: Job, limit: float, elapsed: float) -> JobResult:
+        return JobResult(
+            job.label, "timeout",
+            error=f"no result within {limit} seconds "
+                  f"(inline job finished after {elapsed:.3f}s)",
+            elapsed=elapsed,
+        )
 
     def _run_pooled(self, jobs: Sequence[Job]) -> List[JobResult]:
         """One process per job, at most ``self.jobs`` alive at a time.
@@ -274,11 +331,13 @@ class EquivalenceEngine:
                     index, job = pending.popleft()
                     receiver, sender = context.Pipe(duplex=False)
                     process = context.Process(
-                        target=_pooled_worker, args=(sender, job, self.cache_dir), daemon=True
+                        target=_pooled_worker,
+                        args=(sender, job, self.cache_dir, self.use_incremental),
+                        daemon=True,
                     )
                     process.start()
                     sender.close()
-                    limit = job.timeout if job.timeout is not None else self.timeout
+                    limit = self._job_limit(job)
                     running[index] = (process, receiver, time.perf_counter(), limit, job)
                 multiprocessing.connection.wait(
                     [entry[1] for entry in running.values()], timeout=0.05

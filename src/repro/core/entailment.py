@@ -39,10 +39,11 @@ from ..logic.confrel import (
     formula_variables,
     rename_variables,
 )
+from ..logic.fingerprint import confrel_fingerprint
 from ..logic.simplify import simplify_formula
 from ..p4a.bitvec import Bits
 from ..smt.backend import InternalBackend, SolverBackend
-from ..smt.bvsolver import SatStatus
+from ..smt.bvsolver import SatResult, SatStatus
 from ..smt.cegis import solve_exists_forall
 
 FAST = "fast"
@@ -98,6 +99,7 @@ class EntailmentChecker:
         backend: Optional[SolverBackend] = None,
         mode: str = EXACT,
         cegis_rounds: int = 64,
+        use_incremental: bool = True,
     ) -> None:
         if mode not in ENTAILMENT_MODES:
             raise ValueError(f"unknown entailment mode {mode!r}")
@@ -105,8 +107,31 @@ class EntailmentChecker:
         self.mode = mode
         self.cegis_rounds = cegis_rounds
         self.statistics = EntailmentStatistics()
+        self.use_incremental = use_incremental
+        self._session = None
+        if use_incremental:
+            factory = getattr(self.backend, "incremental_session", None)
+            if factory is not None:
+                # May still be None (e.g. DPLL engine, external solver): then
+                # every query falls back to the one-shot path.
+                self._session = factory()
+        self._lowered_premises: Dict[str, folbv.BFormula] = {}
+        # Identity-keyed canonicalization memo (incremental path only): the
+        # algorithm re-checks against the same premise *objects* every
+        # iteration, so simplify + canonicalize each one exactly once.  The
+        # key holds a strong reference to the premise, so a recycled id()
+        # can never alias a dead object.
+        self._canonical_memo: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
+
+    def _canonicalize(self, formula: Formula) -> Formula:
+        entry = self._canonical_memo.get(id(formula))
+        if entry is not None and entry[0] is formula:
+            return entry[1]
+        canonical = canonicalize_variables(simplify_formula(formula), prefix="x")
+        self._canonical_memo[id(formula)] = (formula, canonical)
+        return canonical
 
     def check(self, premises: Sequence[Formula], goal: Formula) -> EntailmentOutcome:
         self.statistics.checks += 1
@@ -116,22 +141,29 @@ class EntailmentChecker:
             return EntailmentOutcome(True, "trivial")
 
         canonical_goal = canonicalize_variables(goal_simplified, prefix="x")
-        canonical_premises = [
-            canonicalize_variables(simplify_formula(premise), prefix="x") for premise in premises
-        ]
+        if self._session is not None:
+            canonical_premises = [self._canonicalize(premise) for premise in premises]
+        else:
+            canonical_premises = [
+                canonicalize_variables(simplify_formula(premise), prefix="x")
+                for premise in premises
+            ]
         if any(premise == canonical_goal for premise in canonical_premises):
             self.statistics.syntactic += 1
             return EntailmentOutcome(True, "syntactic")
 
         # Fast path: shared-variable quantifier-free query.
-        query = compile_entailment(canonical_premises, canonical_goal)
-        cache_stats = getattr(self.backend, "cache_statistics", None)
-        hits_before = cache_stats.hits if cache_stats is not None else 0
-        result = self.backend.check_sat(query.formula)
-        if cache_stats is not None:
-            hit = cache_stats.hits - hits_before
-            self.statistics.cache_hits += hit
-            self.statistics.cache_misses += 1 - hit
+        if self._session is not None:
+            result = self._check_sat_incremental(canonical_premises, canonical_goal)
+        else:
+            query = compile_entailment(canonical_premises, canonical_goal)
+            cache_stats = getattr(self.backend, "cache_statistics", None)
+            hits_before = cache_stats.hits if cache_stats is not None else 0
+            result = self.backend.check_sat(query.formula)
+            if cache_stats is not None:
+                hit = cache_stats.hits - hits_before
+                self.statistics.cache_hits += hit
+                self.statistics.cache_misses += 1 - hit
         if result.status is SatStatus.UNSAT:
             self.statistics.smt_entailed += 1
             return EntailmentOutcome(True, "smt")
@@ -143,6 +175,60 @@ class EntailmentChecker:
             self.statistics.smt_refuted += 1
             return EntailmentOutcome(False, "smt", result.model)
         return self._check_exact(canonical_premises, canonical_goal)
+
+    # ------------------------------------------------------------------
+
+    def _lower_premise(self, premise: Formula) -> folbv.BFormula:
+        """Lower a canonical premise, memoized by its structural fingerprint.
+
+        Algorithm 1 re-checks against the same (growing) premise list on every
+        iteration; re-lowering each premise from scratch would make the
+        per-query cost linear in the whole relation even when the solver work
+        is shared.  Returning the *same object* also lets the session's
+        fingerprint walk hit its identity memo, so a previously pushed premise
+        costs O(1) per later query.
+        """
+        key = confrel_fingerprint(premise)
+        lowered = self._lowered_premises.get(key)
+        if lowered is None:
+            lowered = lower_formula(premise)
+            self._lowered_premises[key] = lowered
+        return lowered
+
+    def _check_sat_incremental(
+        self, premises: Sequence[Formula], goal: Formula
+    ) -> SatResult:
+        """The fast-path query via the incremental session.
+
+        The premise conjunction is pushed into the session CNF once (activation
+        literals are idempotent per formula), the negated goal rides along as a
+        per-query assumption, and the query cache — when the backend stacks one
+        — is consulted before and fed after, under the same combined-formula
+        fingerprint the one-shot path uses, so both paths share cache entries.
+        """
+        lowered_premises = tuple(self._lower_premise(p) for p in premises)
+        lowered_goal = lower_formula(goal)
+        negated_goal = folbv.b_not(lowered_goal)
+        combined = folbv.b_and(list(lowered_premises) + [negated_goal])
+        lookup = getattr(self.backend, "lookup", None)
+        if lookup is not None:
+            cached = lookup(combined)
+            if cached is not None:
+                self.statistics.cache_hits += 1
+                return cached
+            self.statistics.cache_misses += 1
+        assumptions = [self._session.activation(p) for p in lowered_premises]
+        # variables are left to the session to derive (lazily, from the
+        # validation formula) so unsat answers skip the free-variable walk.
+        result = self._session.check(
+            assumptions,
+            goal=negated_goal,
+            validate_formula=combined,
+        )
+        store = getattr(self.backend, "store", None)
+        if store is not None:
+            store(combined, result)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -167,7 +253,11 @@ class EntailmentChecker:
         # internal solver via .solver; other backends fall back to a fresh one.
         internal_solver = getattr(self.backend, "solver", None)
         outcome = solve_exists_forall(
-            matrix, universal_vars, solver=internal_solver, max_rounds=self.cegis_rounds
+            matrix,
+            universal_vars,
+            solver=internal_solver,
+            max_rounds=self.cegis_rounds,
+            session=self._session,
         )
         if outcome.holds is True:
             self.statistics.cegis_refuted += 1

@@ -1,0 +1,83 @@
+"""Validated parsing of the ``LEAPFROG_*`` environment variables.
+
+Every entry point that reads configuration from the environment (the CLI and
+the benchmark harness) goes through these helpers, so a typo like
+``LEAPFROG_JOBS=abc`` fails with a message naming the variable and the
+accepted values instead of a bare ``ValueError`` from ``int()``, and an
+out-of-range value (``0`` worker processes) can never reach the engine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional
+
+
+class EnvConfigError(ValueError):
+    """Raised when an environment variable holds an unusable value."""
+
+
+#: Worker count for the equivalence engine (≥ 1; default 1, sequential).
+JOBS_VAR = "LEAPFROG_JOBS"
+#: Directory for the persistent solver-query cache (unset = in-memory only).
+CACHE_DIR_VAR = "LEAPFROG_CACHE_DIR"
+#: Ablation toggle for the incremental solver session (unset = per-config default).
+INCREMENTAL_VAR = "LEAPFROG_INCREMENTAL"
+
+_TRUE_VALUES = ("1", "true", "yes", "on")
+_FALSE_VALUES = ("0", "false", "no", "off")
+
+
+def parse_jobs(raw: Optional[str], source: str = JOBS_VAR) -> int:
+    """Parse a worker count: a positive integer, with ``None``/empty = 1.
+
+    ``source`` names the variable (or flag) in error messages.
+    """
+    if raw is None or raw.strip() == "":
+        return 1
+    try:
+        jobs = int(raw.strip())
+    except ValueError:
+        raise EnvConfigError(
+            f"{source} must be a positive integer, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise EnvConfigError(f"{source} must be >= 1, got {jobs}")
+    return jobs
+
+
+def jobs_from_env(environ: Optional[Mapping[str, str]] = None) -> int:
+    """The engine worker count requested via ``LEAPFROG_JOBS`` (default 1)."""
+    environ = os.environ if environ is None else environ
+    return parse_jobs(environ.get(JOBS_VAR), source=JOBS_VAR)
+
+
+def cache_dir_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """The persistent cache directory from ``LEAPFROG_CACHE_DIR`` (or ``None``)."""
+    environ = os.environ if environ is None else environ
+    value = environ.get(CACHE_DIR_VAR)
+    if value is None or value.strip() == "":
+        return None
+    return value
+
+
+def parse_flag(raw: Optional[str], source: str) -> Optional[bool]:
+    """Parse a boolean toggle; ``None``/empty means "not set"."""
+    if raw is None or raw.strip() == "":
+        return None
+    value = raw.strip().lower()
+    if value in _TRUE_VALUES:
+        return True
+    if value in _FALSE_VALUES:
+        return False
+    raise EnvConfigError(
+        f"{source} must be one of {_TRUE_VALUES + _FALSE_VALUES}, got {raw!r}"
+    )
+
+
+def incremental_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[bool]:
+    """The ``LEAPFROG_INCREMENTAL`` toggle: True/False, or ``None`` when unset."""
+    environ = os.environ if environ is None else environ
+    return parse_flag(environ.get(INCREMENTAL_VAR), source=INCREMENTAL_VAR)

@@ -234,15 +234,17 @@ def run_cases(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     timeout: Optional[float] = None,
+    use_incremental: Optional[bool] = None,
 ) -> List[CaseMetrics]:
     """Run the selected case studies and return their metric rows.
 
     The run goes through the :class:`~repro.core.engine.EquivalenceEngine`:
     ``jobs`` selects the worker count (1 = in-process, the deterministic
     baseline), ``cache_dir`` shares a persistent solver-query cache between
-    workers and across invocations, and ``timeout`` bounds each case's
-    wall-clock time in pooled mode.  Rows come back in registry order
-    regardless of which worker finished first.
+    workers and across invocations, ``timeout`` bounds each case's wall-clock
+    time, and ``use_incremental`` (when not ``None``) overrides the
+    incremental solver-session toggle of every case's configuration.  Rows
+    come back in registry order regardless of which worker finished first.
     """
     from ..core.engine import CaseJob, EquivalenceEngine
 
@@ -254,7 +256,9 @@ def run_cases(
     unknown = [name for name in names if name not in registry]
     if unknown:
         raise KeyError(f"unknown case studies: {', '.join(unknown)}")
-    engine = EquivalenceEngine(jobs=jobs, cache_dir=cache_dir, timeout=timeout)
+    engine = EquivalenceEngine(
+        jobs=jobs, cache_dir=cache_dir, timeout=timeout, use_incremental=use_incremental
+    )
     # --case is repeatable, so the same name may appear twice; suffix repeats
     # to keep engine job labels unique while preserving one row per request.
     seen: Dict[str, int] = {}

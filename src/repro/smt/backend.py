@@ -55,6 +55,10 @@ class InternalBackend(SolverBackend):
     def check_sat(self, formula: BFormula) -> SatResult:
         return self._solver.check_sat(formula)
 
+    def incremental_session(self):
+        """Delegate to :meth:`InternalBVSolver.incremental_session`."""
+        return self._solver.incremental_session()
+
     @property
     def statistics(self) -> SolverStatistics:
         return self._solver.statistics

@@ -62,7 +62,13 @@ class BitblastResult:
 
 
 class Bitblaster:
-    """Stateful bit-blaster; reusable across several formulas sharing variables."""
+    """Stateful bit-blaster; reusable across several formulas sharing variables.
+
+    NOTE: :class:`repro.smt.incremental._SessionBlaster` mirrors these
+    encoding rules case for case (with fingerprint-keyed caches and cone
+    tracking); a change to how any term or formula shape is blasted must be
+    applied to both.
+    """
 
     def __init__(self) -> None:
         self.builder = CnfBuilder()

@@ -124,6 +124,22 @@ class InternalBVSolver:
         """
         return self.check_sat(folbv.b_not(formula))
 
+    def incremental_session(self):
+        """A fresh incremental assumption-based session over this solver.
+
+        Only the CDCL engine supports incremental solving; the DPLL engine
+        returns ``None`` and callers fall back to one-shot queries.  The
+        session records its query results into this solver's statistics, so
+        reporting sees one ledger whichever path answered a query.
+        """
+        if self._engine != "cdcl":
+            return None
+        from .incremental import IncrementalSession
+
+        return IncrementalSession(
+            validate_models=self._validate_models, statistics=self.statistics
+        )
+
 
 def _complete_model(formula: BFormula, model: Dict[str, Bits]) -> Dict[str, Bits]:
     """Fill in zero values for variables the SAT model does not mention."""

@@ -154,11 +154,31 @@ class CachingBackend(SolverBackend):
     # ------------------------------------------------------------------
 
     def check_sat(self, formula: BFormula) -> SatResult:
+        fingerprint = folbv_fingerprint(formula)
+        cached = self.lookup(formula, fingerprint=fingerprint)
+        if cached is not None:
+            return cached
+        result = self.inner.check_sat(formula)
+        self.store(formula, result, fingerprint=fingerprint)
+        return result
+
+    def lookup(
+        self, formula: BFormula, fingerprint: Optional[str] = None
+    ) -> Optional[SatResult]:
+        """Consult both cache layers without ever reaching the solver.
+
+        Used directly by the incremental entailment path (cache first, live
+        session only on a miss) and by :meth:`check_sat`.  Hit/miss counters
+        are updated either way.
+        """
         start = time.perf_counter()
         # One linear serialization walk per query; interning here would cost
         # more than the lookup it guards (per-node canonicalization is
-        # quadratic in formula depth).
-        fingerprint = folbv_fingerprint(formula)
+        # quadratic in formula depth).  (A repeated walk on the same object —
+        # e.g. lookup then store around a miss — is absorbed by the
+        # fingerprint module's identity memo.)
+        if fingerprint is None:
+            fingerprint = folbv_fingerprint(formula)
         cached = self._memory.get(fingerprint)
         if cached is not None:
             self.cache_statistics.hits += 1
@@ -172,13 +192,25 @@ class CachingBackend(SolverBackend):
                 self.cache_statistics.disk_hits += 1
                 return self._replay(cached, start)
         self.cache_statistics.misses += 1
-        result = self.inner.check_sat(formula)
-        if result.status is not SatStatus.UNKNOWN:
-            self._memory[fingerprint] = result
-            if self._disk is not None:
-                self._disk.put(fingerprint, result)
-            self.cache_statistics.stores += 1
-        return result
+        return None
+
+    def store(
+        self, formula: BFormula, result: SatResult, fingerprint: Optional[str] = None
+    ) -> None:
+        """Record a definitive answer in both cache layers."""
+        if result.status is SatStatus.UNKNOWN:
+            return
+        if fingerprint is None:
+            fingerprint = folbv_fingerprint(formula)
+        self._memory[fingerprint] = result
+        if self._disk is not None:
+            self._disk.put(fingerprint, result)
+        self.cache_statistics.stores += 1
+
+    def incremental_session(self):
+        """Delegate to the wrapped backend (None when it has no session support)."""
+        factory = getattr(self.inner, "incremental_session", None)
+        return factory() if factory is not None else None
 
     @staticmethod
     def _replay(cached: SatResult, start: float) -> SatResult:

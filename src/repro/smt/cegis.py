@@ -128,32 +128,60 @@ def solve_exists_forall(
     universal_vars: Mapping[str, int],
     solver: Optional[InternalBVSolver] = None,
     max_rounds: int = 64,
+    session=None,
 ) -> ExistsForallResult:
     """Decide ``∃ E ∀ U . matrix`` where ``U`` is ``universal_vars``.
 
     Every free variable of ``matrix`` not listed in ``universal_vars`` belongs
     to the existential block.
+
+    With a ``session`` (an :class:`~repro.smt.incremental.IncrementalSession`)
+    the loop solves incrementally: every collected instantiation is pushed
+    into the shared CNF once, behind an activation literal, and each candidate
+    query merely assumes the activation literals gathered so far — the
+    instantiation set only ever grows, exactly the monotone shape the session
+    is built for.  The per-round verification query rides along as a one-off
+    goal assumption.  Without a session each sub-query is a fresh one-shot
+    ``check_sat``.
     """
-    solver = solver or InternalBVSolver()
+    if session is None:
+        solver = solver or InternalBVSolver()
     all_vars = folbv.free_variables(matrix)
     universal = {name: width for name, width in universal_vars.items() if name in all_vars}
     existential = {name: width for name, width in all_vars.items() if name not in universal}
 
     if not universal:
-        result = solver.check_sat(matrix)
+        if session is not None:
+            result = session.check(
+                goal=matrix, variables=existential, validate_formula=matrix
+            )
+        else:
+            result = solver.check_sat(matrix)
         if result.status is SatStatus.UNKNOWN:
             return ExistsForallResult(None, None, 1)
         return ExistsForallResult(result.is_sat, result.model, 1)
 
     instantiations: List[Dict[str, Bits]] = []
+    instances: List[BFormula] = []  # substituted matrices, session mode only
+    activations: List[int] = []
     for round_index in range(1, max_rounds + 1):
-        if instantiations:
-            candidate_formula = folbv.b_and(
-                [substitute(matrix, instantiation) for instantiation in instantiations]
+        if session is not None:
+            # Free variables of every instance lie in the existential block
+            # (the universal ones were substituted away), so the decoded model
+            # covers the validation formula.
+            candidate = session.check(
+                activations,
+                variables=existential,
+                validate_formula=folbv.b_and(instances) if instances else None,
             )
         else:
-            candidate_formula = folbv.B_TRUE
-        candidate = solver.check_sat(candidate_formula)
+            if instantiations:
+                candidate_formula = folbv.b_and(
+                    [substitute(matrix, instantiation) for instantiation in instantiations]
+                )
+            else:
+                candidate_formula = folbv.B_TRUE
+            candidate = solver.check_sat(candidate_formula)
         if candidate.status is SatStatus.UNKNOWN:
             return ExistsForallResult(None, None, round_index)
         if candidate.is_unsat:
@@ -162,7 +190,14 @@ def solve_exists_forall(
                    for name, width in existential.items()} if candidate.model else {
                        name: Bits.zeros(width) for name, width in existential.items()}
         # Verify the universal block for this witness.
-        check = solver.check_sat(folbv.b_not(substitute(matrix, witness)))
+        negated_instance = folbv.b_not(substitute(matrix, witness))
+        if session is not None:
+            check = session.check(
+                goal=negated_instance, variables=universal,
+                validate_formula=negated_instance,
+            )
+        else:
+            check = solver.check_sat(negated_instance)
         if check.status is SatStatus.UNKNOWN:
             return ExistsForallResult(None, None, round_index)
         if check.is_unsat:
@@ -171,4 +206,8 @@ def solve_exists_forall(
             name: check.model.get(name, Bits.zeros(width)) for name, width in universal.items()
         }
         instantiations.append(refutation)
+        if session is not None:
+            instance = substitute(matrix, refutation)
+            instances.append(instance)
+            activations.append(session.activation(instance))
     return ExistsForallResult(None, None, max_rounds)

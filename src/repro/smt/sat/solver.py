@@ -1,4 +1,4 @@
-"""A CDCL (conflict-driven clause learning) SAT solver.
+"""An incremental CDCL (conflict-driven clause learning) SAT solver.
 
 This is the workhorse behind the internal bitvector decision procedure.  The
 implementation follows the standard MiniSat-style architecture:
@@ -6,9 +6,22 @@ implementation follows the standard MiniSat-style architecture:
 * two-watched-literal unit propagation,
 * first-UIP conflict analysis with clause learning and non-chronological
   backjumping,
-* VSIDS-like variable activities with exponential decay,
+* VSIDS-like variable activities with exponential decay (heap-ordered),
 * Luby-sequence restarts,
-* phase saving.
+* phase saving,
+* **incremental solving under assumptions**: clauses can be added between
+  :meth:`CdclSolver.solve` calls, and each call may pass a list of assumption
+  literals that are seeded as the first decisions.  Learned clauses, variable
+  activities and saved phases are all retained across calls, so a sequence of
+  related queries shares its search effort.  When a solve under assumptions
+  returns unsat, :attr:`CdclSolver.last_conflict` holds a subset of the
+  assumptions that is already sufficient for the conflict (the MiniSat
+  "final conflict" analysis).
+
+Learned clauses are sound across calls because conflict analysis only resolves
+over clauses in the database — an assumption enters a learned clause only as a
+regular decision literal, so the learned clause is implied by the problem
+clauses alone and remains valid for every later assumption set.
 
 The solver works on the :class:`~repro.smt.sat.cnf.Cnf` representation
 produced by the bit-blaster.  It favours clarity over raw speed, but is fast
@@ -18,8 +31,9 @@ in this repository.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cnf import Cnf
 
@@ -30,7 +44,7 @@ _FALSE = -1
 
 @dataclass
 class SolverStats:
-    """Counters reported by :meth:`CdclSolver.solve`."""
+    """Counters reported by :meth:`CdclSolver.solve` (cumulative across calls)."""
 
     decisions: int = 0
     propagations: int = 0
@@ -38,61 +52,115 @@ class SolverStats:
     learned_clauses: int = 0
     restarts: int = 0
     max_decision_level: int = 0
+    solve_calls: int = 0
 
 
 class CdclSolver:
-    """A CDCL solver over a fixed CNF instance."""
+    """A CDCL solver over a growable CNF instance.
 
-    def __init__(self, cnf: Cnf) -> None:
-        self._num_vars = cnf.num_vars
+    ``CdclSolver(cnf)`` loads an initial instance; ``CdclSolver()`` starts
+    empty.  :meth:`add_clause` appends problem clauses at any point between
+    solve calls, and :meth:`ensure_num_vars` grows the variable range (both
+    are implicit for clauses mentioning new variables).
+    """
+
+    def __init__(self, cnf: Optional[Cnf] = None) -> None:
+        self._num_vars = 0
         self._clauses: List[List[int]] = []
         # values[v] ∈ {_TRUE, _FALSE, _UNASSIGNED}, indexed by variable.
-        self._values = [_UNASSIGNED] * (self._num_vars + 1)
-        self._levels = [0] * (self._num_vars + 1)
-        self._reasons: List[Optional[int]] = [None] * (self._num_vars + 1)
-        self._activity = [0.0] * (self._num_vars + 1)
-        self._phase = [False] * (self._num_vars + 1)
+        self._values: List[int] = [_UNASSIGNED]
+        self._levels: List[int] = [0]
+        self._reasons: List[Optional[int]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
         self._trail: List[int] = []
         self._trail_limits: List[int] = []
         self._watches: Dict[int, List[int]] = {}
+        self._order_heap: List[Tuple[float, int]] = []
         self._activity_increment = 1.0
         self._activity_decay = 0.95
+        self._queue_position = 0
+        # (decision-var set, local activity heap) during a restricted solve.
+        self._restricted: Optional[Tuple[set, List[Tuple[float, int]]]] = None
         self.stats = SolverStats()
         self._ok = True
-        for clause in cnf.clauses:
-            self._add_clause(list(clause), learned=False)
+        #: After an unsat :meth:`solve` under assumptions: a subset of the
+        #: assumption literals whose conjunction is already contradictory.
+        #: Empty when the clause database is unsat regardless of assumptions.
+        self.last_conflict: List[int] = []
+        if cnf is not None:
+            self.ensure_num_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def ensure_num_vars(self, num_vars: int) -> None:
+        """Grow the variable range to at least ``num_vars``."""
+        while self._num_vars < num_vars:
+            self._num_vars += 1
+            self._values.append(_UNASSIGNED)
+            self._levels.append(0)
+            self._reasons.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            heapq.heappush(self._order_heap, (0.0, self._num_vars))
 
     # ------------------------------------------------------------------
     # Clause management
     # ------------------------------------------------------------------
 
-    def _add_clause(self, literals: List[int], learned: bool) -> Optional[int]:
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a problem clause; callable between :meth:`solve` calls.
+
+        The solver first retracts to decision level 0, so root-level facts are
+        the only assignments in force; the clause is then simplified against
+        them (satisfied clauses dropped, permanently false literals removed).
+        """
         if not self._ok:
-            return None
-        if not learned:
-            # Remove duplicates; drop tautologies.
-            unique = []
-            seen = set()
-            for literal in literals:
-                if -literal in seen:
-                    return None
-                if literal not in seen:
-                    seen.add(literal)
-                    unique.append(literal)
-            literals = unique
-        if not literals:
+            return
+        self._backjump(0)
+        unique: List[int] = []
+        seen = set()
+        for literal in literals:
+            if -literal in seen:
+                return  # tautology
+            if literal in seen:
+                continue
+            seen.add(literal)
+            self.ensure_num_vars(abs(literal))
+            value = self._value(literal)
+            if value == _TRUE:
+                return  # satisfied by a root-level fact, forever
+            if value == _FALSE:
+                continue  # permanently false literal
+            unique.append(literal)
+        if not unique:
             self._ok = False
-            return None
-        if len(literals) == 1:
-            if not self._enqueue(literals[0], None):
+            return
+        if len(unique) == 1:
+            if not self._enqueue(unique[0], None):
                 self._ok = False
-            return None
+            return
+        index = len(self._clauses)
+        self._clauses.append(unique)
+        self._watch(unique[0], index)
+        self._watch(unique[1], index)
+
+    def _add_learned(self, literals: List[int]) -> Optional[int]:
+        if len(literals) < 2:
+            raise ValueError("learned clauses with < 2 literals are enqueued directly")
         index = len(self._clauses)
         self._clauses.append(literals)
         self._watch(literals[0], index)
         self._watch(literals[1], index)
-        if learned:
-            self.stats.learned_clauses += 1
+        self.stats.learned_clauses += 1
         return index
 
     def _watch(self, literal: int, clause_index: int) -> None:
@@ -131,7 +199,7 @@ class CdclSolver:
 
     def _propagate(self) -> Optional[int]:
         """Exhaustive unit propagation; returns a conflicting clause index or None."""
-        queue_position = getattr(self, "_queue_position", 0)
+        queue_position = self._queue_position
         while queue_position < len(self._trail):
             literal = self._trail[queue_position]
             queue_position += 1
@@ -182,6 +250,9 @@ class CdclSolver:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._activity_increment *= 1e-100
+        heapq.heappush(self._order_heap, (-self._activity[variable], variable))
+        if self._restricted is not None and variable in self._restricted[0]:
+            heapq.heappush(self._restricted[1], (-self._activity[variable], variable))
 
     def _decay_activities(self) -> None:
         self._activity_increment /= self._activity_decay
@@ -229,7 +300,38 @@ class CdclSolver:
         backjump = max(self._levels[abs(l)] for l in learned[1:])
         return learned, backjump
 
+    def _analyze_final(self, literal: int) -> List[int]:
+        """``literal`` is an assumption found false: which assumptions caused it?
+
+        Walks the implication graph from ``¬literal`` back to the decisions of
+        the current (assumption-only) prefix.  Returns a subset of the
+        assumption literals, including ``literal`` itself, whose conjunction
+        is already contradictory with the clause database.
+        """
+        failed = [literal]
+        if self._decision_level() == 0:
+            return failed
+        seen = [False] * (self._num_vars + 1)
+        seen[abs(literal)] = True
+        for index in range(len(self._trail) - 1, self._trail_limits[0] - 1, -1):
+            trail_literal = self._trail[index]
+            variable = abs(trail_literal)
+            if not seen[variable]:
+                continue
+            reason = self._reasons[variable]
+            if reason is None:
+                # A decision inside the assumption prefix is an assumption.
+                failed.append(trail_literal)
+            else:
+                for clause_literal in self._clauses[reason]:
+                    other = abs(clause_literal)
+                    if other != variable and self._levels[other] > 0:
+                        seen[other] = True
+            seen[variable] = False
+        return failed
+
     def _backjump(self, level: int) -> None:
+        restricted = self._restricted
         while self._decision_level() > level:
             limit = self._trail_limits.pop()
             while len(self._trail) > limit:
@@ -237,22 +339,38 @@ class CdclSolver:
                 variable = abs(literal)
                 self._values[variable] = _UNASSIGNED
                 self._reasons[variable] = None
-        self._queue_position = min(getattr(self, "_queue_position", 0), len(self._trail))
+                heapq.heappush(
+                    self._order_heap, (-self._activity[variable], variable)
+                )
+                if restricted is not None and variable in restricted[0]:
+                    heapq.heappush(
+                        restricted[1], (-self._activity[variable], variable)
+                    )
+        self._queue_position = min(self._queue_position, len(self._trail))
 
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
 
     def _decide(self) -> Optional[int]:
-        best_variable = None
-        best_activity = -1.0
-        for variable in range(1, self._num_vars + 1):
-            if self._values[variable] == _UNASSIGNED and self._activity[variable] > best_activity:
-                best_activity = self._activity[variable]
-                best_variable = variable
-        if best_variable is None:
+        # Lazy activity-ordered heap: entries may carry stale priorities (the
+        # heap is not rebuilt on decay/bump), but every unassigned variable
+        # always has at least one entry — pushed on creation, on unassignment
+        # and on every bump — so popping until an unassigned variable appears
+        # is a sound approximation of exact VSIDS order.  A restricted solve
+        # draws from its own heap over the decision-variable subset instead.
+        if self._restricted is not None:
+            local = self._restricted[1]
+            while local:
+                _, variable = heapq.heappop(local)
+                if self._values[variable] == _UNASSIGNED:
+                    return variable if self._phase[variable] else -variable
             return None
-        return best_variable if self._phase[best_variable] else -best_variable
+        while self._order_heap:
+            _, variable = heapq.heappop(self._order_heap)
+            if self._values[variable] == _UNASSIGNED:
+                return variable if self._phase[variable] else -variable
+        return None
 
     # ------------------------------------------------------------------
     # Main loop
@@ -272,17 +390,85 @@ class CdclSolver:
                 return 1 << (k - 1)
             index -= (1 << (k - 1)) - 1
 
-    def solve(self, max_conflicts: Optional[int] = None) -> Tuple[Optional[bool], Optional[Dict[int, bool]]]:
-        """Solve the instance.
+    def solve(
+        self,
+        max_conflicts: Optional[int] = None,
+        assumptions: Optional[Sequence[int]] = None,
+    ) -> Tuple[Optional[bool], Optional[Dict[int, bool]]]:
+        """Solve the current instance, optionally under ``assumptions``.
 
         Returns ``(True, model)``, ``(False, None)`` or ``(None, None)`` when
-        ``max_conflicts`` is exhausted.
+        ``max_conflicts`` is exhausted.  Assumption literals are decided (in
+        order) before any free decision; on an unsat answer,
+        :attr:`last_conflict` names the responsible assumption subset.  The
+        solver object stays usable afterwards: more clauses may be added and
+        further solve calls reuse everything learned so far.
         """
+        sat, values = self.solve_values(max_conflicts=max_conflicts, assumptions=assumptions)
+        if not sat:
+            return sat, None
+        model = {
+            variable: values[variable] == _TRUE
+            for variable in range(1, self._num_vars + 1)
+        }
+        return True, model
+
+    def solve_values(
+        self,
+        max_conflicts: Optional[int] = None,
+        assumptions: Optional[Sequence[int]] = None,
+        decision_vars: Optional[Iterable[int]] = None,
+    ) -> Tuple[Optional[bool], Optional[List[int]]]:
+        """Like :meth:`solve`, but a sat answer returns the raw value array.
+
+        ``values[v]`` is ``1`` (true) or ``-1`` (false) for variable ``v``
+        (``0`` for variables left unassigned by a restricted solve; index 0
+        unused).  Incremental callers with thousands of session variables
+        decode only the bits they care about, so they skip the full
+        model-dictionary construction of :meth:`solve`.
+
+        ``decision_vars`` restricts free decisions to the given variables.
+        This is only sound when every clause involving an excluded variable is
+        *definitional* (Tseitin gates, guard clauses): then a propagation
+        fixpoint with every decision variable assigned always extends to a
+        total model — gate outputs are functions of their inputs and unused
+        guards are satisfiable by deactivation — so "sat" answers remain
+        genuine while the search never wanders into foreign subformulas.  The
+        incremental session is exactly that shape; general callers must leave
+        it ``None``.
+        """
+        assumptions = list(assumptions) if assumptions else []
+        self.last_conflict = []
+        self.stats.solve_calls += 1
         if not self._ok:
             return False, None
-        self._queue_position = 0
+        for literal in assumptions:
+            if literal == 0:
+                raise ValueError("0 is not a valid assumption literal")
+            self.ensure_num_vars(abs(literal))
+        self._backjump(0)
+        if decision_vars is not None:
+            decision_set = set(decision_vars)
+            local_heap = [
+                (-self._activity[variable], variable)
+                for variable in decision_set
+                if variable <= self._num_vars
+                and self._values[variable] == _UNASSIGNED
+            ]
+            heapq.heapify(local_heap)
+            self._restricted = (decision_set, local_heap)
+        try:
+            return self._search(max_conflicts, assumptions)
+        finally:
+            self._restricted = None
+
+    def _search(
+        self, max_conflicts: Optional[int], assumptions: List[int]
+    ) -> Tuple[Optional[bool], Optional[List[int]]]:
         conflict = self._propagate()
         if conflict is not None:
+            # A root-level conflict dooms every later call too.
+            self._ok = False
             return False, None
         restart_count = 1
         restart_limit = 32 * self._luby(restart_count)
@@ -296,18 +482,20 @@ class CdclSolver:
                 total_conflicts += 1
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
+                    self._ok = False
                     return False, None
                 learned, backjump_level = self._analyze(conflict)
                 self._backjump(backjump_level)
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
+                        self._ok = False
                         return False, None
                 else:
-                    index = self._add_clause(learned, learned=True)
-                    if index is not None:
-                        self._enqueue(learned[0], index)
+                    index = self._add_learned(learned)
+                    self._enqueue(learned[0], index)
                 self._decay_activities()
                 if max_conflicts is not None and total_conflicts >= max_conflicts:
+                    self._backjump(0)
                     return None, None
                 if conflicts_since_restart >= restart_limit:
                     restart_count += 1
@@ -316,13 +504,27 @@ class CdclSolver:
                     conflicts_since_restart = 0
                     self._backjump(0)
                 continue
-            decision = self._decide()
+            decision: Optional[int] = None
+            while self._decision_level() < len(assumptions):
+                assumption = assumptions[self._decision_level()]
+                value = self._value(assumption)
+                if value == _TRUE:
+                    # Already implied: open a vacuous level to keep the
+                    # level ↔ assumption-index correspondence.
+                    self._trail_limits.append(len(self._trail))
+                    continue
+                if value == _FALSE:
+                    self.last_conflict = self._analyze_final(assumption)
+                    self._backjump(0)
+                    return False, None
+                decision = assumption
+                break
             if decision is None:
-                model = {
-                    variable: self._values[variable] == _TRUE
-                    for variable in range(1, self._num_vars + 1)
-                }
-                return True, model
+                decision = self._decide()
+                if decision is None:
+                    values = list(self._values)
+                    self._backjump(0)
+                    return True, values
             self.stats.decisions += 1
             self._trail_limits.append(len(self._trail))
             self.stats.max_decision_level = max(
@@ -331,6 +533,10 @@ class CdclSolver:
             self._enqueue(decision, None)
 
 
-def cdcl_solve(cnf: Cnf, max_conflicts: Optional[int] = None) -> Tuple[Optional[bool], Optional[Dict[int, bool]]]:
-    """Convenience wrapper: build a solver and run it."""
-    return CdclSolver(cnf).solve(max_conflicts=max_conflicts)
+def cdcl_solve(
+    cnf: Cnf,
+    max_conflicts: Optional[int] = None,
+    assumptions: Optional[Sequence[int]] = None,
+) -> Tuple[Optional[bool], Optional[Dict[int, bool]]]:
+    """Convenience wrapper: build a solver and run it once."""
+    return CdclSolver(cnf).solve(max_conflicts=max_conflicts, assumptions=assumptions)

@@ -1,5 +1,7 @@
 """Tests for the job-based parallel equivalence engine."""
 
+import warnings
+
 import pytest
 
 from repro.core.algorithm import CheckerConfig
@@ -99,6 +101,58 @@ class TestSequentialEngine:
         assert result.value.metrics.name == "Header initialization"
 
 
+class TestInlineTimeouts:
+    """jobs=1 cannot interrupt a running job: it must warn, then enforce post hoc."""
+
+    def _job(self, timeout=None):
+        return EquivalenceJob(
+            tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse",
+            job_id="inline", timeout=timeout,
+        )
+
+    def test_inline_timeout_warns_explicitly(self):
+        engine = EquivalenceEngine(jobs=1)
+        with pytest.warns(RuntimeWarning, match="inline mode"):
+            engine.run([self._job(timeout=60.0)])
+
+    def test_inline_engine_default_timeout_also_warns(self):
+        engine = EquivalenceEngine(jobs=1, timeout=60.0)
+        with pytest.warns(RuntimeWarning, match="enforced only after"):
+            engine.run([self._job()])
+
+    def test_inline_without_timeout_does_not_warn(self):
+        engine = EquivalenceEngine(jobs=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results = engine.run([self._job()])
+        assert results[0].ok
+
+    def test_inline_over_budget_job_reported_as_timeout(self):
+        engine = EquivalenceEngine(jobs=1)
+        with pytest.warns(RuntimeWarning):
+            [result] = engine.run([self._job(timeout=1e-9)])
+        assert result.status == "timeout"
+        assert result.value is None
+        assert "inline job finished" in result.error
+        assert engine.statistics.timed_out == 1
+
+    def test_inline_within_budget_job_is_ok(self):
+        engine = EquivalenceEngine(jobs=1)
+        with pytest.warns(RuntimeWarning):
+            [result] = engine.run([self._job(timeout=300.0)])
+        assert result.ok
+        assert result.value.verdict is True
+
+    def test_inline_over_budget_failure_is_a_timeout_too(self):
+        # A pooled worker would have been killed before it could raise, so
+        # an inline job that fails beyond its budget classifies as timeout.
+        engine = EquivalenceEngine(jobs=1)
+        with pytest.warns(RuntimeWarning):
+            [result] = engine.run([CaseJob(case="No Such Row", timeout=1e-9, job_id="x")])
+        assert result.status == "timeout"
+        assert engine.statistics.timed_out == 1
+
+
 class TestParallelEngine:
     def test_parallel_results_identical_to_sequential(self):
         jobs = _tiny_jobs()
@@ -188,6 +242,23 @@ class TestConfigPlumbing:
 
         assert os.path.isdir(mine)
         assert not os.path.isdir(engine_dir)
+
+    def test_engine_use_incremental_override(self):
+        from repro.core.engine import _effective_config
+
+        job = EquivalenceJob(
+            tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse",
+            config=CheckerConfig(use_incremental=True), job_id="inc",
+        )
+        assert _effective_config(job, None, use_incremental=False).use_incremental is False
+        assert _effective_config(job, None, use_incremental=None).use_incremental is True
+        bare = EquivalenceJob(
+            tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse", job_id="bare"
+        )
+        config = _effective_config(bare, "/tmp/engine-cache", use_incremental=False)
+        assert config.use_incremental is False
+        assert config.cache_dir == "/tmp/engine-cache"
+        assert _effective_config(bare, None, None) is None
 
     def test_run_cases_through_engine_matches_direct_run(self):
         from repro.reporting import run_cases

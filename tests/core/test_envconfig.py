@@ -1,0 +1,83 @@
+"""Tests for the validated LEAPFROG_* environment parsing."""
+
+import pytest
+
+from repro import envconfig
+from repro.envconfig import EnvConfigError
+
+
+class TestParseJobs:
+    def test_defaults_to_one(self):
+        assert envconfig.parse_jobs(None) == 1
+        assert envconfig.parse_jobs("") == 1
+        assert envconfig.parse_jobs("  ") == 1
+
+    def test_valid_values(self):
+        assert envconfig.parse_jobs("1") == 1
+        assert envconfig.parse_jobs(" 8 ") == 8
+
+    def test_non_numeric_rejected_with_variable_name(self):
+        with pytest.raises(EnvConfigError, match="LEAPFROG_JOBS.*'abc'"):
+            envconfig.parse_jobs("abc")
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(EnvConfigError, match=">= 1"):
+            envconfig.parse_jobs("0")
+        with pytest.raises(EnvConfigError, match=">= 1"):
+            envconfig.parse_jobs("-3")
+
+    def test_source_names_the_flag(self):
+        with pytest.raises(EnvConfigError, match="--jobs"):
+            envconfig.parse_jobs("x", source="--jobs")
+
+    def test_jobs_from_env(self):
+        assert envconfig.jobs_from_env({}) == 1
+        assert envconfig.jobs_from_env({"LEAPFROG_JOBS": "4"}) == 4
+        with pytest.raises(EnvConfigError):
+            envconfig.jobs_from_env({"LEAPFROG_JOBS": "many"})
+
+
+class TestCacheDir:
+    def test_unset_and_empty_are_none(self):
+        assert envconfig.cache_dir_from_env({}) is None
+        assert envconfig.cache_dir_from_env({"LEAPFROG_CACHE_DIR": ""}) is None
+
+    def test_value_passed_through(self):
+        environ = {"LEAPFROG_CACHE_DIR": "/tmp/cache"}
+        assert envconfig.cache_dir_from_env(environ) == "/tmp/cache"
+
+
+class TestIncrementalFlag:
+    def test_unset_is_none(self):
+        assert envconfig.incremental_from_env({}) is None
+        assert envconfig.incremental_from_env({"LEAPFROG_INCREMENTAL": ""}) is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_truthy(self, value):
+        assert envconfig.incremental_from_env({"LEAPFROG_INCREMENTAL": value}) is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "No", "OFF"])
+    def test_falsy(self, value):
+        assert envconfig.incremental_from_env({"LEAPFROG_INCREMENTAL": value}) is False
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EnvConfigError, match="LEAPFROG_INCREMENTAL"):
+            envconfig.incremental_from_env({"LEAPFROG_INCREMENTAL": "maybe"})
+
+
+class TestCliIntegration:
+    def test_cli_reports_env_error_cleanly(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("LEAPFROG_JOBS", "not-a-number")
+        code = main(["table", "--case", "Header initialization"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "LEAPFROG_JOBS" in captured.err
+
+    def test_cli_rejects_bad_jobs_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["table", "--jobs", "0"])
+        assert "--jobs" in capsys.readouterr().err

@@ -1,0 +1,197 @@
+"""Tests for the incremental assumption-based solving session."""
+
+from repro.core.entailment import EntailmentChecker
+from repro.logic import folbv
+from repro.logic.confrel import LEFT, RIGHT, CHdr, CSlice
+from repro.logic.folbv import BEq, BVConst, BVVar
+from repro.logic.simplify import mk_eq
+from repro.p4a.bitvec import Bits
+from repro.smt.backend import InternalBackend
+from repro.smt.bvsolver import InternalBVSolver, SatStatus
+from repro.smt.cache import CachingBackend
+from repro.smt.incremental import IncrementalSession
+
+
+def var(name, width=4):
+    return BVVar(name, width)
+
+
+def const(bits):
+    return BVConst(Bits(bits))
+
+
+class TestIncrementalSession:
+    def test_activated_premises_constrain_the_query(self):
+        session = IncrementalSession()
+        premise = BEq(var("x"), const("1010"))
+        act = session.activation(premise)
+
+        # Without the activation the variable is unconstrained.
+        free = session.check(goal=BEq(var("x"), const("0001")),
+                             validate_formula=BEq(var("x"), const("0001")))
+        assert free.status is SatStatus.SAT
+
+        # With it, a contradictory goal is unsat and a consistent one sat.
+        conflicting = session.check([act], goal=BEq(var("x"), const("0001")))
+        assert conflicting.status is SatStatus.UNSAT
+        consistent = session.check([act], goal=BEq(var("x"), const("1010")),
+                                   variables={"x": 4})
+        assert consistent.status is SatStatus.SAT
+        assert consistent.model["x"] == Bits("1010")
+
+    def test_activation_is_idempotent_per_structure(self):
+        session = IncrementalSession()
+        first = session.activation(BEq(var("x"), const("1111")))
+        # A structurally equal but distinct object maps to the same literal.
+        second = session.activation(BEq(var("x"), const("1111")))
+        assert first == second
+
+    def test_shared_structure_is_encoded_once(self):
+        session = IncrementalSession()
+        core = BEq(var("x", 8), var("y", 8))
+        session.activation(core)
+        clauses_before = session.num_clauses
+        # A conjunction embedding the same equality reuses its gates: only the
+        # new conjunct and the top-level gate add clauses.
+        session.activation(folbv.b_and([core, BEq(var("z", 2), const("11"))]))
+        small = session.num_clauses - clauses_before
+        fresh = IncrementalSession()
+        fresh.activation(folbv.b_and([BEq(var("x", 8), var("y", 8)),
+                                      BEq(var("z", 2), const("11"))]))
+        assert small < fresh.num_clauses
+
+    def test_model_validation_backstop(self):
+        session = IncrementalSession(validate_models=True)
+        formula = BEq(var("x"), const("0110"))
+        result = session.check(goal=formula, validate_formula=formula,
+                               variables={"x": 4})
+        assert result.status is SatStatus.SAT
+        assert result.model["x"] == Bits("0110")
+
+    def test_same_name_at_different_widths_does_not_alias(self):
+        session = IncrementalSession()
+        narrow = BEq(var("x", 2), const("11"))
+        wide = BEq(var("x", 4), const("0000"))
+        act_narrow = session.activation(narrow)
+        act_wide = session.activation(wide)
+        result = session.check([act_narrow, act_wide],
+                               variables={"x": 2})
+        assert result.status is SatStatus.SAT
+        assert result.model["x"] == Bits("11")
+
+    def test_monotone_premise_stream(self):
+        session = IncrementalSession()
+        acts = []
+        # x = y, y = z, ... chained equalities activated one by one.
+        names = ["a", "b", "c", "d"]
+        for left, right in zip(names, names[1:]):
+            acts.append(session.activation(BEq(var(left), var(right))))
+            # a != d is satisfiable until the chain closes.
+            result = session.check(acts, goal=folbv.b_not(BEq(var("a"), var("d"))))
+            expected = SatStatus.UNSAT if len(acts) == 3 else SatStatus.SAT
+            assert result.status is expected
+
+    def test_statistics_ledger_is_shared_with_solver(self):
+        solver = InternalBVSolver()
+        session = solver.incremental_session()
+        session.check(goal=BEq(var("x"), const("1100")))
+        assert solver.statistics.queries == 1
+
+    def test_dpll_engine_has_no_session(self):
+        assert InternalBVSolver(engine="dpll").incremental_session() is None
+        assert InternalBackend(engine="dpll").incremental_session() is None
+
+    def test_caching_backend_delegates_session(self):
+        assert CachingBackend(InternalBackend()).incremental_session() is not None
+
+
+class TestIncrementalEntailment:
+    """The entailment checker gives identical verdicts with the session on/off."""
+
+    def _workload(self, use_incremental):
+        checker = EntailmentChecker(InternalBackend(), use_incremental=use_incremental)
+        verdicts = []
+        premises = []
+        width, step = 16, 4
+        for i in range(width // step):
+            lo, hi = i * step, (i + 1) * step - 1
+            goal = mk_eq(CSlice(CHdr(RIGHT, "h", width), 0, hi),
+                         CSlice(CHdr(LEFT, "h", width), 0, hi))
+            verdicts.append(bool(checker.check(premises, goal)))
+            premises.append(mk_eq(CSlice(CHdr(LEFT, "h", width), lo, hi),
+                                  CSlice(CHdr(RIGHT, "h", width), lo, hi)))
+            verdicts.append(bool(checker.check(premises, goal)))
+        return verdicts, checker
+
+    def test_verdicts_identical_with_and_without_session(self):
+        incremental, inc_checker = self._workload(True)
+        baseline, base_checker = self._workload(False)
+        assert incremental == baseline
+        assert inc_checker.statistics.checks == base_checker.statistics.checks
+        assert inc_checker._session is not None
+        assert base_checker._session is None
+
+    def test_incremental_entailment_encodes_less(self):
+        _, inc_checker = self._workload(True)
+        _, base_checker = self._workload(False)
+        # The one live CNF stays far smaller than the sum of the one-shot
+        # encodings: shared premise structure is bit-blasted exactly once.
+        assert (inc_checker._session.num_clauses
+                < base_checker.backend.statistics.total_clauses)
+
+    def test_session_results_feed_the_query_cache(self):
+        backend = CachingBackend(InternalBackend())
+        checker = EntailmentChecker(backend, use_incremental=True)
+        premise = mk_eq(CHdr(LEFT, "udp", 8), CHdr(RIGHT, "udp", 8))
+        goal = mk_eq(CHdr(RIGHT, "udp", 8), CHdr(LEFT, "udp", 8))
+        assert checker.check([premise], goal).entailed
+        stores = backend.cache_statistics.stores
+        assert stores > 0
+        # A repeat of the same check is answered from the cache.
+        queries_before = backend.statistics.queries
+        assert checker.check([premise], goal).entailed
+        assert backend.statistics.queries == queries_before
+        assert checker.statistics.cache_hits > 0
+
+    def test_exact_mode_with_universal_premises_still_agrees(self):
+        from repro.logic.confrel import CVar
+
+        # The premise mentions a symbolic variable, which the exact mode
+        # treats as universally quantified — this routes both configurations
+        # through the CEGIS loop and checks they agree.
+        premise = mk_eq(CHdr(LEFT, "h", 4), CVar("v", 4))
+        goal = mk_eq(CHdr(LEFT, "h", 4), CHdr(RIGHT, "h", 4))
+        with_session = EntailmentChecker(InternalBackend(), use_incremental=True)
+        without_session = EntailmentChecker(InternalBackend(), use_incremental=False)
+        assert (with_session.check([premise], goal).entailed
+                == without_session.check([premise], goal).entailed)
+
+
+class TestRestrictedDecisionSoundness:
+    def test_pigeonhole_behind_activation_is_refuted(self):
+        # An unsatisfiable formula behind an activation literal must be
+        # refuted by the restricted search, not claimed sat by early exit.
+        session = IncrementalSession()
+        x = var("p", 2)
+        contradictory = folbv.b_and([
+            BEq(x, const("01")),
+            BEq(x, const("10")),
+        ])
+        act = session.activation(contradictory)
+        assert session.check([act]).status is SatStatus.UNSAT
+        # The session survives and still answers satisfiable queries.
+        ok = session.check(goal=BEq(x, const("01")), variables={"p": 2})
+        assert ok.status is SatStatus.SAT
+
+    def test_inactive_contradiction_does_not_leak(self):
+        session = IncrementalSession()
+        x = var("q", 2)
+        act_bad = session.activation(folbv.b_and([
+            BEq(x, const("01")), BEq(x, const("10")),
+        ]))
+        assert session.check([act_bad]).status is SatStatus.UNSAT
+        # Not assuming the contradictory formula leaves the query satisfiable.
+        good = session.check(goal=BEq(x, const("11")), variables={"q": 2},
+                             validate_formula=BEq(x, const("11")))
+        assert good.status is SatStatus.SAT
+        assert good.model["q"] == Bits("11")

@@ -180,3 +180,146 @@ def test_dpll_agrees_with_brute_force(cnf):
     assert sat == expected
     if sat:
         assert check_model(cnf, model)
+
+
+# ---------------------------------------------------------------------------
+# Incremental solving under assumptions
+# ---------------------------------------------------------------------------
+
+
+class TestAssumptions:
+    def test_assumptions_restrict_a_satisfiable_instance(self):
+        cnf = cnf_from_clauses(2, [(1, 2)])
+        solver = CdclSolver(cnf)
+        sat, model = solver.solve(assumptions=[-1])
+        assert sat is True
+        assert model[2] is True and model[1] is False
+        # The same solver answers the complementary query afterwards.
+        sat, model = solver.solve(assumptions=[1])
+        assert sat is True and model[1] is True
+
+    def test_unsat_under_assumptions_reports_failed_subset(self):
+        # x1 -> x2, x2 -> x3: assuming x1 and ¬x3 is contradictory, but the
+        # unrelated assumption x4 is not part of the final conflict.
+        cnf = cnf_from_clauses(4, [(-1, 2), (-2, 3)])
+        solver = CdclSolver(cnf)
+        sat, _ = solver.solve(assumptions=[4, 1, -3])
+        assert sat is False
+        assert set(solver.last_conflict) <= {4, 1, -3}
+        assert 4 not in solver.last_conflict
+        # The failed subset really is contradictory on its own.
+        recheck = cnf_from_clauses(4, [(-1, 2), (-2, 3)] + [(l,) for l in solver.last_conflict])
+        assert dpll_solve(recheck)[0] is False
+        # The instance itself is still satisfiable: the solver stays usable.
+        assert solver.solve()[0] is True
+
+    def test_contradictory_assumptions(self):
+        solver = CdclSolver(cnf_from_clauses(2, [(1, 2)]))
+        sat, _ = solver.solve(assumptions=[1, -1])
+        assert sat is False
+        assert set(solver.last_conflict) == {1, -1}
+
+    def test_globally_unsat_has_empty_conflict(self):
+        solver = CdclSolver(cnf_from_clauses(1, [(1,), (-1,)]))
+        assert solver.solve(assumptions=[1])[0] is False
+        assert solver.last_conflict == []
+
+    def test_clauses_added_between_solves(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1])[0] is True
+        solver.add_clause([-2])
+        assert solver.solve(assumptions=[-1])[0] is False
+        assert solver.solve()[0] is True  # x1 alone still works
+        solver.add_clause([-1])
+        assert solver.solve()[0] is False
+
+    def test_learned_clauses_survive_across_calls(self):
+        def var(pigeon, hole):
+            return pigeon * 2 + hole + 1
+
+        clauses = []
+        for pigeon in range(3):
+            clauses.append(tuple(var(pigeon, hole) for hole in range(2)))
+        for hole in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    clauses.append((-var(p1, hole), -var(p2, hole)))
+        solver = CdclSolver(cnf_from_clauses(6, clauses))
+        assert solver.solve()[0] is False
+        conflicts_first = solver.stats.conflicts
+        assert solver.solve()[0] is False
+        # The root-level refutation is remembered: no new search happens.
+        assert solver.stats.conflicts == conflicts_first
+
+    def test_assumption_on_fresh_variable_grows_the_solver(self):
+        solver = CdclSolver(cnf_from_clauses(1, [(1,)]))
+        sat, model = solver.solve(assumptions=[5])
+        assert sat is True
+        assert solver.num_vars >= 5
+        assert model[5] is True
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzzing: fresh CDCL vs incremental CDCL vs DPLL under
+# shifting assumption sets and growing clause sets.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def incremental_plan(draw):
+    """A sequence of (new clauses, assumptions) steps over a fixed var pool."""
+    steps = []
+    for _ in range(draw(st.integers(2, 5))):
+        num_clauses = draw(st.integers(0, 8))
+        clauses = []
+        for _ in range(num_clauses):
+            width = draw(st.integers(1, 3))
+            clauses.append(tuple(
+                draw(st.integers(1, _NUM_VARS)) * draw(st.sampled_from([1, -1]))
+                for _ in range(width)
+            ))
+        num_assumptions = draw(st.integers(0, 4))
+        assumptions = [
+            draw(st.integers(1, _NUM_VARS)) * draw(st.sampled_from([1, -1]))
+            for _ in range(num_assumptions)
+        ]
+        steps.append((clauses, assumptions))
+    return steps
+
+
+@settings(max_examples=120, deadline=None)
+@given(incremental_plan())
+def test_incremental_cdcl_agrees_with_references(plan):
+    incremental = CdclSolver()
+    incremental.ensure_num_vars(_NUM_VARS)
+    accumulated = []
+    for clauses, assumptions in plan:
+        for clause in clauses:
+            incremental.add_clause(clause)
+            accumulated.append(clause)
+        sat, model = incremental.solve(assumptions=assumptions)
+
+        # Reference: the accumulated clauses plus the assumptions as units,
+        # solved from scratch by an independent DPLL and a fresh CDCL.
+        reference = cnf_from_clauses(
+            _NUM_VARS, accumulated + [(literal,) for literal in assumptions]
+        )
+        expected, _ = dpll_solve(reference)
+        fresh, fresh_model = cdcl_solve(reference)
+        assert fresh == expected
+        assert sat == expected, (accumulated, assumptions)
+
+        if sat:
+            # The incremental model satisfies the clauses *and* assumptions.
+            assert check_model(reference, model)
+            assert check_model(reference, fresh_model)
+        else:
+            # The reported final conflict is a subset of the assumptions and
+            # is itself sufficient for unsatisfiability.
+            failed = incremental.last_conflict
+            assert set(failed) <= set(assumptions)
+            conflict_cnf = cnf_from_clauses(
+                _NUM_VARS, accumulated + [(literal,) for literal in failed]
+            )
+            assert dpll_solve(conflict_cnf)[0] is False
