@@ -1,0 +1,70 @@
+"""Differential concrete-oracle benchmark: fuzz every scenario's parsers.
+
+Runs the oracle's cross-check (self-comparison plus compiled-hardware
+translation) over every parser-gen scenario mix — Edge, ServiceProvider,
+Datacenter, Enterprise and the four mini variants — with a fixed seed, and
+fails on any divergence: the concrete interpreter is the ground truth the
+whole symbolic pipeline is measured against, so a red run here means a real
+soundness bug (or a sampler bug), never flakiness.
+
+One benchmark additionally measures the oracle riding on a verification run
+(`CheckerConfig.oracle_packets`), which is the configuration the CI smoke job
+uses.  ``LEAPFROG_SEED`` overrides the seed, ``LEAPFROG_ORACLE`` the packet
+budget.
+"""
+
+import pytest
+
+from repro import envconfig
+from repro.core.engine import CaseJob
+from repro.oracle.suite import run_differential_suite
+from repro.parsergen.scenarios import MINI_SCENARIOS
+from repro.reporting import full_scale_requested
+
+_SEED = envconfig.seed_from_env()
+if _SEED is None:
+    _SEED = 20220613  # PLDI 2022; any fixed value works, it just must be fixed
+_PACKETS = envconfig.oracle_packets_from_env() or 128
+
+_FULL_SCENARIOS = ("edge", "service_provider", "datacenter", "enterprise")
+
+
+@pytest.mark.parametrize("name", list(MINI_SCENARIOS))
+def test_oracle_mini_scenario(benchmark, name):
+    [row] = benchmark.pedantic(
+        run_differential_suite,
+        kwargs=dict(names=[name], packets=_PACKETS, seed=_SEED),
+        iterations=1, rounds=1,
+    )
+    assert row.ok, f"{name}: {row.divergences} divergences (seed {_SEED})"
+    assert row.self_report.accepted_left > 0, "sampler never reached acceptance"
+
+
+@pytest.mark.parametrize("name", list(_FULL_SCENARIOS))
+def test_oracle_full_scenario(benchmark, name):
+    """The full protocol stacks are cheap to fuzz even when they are too
+    expensive to verify by default — concrete simulation is linear."""
+    [row] = benchmark.pedantic(
+        run_differential_suite,
+        kwargs=dict(names=[name], packets=_PACKETS, seed=_SEED),
+        iterations=1, rounds=1,
+    )
+    assert row.ok, f"{name}: {row.divergences} divergences (seed {_SEED})"
+
+
+def test_oracle_riding_on_verification(benchmark, record_case, engine):
+    """Cross-check a Table 2 verdict in the same run that produces it."""
+    engine.oracle_packets = engine.oracle_packets or _PACKETS
+    engine.oracle_seed = engine.oracle_seed if engine.oracle_seed is not None else _SEED
+    full = full_scale_requested()
+
+    def run():
+        [result] = engine.run([CaseJob(case="Translation Validation", full=full)])
+        assert result.ok, result.error
+        return result.value
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert outcome.verdict is True
+    statistics = outcome.metrics.extra
+    assert statistics.get("divergences", 0) == 0
+    record_case(outcome.metrics)

@@ -29,16 +29,20 @@ def engine() -> EquivalenceEngine:
 
     ``LEAPFROG_JOBS`` selects the worker count (default 1, the sequential
     baseline), ``LEAPFROG_CACHE_DIR`` enables the persistent solver-query
-    cache and ``LEAPFROG_INCREMENTAL=0/1`` pins the incremental solver
-    session on or off, so the same benchmark files measure sequential,
-    parallel, cold, warm and ablation configurations without edits.  All
-    three variables go through :mod:`repro.envconfig`, so a malformed value
-    fails the session with a clear message instead of a bare ``ValueError``.
+    cache, ``LEAPFROG_INCREMENTAL=0/1`` pins the incremental solver session
+    on or off, and ``LEAPFROG_ORACLE``/``LEAPFROG_SEED`` cross-check every
+    verdict against that many seeded concrete packets, so the same benchmark
+    files measure sequential, parallel, cold, warm, ablation and oracle
+    configurations without edits.  All variables go through
+    :mod:`repro.envconfig`, so a malformed value fails the session with a
+    clear message instead of a bare ``ValueError``.
     """
     return EquivalenceEngine(
         jobs=envconfig.jobs_from_env(),
         cache_dir=envconfig.cache_dir_from_env(),
         use_incremental=envconfig.incremental_from_env(),
+        oracle_packets=envconfig.oracle_packets_from_env(),
+        oracle_seed=envconfig.seed_from_env(),
     )
 
 

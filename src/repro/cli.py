@@ -7,6 +7,8 @@
 * ``table [--full] [--case NAME ...]`` — run the Table 2 case studies and print
   the results in the paper's row format;
 * ``list`` — list the registered case studies;
+* ``oracle`` — run the differential concrete-oracle fuzz suite over parser-gen
+  scenarios and write reproducible divergence reports;
 * ``dump-scenario NAME`` — print a parser-gen scenario as a P4 automaton (and
   optionally its compiled hardware table).
 """
@@ -32,6 +34,37 @@ def _jobs_argument(value: str) -> int:
         return envconfig.parse_jobs(value, source="--jobs")
     except envconfig.EnvConfigError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _oracle_argument(value: str) -> int:
+    """argparse type for ``--oracle-packets``: a validated non-negative count."""
+    try:
+        parsed = envconfig.parse_oracle_packets(value, source="--oracle-packets")
+    except envconfig.EnvConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return parsed if parsed is not None else 0
+
+
+def _seed_argument(value: str) -> int:
+    """argparse type for ``--seed``: a validated integer."""
+    try:
+        parsed = envconfig.parse_seed(value, source="--seed")
+    except envconfig.EnvConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return parsed if parsed is not None else 0
+
+
+def _add_oracle_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--oracle-packets", type=_oracle_argument, default=None, metavar="N",
+        help="cross-check every verdict against N seeded random packets run "
+             "through both parsers concretely (default: LEAPFROG_ORACLE or off)",
+    )
+    parser.add_argument(
+        "--seed", type=_seed_argument, default=None, metavar="S",
+        help="seed for the oracle's packet/store sampler "
+             "(default: LEAPFROG_SEED or 0)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,6 +98,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-incremental", action="store_true",
         help="disable the incremental solver session (one-shot query per check)",
     )
+    check.add_argument(
+        "--no-minimize", action="store_true",
+        help="report counterexamples as extracted, without greedy minimization",
+    )
+    _add_oracle_arguments(check)
 
     table = sub.add_parser("table", help="run the Table 2 case studies")
     table.add_argument("--full", action="store_true", help="use paper-sized parsers")
@@ -89,8 +127,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-incremental", action="store_true",
         help="disable the incremental solver session in every case's checker",
     )
+    _add_oracle_arguments(table)
 
     sub.add_parser("list", help="list the registered case studies")
+
+    oracle = sub.add_parser(
+        "oracle",
+        help="run the differential concrete-oracle fuzz suite over scenarios",
+    )
+    oracle.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="fuzz only the named scenario (repeatable; default: the four "
+             "mini scenarios, or all scenarios with --all)",
+    )
+    oracle.add_argument(
+        "--all", action="store_true", help="fuzz every registered scenario"
+    )
+    oracle.add_argument(
+        "--packets", type=_oracle_argument, default=None, metavar="N",
+        help="packets per cross-check (default: LEAPFROG_ORACLE or "
+             f"{envconfig.DEFAULT_ORACLE_PACKETS})",
+    )
+    oracle.add_argument(
+        "--seed", type=_seed_argument, default=None, metavar="S",
+        help="sampler seed (default: LEAPFROG_SEED or 0)",
+    )
+    oracle.add_argument(
+        "--report-dir", metavar="DIR",
+        help="write summary.json plus one JSON report per diverging scenario "
+             "(seed, packets, stores) into DIR",
+    )
+    oracle.add_argument(
+        "--no-translation", action="store_true",
+        help="skip the compiled-hardware translation cross-check",
+    )
 
     dump = sub.add_parser("dump-scenario", help="print a parser-gen scenario as a P4 automaton")
     dump.add_argument("name", help="scenario name (e.g. edge, datacenter, mini_edge)")
@@ -109,12 +179,16 @@ def _command_check(args: argparse.Namespace) -> int:
     else:
         env_incremental = envconfig.incremental_from_env()
         use_incremental = True if env_incremental is None else env_incremental
+    oracle_packets, oracle_seed = _oracle_settings(args)
     config = CheckerConfig(
         use_leaps=not args.no_leaps,
         use_reachability=not args.no_reachability,
         use_query_cache=not args.no_cache,
         cache_dir=cache_dir,
         use_incremental=use_incremental,
+        oracle_packets=oracle_packets or 0,
+        oracle_seed=oracle_seed,
+        minimize_counterexamples=not args.no_minimize,
     )
     result = check_language_equivalence(
         left,
@@ -125,9 +199,26 @@ def _command_check(args: argparse.Namespace) -> int:
         find_counterexamples=not args.no_counterexample,
     )
     print(result)
+    if result.statistics.oracle:
+        oracle = result.statistics.oracle
+        if "packets" in oracle and oracle.get("packets"):
+            print(
+                f"oracle: {oracle.get('divergences', 0)} divergences over "
+                f"{oracle['packets']} packets (seed {oracle_seed or 0})"
+            )
     if result.proved:
         return 0
     return 1 if result.refuted else 2
+
+
+def _oracle_settings(args: argparse.Namespace):
+    """(packets, seed) from flags, falling back to the environment."""
+    packets = (
+        args.oracle_packets if args.oracle_packets is not None
+        else envconfig.oracle_packets_from_env()
+    )
+    seed = args.seed if args.seed is not None else envconfig.seed_from_env()
+    return packets, seed
 
 
 def _command_table(args: argparse.Namespace) -> int:
@@ -135,6 +226,7 @@ def _command_table(args: argparse.Namespace) -> int:
     jobs = args.jobs if args.jobs is not None else envconfig.jobs_from_env()
     cache_dir = args.cache_dir if args.cache_dir is not None else envconfig.cache_dir_from_env()
     use_incremental = False if args.no_incremental else envconfig.incremental_from_env()
+    oracle_packets, oracle_seed = _oracle_settings(args)
     metrics = run_cases(
         names=names,
         full=args.full,
@@ -142,9 +234,47 @@ def _command_table(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         timeout=args.timeout,
         use_incremental=use_incremental,
+        oracle_packets=oracle_packets,
+        oracle_seed=oracle_seed,
     )
     renderer = render_markdown if args.markdown else render_text
     print(renderer(metrics, title="Table 2 reproduction"))
+    return 0
+
+
+def _command_oracle(args: argparse.Namespace) -> int:
+    from .oracle.suite import render_suite, run_differential_suite, write_reports
+    from .parsergen.scenarios import MINI_SCENARIOS, SCENARIOS
+
+    if args.scenario:
+        names = args.scenario
+    elif args.all:
+        names = list(SCENARIOS)
+    else:
+        names = list(MINI_SCENARIOS)
+    packets = (
+        args.packets if args.packets is not None
+        else envconfig.oracle_packets_from_env()
+    )
+    if packets is None:
+        # Unset means the default budget; an explicit 0 is honoured (a
+        # vacuous run, but the user asked for it).
+        packets = envconfig.DEFAULT_ORACLE_PACKETS
+    seed = args.seed if args.seed is not None else envconfig.seed_from_env()
+    rows = run_differential_suite(
+        names=names,
+        packets=packets,
+        seed=seed if seed is not None else 0,
+        include_translation=not args.no_translation,
+    )
+    print(render_suite(rows))
+    if args.report_dir:
+        for path in write_reports(rows, args.report_dir):
+            print(f"wrote {path}")
+    divergences = sum(row.divergences for row in rows)
+    if divergences:
+        print(f"FAIL: {divergences} divergences (reproduce with --seed {seed or 0})")
+        return 1
     return 0
 
 
@@ -170,6 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _command_check,
         "table": _command_table,
         "list": _command_list,
+        "oracle": _command_oracle,
         "dump-scenario": _command_dump_scenario,
     }
     try:

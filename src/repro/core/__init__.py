@@ -8,7 +8,12 @@ from .algorithm import (
     PreBisimulationChecker,
 )
 from .certificate import Certificate, CertificateCheckResult, verify_certificate
-from .counterexample import Counterexample, find_counterexample
+from .counterexample import (
+    Counterexample,
+    CounterexampleSearch,
+    CounterexampleStatistics,
+    find_counterexample,
+)
 from .engine import (
     CaseJob,
     EngineError,
@@ -44,6 +49,8 @@ __all__ = [
     "CheckerError",
     "CheckerStatistics",
     "Counterexample",
+    "CounterexampleSearch",
+    "CounterexampleStatistics",
     "DifferentialMismatch",
     "EngineError",
     "EngineStatistics",

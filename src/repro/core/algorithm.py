@@ -59,6 +59,16 @@ class CheckerConfig:
     assumption-based solver session per run (premises encoded once, learned
     clauses retained) instead of a fresh bit-blast + SAT run per query; it is
     on by default and exists as a switch for the ablation benchmarks.
+
+    ``oracle_packets`` enables the differential concrete oracle: after a
+    language-equivalence verdict, that many seeded random packets are run
+    through both parsers concretely — an ``equivalent`` verdict contradicted
+    by any packet raises (fail loudly, it is a soundness bug), an ``unknown``
+    verdict contradicted by a packet is promoted to a refutation with a
+    concrete witness.  ``oracle_seed`` makes the sample reproducible
+    (``LEAPFROG_SEED``); ``minimize_counterexamples`` shrinks every extracted
+    witness by greedy leap/bit drops plus bounded symbolic re-solves before
+    it is reported.
     """
 
     use_leaps: bool = True
@@ -70,6 +80,9 @@ class CheckerConfig:
     use_query_cache: bool = True
     cache_dir: Optional[str] = None
     use_incremental: bool = True
+    oracle_packets: int = 0
+    oracle_seed: Optional[int] = None
+    minimize_counterexamples: bool = True
 
 
 @dataclass
@@ -87,6 +100,12 @@ class CheckerStatistics:
     entailment: Dict[str, int] = field(default_factory=dict)
     solver: Dict[str, float] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
+    #: Differential-oracle telemetry (packets, divergences, minimization).
+    oracle: Dict[str, object] = field(default_factory=dict)
+    #: Node/solver accounting of the counterexample search, when one ran.
+    counterexample_search: Dict[str, int] = field(default_factory=dict)
+    #: SAT models whose concrete replay contradicted the symbolic prediction.
+    replay_divergences: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -101,6 +120,9 @@ class CheckerStatistics:
             "entailment": dict(self.entailment),
             "solver": dict(self.solver),
             "cache": dict(self.cache),
+            "oracle": dict(self.oracle),
+            "counterexample_search": dict(self.counterexample_search),
+            "replay_divergences": self.replay_divergences,
         }
 
 

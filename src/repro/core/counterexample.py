@@ -9,32 +9,63 @@ header values and the packet bits consumed so far; acceptance-mismatch pairs
 whose path condition is satisfiable yield candidate packets, which are then
 confirmed by running both parsers concretely.
 
+Three properties make the search production-grade rather than best-effort:
+
+* **fingerprint-keyed deduplication** — a successor whose template pair and
+  *live* path state (condition conjuncts still connected to the symbolic
+  environment, plus the environment and buffers themselves, canonicalized
+  and fingerprinted) matches an already-visited node is pruned: any mismatch
+  reachable from it is reachable from the retained twin, so loops no longer
+  re-expand identical nodes until ``max_leaps``;
+* **incremental satisfiability** — when the backend offers an
+  :class:`~repro.smt.incremental.IncrementalSession`, each path conjunct is
+  pushed once behind an activation literal and every per-leap satisfiability
+  check (and every minimization re-solve) merely assumes the literals along
+  its path, sharing Tseitin encodings and learned clauses across the whole
+  search;
+* **divergence accounting** — a SAT model whose concrete replay does *not*
+  reproduce the predicted acceptance mismatch is a soundness red flag for the
+  symbolic pipeline; it is counted in :class:`CounterexampleStatistics` and
+  reported with a :class:`RuntimeWarning` instead of being silently dropped.
+
 The paper's tool does not produce counterexamples (a failed proof search is
 simply "stuck"); this is an extension that makes negative results trustworthy.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..logic.compile import lower_formula, variable_name
-from ..logic.confrel import LEFT, RIGHT, BVExpr, CLit, CVar, Formula, TRUE
+from ..logic.confrel import (
+    LEFT,
+    RIGHT,
+    BVExpr,
+    CBuf,
+    CConcat,
+    CHdr,
+    CLit,
+    CSlice,
+    CVar,
+    FAnd,
+    FTrue,
+    Formula,
+    TRUE,
+    canonicalize_variables,
+)
+from ..logic.fingerprint import confrel_fingerprint
 from ..logic.folconf import store_variable_name
-from ..logic.simplify import mk_and, mk_concat, simplify_formula
+from ..logic.simplify import mk_and, mk_concat, mk_eq, simplify_formula
 from ..p4a.bitvec import Bits
 from ..p4a.semantics import Store, accepts
 from ..p4a.syntax import P4Automaton, REJECT
 from ..smt.backend import InternalBackend, SolverBackend
 from ..smt.bvsolver import SatStatus
 from .templates import Template, TemplatePair, leap_size
-from .wp import (
-    exec_ops_symbolic,
-    fresh_variable_name,
-    initial_symbolic_store,
-    transition_conditions,
-)
+from .wp import exec_ops_symbolic, initial_symbolic_store, transition_conditions
 
 
 @dataclass
@@ -46,13 +77,49 @@ class Counterexample:
     right_store: Store
     left_accepts: bool
     right_accepts: bool
+    #: Widths of the leap variables the packet was assembled from (used by the
+    #: oracle's minimizer to drop whole leaps at a time); empty when unknown.
+    leap_widths: Tuple[int, ...] = ()
+    #: Width of the packet before minimization, when the oracle shortened it.
+    minimized_from: Optional[int] = None
 
     def __str__(self) -> str:
+        suffix = ""
+        if self.minimized_from is not None and self.minimized_from != self.packet.width:
+            suffix = f", minimized from {self.minimized_from} bits"
         return (
             f"packet {self.packet} "
             f"(left {'accepts' if self.left_accepts else 'rejects'}, "
-            f"right {'accepts' if self.right_accepts else 'rejects'})"
+            f"right {'accepts' if self.right_accepts else 'rejects'}{suffix})"
         )
+
+
+@dataclass
+class CounterexampleStatistics:
+    """Counters describing one (or several re-solved) counterexample searches."""
+
+    expanded: int = 0       # nodes popped and forwarded by one leap
+    successors: int = 0     # successor nodes constructed (post-dedup)
+    deduped: int = 0        # successors pruned by the visited fingerprint set
+    sat_checks: int = 0
+    pruned_unsat: int = 0
+    enqueued: int = 0
+    extractions: int = 0    # SAT mismatch nodes whose model was replayed
+    replay_divergences: int = 0  # models whose concrete replay disagreed
+    resolves: int = 0       # additional bounded searches issued by minimization
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "expanded": self.expanded,
+            "successors": self.successors,
+            "deduped": self.deduped,
+            "sat_checks": self.sat_checks,
+            "pruned_unsat": self.pruned_unsat,
+            "enqueued": self.enqueued,
+            "extractions": self.extractions,
+            "replay_divergences": self.replay_divergences,
+            "resolves": self.resolves,
+        }
 
 
 @dataclass
@@ -64,6 +131,7 @@ class _SearchNode:
     left_buffer: BVExpr
     right_buffer: BVExpr
     leap_vars: Tuple[CVar, ...]
+    activations: Tuple[int, ...] = ()
 
 
 def _forward_leap(
@@ -88,6 +156,354 @@ def _forward_leap(
     return outcomes
 
 
+# ---------------------------------------------------------------------------
+# Live-projection fingerprints for the visited set
+# ---------------------------------------------------------------------------
+
+
+def _expr_tokens(expr: BVExpr, into: Set[tuple]) -> None:
+    if isinstance(expr, CVar):
+        into.add(("v", expr.name))
+    elif isinstance(expr, CHdr):
+        into.add(("h", expr.side, expr.name))
+    elif isinstance(expr, CBuf):
+        into.add(("b", expr.side))
+    elif isinstance(expr, CSlice):
+        _expr_tokens(expr.expr, into)
+    elif isinstance(expr, CConcat):
+        _expr_tokens(expr.left, into)
+        _expr_tokens(expr.right, into)
+
+
+def _formula_tokens(formula: Formula) -> Set[tuple]:
+    from ..logic.confrel import iter_exprs
+
+    tokens: Set[tuple] = set()
+    for expr in iter_exprs(formula):
+        _expr_tokens(expr, tokens)
+    return tokens
+
+
+def _flatten_and(formula: Formula) -> List[Formula]:
+    if isinstance(formula, FAnd):
+        parts: List[Formula] = []
+        for operand in formula.operands:
+            parts.extend(_flatten_and(operand))
+        return parts
+    if isinstance(formula, FTrue):
+        return []
+    return [formula]
+
+
+class _VisitedSet:
+    """Fingerprint-keyed dominance pruning for search nodes.
+
+    Two nodes with the same fingerprint reach exactly the same future
+    mismatches *modulo the search bounds* — but the bounds matter: a twin
+    that consumed fewer packet bits (or fewer leaps) has more budget left, so
+    it may reach mismatches the earlier twin cannot.  Each fingerprint
+    therefore keeps the Pareto frontier of ``(consumed bits, leap depth)``
+    pairs seen so far, and a new node is pruned only when some retained twin
+    dominates it on both coordinates.  Loop iterations (same live state,
+    strictly more consumed and deeper) are always dominated — the common
+    case the visited set exists for — while a cheaper late-discovered twin
+    is still explored.
+    """
+
+    def __init__(self) -> None:
+        self._frontier: Dict[Tuple[TemplatePair, str], List[Tuple[int, int]]] = {}
+
+    def dominated(self, node: _SearchNode) -> bool:
+        """True (and no insertion) iff a retained twin dominates ``node``."""
+        key = _node_fingerprint(node)
+        consumed = sum(var.var_width for var in node.leap_vars)
+        depth = len(node.leap_vars)
+        entries = self._frontier.setdefault(key, [])
+        for seen_consumed, seen_depth in entries:
+            if seen_consumed <= consumed and seen_depth <= depth:
+                return True
+        entries[:] = [
+            (c, d) for c, d in entries if not (consumed <= c and depth <= d)
+        ]
+        entries.append((consumed, depth))
+        return False
+
+
+def _node_fingerprint(node: _SearchNode) -> Tuple[TemplatePair, str]:
+    """The visited-set key: template pair plus canonical live path state.
+
+    Conjuncts whose variables are disconnected from the symbolic environment
+    (constraints on packet bits long consumed, or on initial header values no
+    header still refers to) cannot influence which *future* mismatches are
+    reachable — they were satisfiable when the node was enqueued and share no
+    variables with anything the future can mention.  Projecting them away
+    before fingerprinting makes loop iterations that differ only in dead
+    history collide, which is what turns the BFS visited set into an actual
+    loop breaker.
+    """
+    conjuncts = _flatten_and(node.condition)
+    live: Set[tuple] = set()
+    for env in (node.left_env, node.right_env):
+        for expr in env.values():
+            _expr_tokens(expr, live)
+    _expr_tokens(node.left_buffer, live)
+    _expr_tokens(node.right_buffer, live)
+    pending = [(conjunct, _formula_tokens(conjunct)) for conjunct in conjuncts]
+    kept: List[Formula] = []
+    changed = True
+    while changed:
+        changed = False
+        remaining = []
+        for conjunct, tokens in pending:
+            if not tokens or tokens & live:
+                kept.append(conjunct)
+                live |= tokens
+                changed = True
+            else:
+                remaining.append((conjunct, tokens))
+        pending = remaining
+    parts: List[Formula] = list(kept)
+    for side, env in ((LEFT, node.left_env), (RIGHT, node.right_env)):
+        for name in sorted(env):
+            value = env[name]
+            parts.append(mk_eq(CHdr(side, name, value.width), value))
+    for tag, buffer in (("L", node.left_buffer), ("R", node.right_buffer)):
+        if buffer.width:
+            parts.append(mk_eq(CVar(f"__buf{tag}", buffer.width), buffer))
+    canonical = canonicalize_variables(mk_and(parts), prefix="n")
+    return (node.pair, confrel_fingerprint(canonical))
+
+
+# ---------------------------------------------------------------------------
+# Path satisfiability (one-shot or incremental)
+# ---------------------------------------------------------------------------
+
+
+class _PathSolver:
+    """Satisfiability of BFS path conditions, shared across a whole search.
+
+    With an incremental session each simplified edge conjunct is lowered and
+    Tseitin-encoded exactly once (keyed by structural fingerprint) behind an
+    activation literal; checking a node assumes the literals along its path.
+    Minimization re-solves reuse the same session — identical prefixes of a
+    tightened search hit the encoding memo and the retained learned clauses.
+    """
+
+    def __init__(self, backend: SolverBackend, use_incremental: bool = True) -> None:
+        self.backend = backend
+        self._session = None
+        if use_incremental:
+            factory = getattr(backend, "incremental_session", None)
+            if factory is not None:
+                self._session = factory()
+
+    @property
+    def incremental(self) -> bool:
+        return self._session is not None
+
+    def push(self, conjunct: Formula) -> Optional[int]:
+        """Activation literal for ``conjunct`` (``None`` in one-shot mode)."""
+        if self._session is None:
+            return None
+        return self._session.activation(lower_formula(conjunct))
+
+    def satisfiable(self, node: _SearchNode) -> bool:
+        if self._session is not None:
+            result = self._session.check(node.activations)
+        else:
+            result = self.backend.check_sat(lower_formula(node.condition))
+        return result.status is not SatStatus.UNSAT
+
+    def model(self, node: _SearchNode, variables: Dict[str, int]) -> Optional[Dict[str, Bits]]:
+        if self._session is not None:
+            result = self._session.check(node.activations, variables=variables)
+        else:
+            result = self.backend.check_sat(lower_formula(node.condition))
+        if result.status is not SatStatus.SAT:
+            return None
+        return result.model or {}
+
+
+# ---------------------------------------------------------------------------
+# The search
+# ---------------------------------------------------------------------------
+
+
+class CounterexampleSearch:
+    """A reusable bounded search for distinguishing packets.
+
+    One instance owns a solver backend (and, when available, one incremental
+    session) shared by every :meth:`search` call, so the oracle's minimizer
+    can re-solve with tightened bounds without re-encoding the search space.
+    """
+
+    def __init__(
+        self,
+        left_aut: P4Automaton,
+        left_start: str,
+        right_aut: P4Automaton,
+        right_start: str,
+        backend: Optional[SolverBackend] = None,
+        use_incremental: bool = True,
+        statistics: Optional[CounterexampleStatistics] = None,
+    ) -> None:
+        self.left_aut = left_aut
+        self.left_start = left_start
+        self.right_aut = right_aut
+        self.right_start = right_start
+        self.backend = backend or InternalBackend()
+        self.solver = _PathSolver(self.backend, use_incremental=use_incremental)
+        self.statistics = statistics if statistics is not None else CounterexampleStatistics()
+
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        max_leaps: int = 32,
+        max_packet_bits: int = 4096,
+        initial_condition: Formula = TRUE,
+        dedup: bool = True,
+    ) -> Optional[Counterexample]:
+        """Breadth-first search over leaps; ``None`` if no counterexample.
+
+        ``None`` is *not* a proof of equivalence — the search is bounded by
+        ``max_leaps`` and ``max_packet_bits``.
+        """
+        stats = self.statistics
+        condition = simplify_formula(initial_condition)
+        activations: Tuple[int, ...] = ()
+        if self.solver.incremental and not isinstance(condition, FTrue):
+            activations = (self.solver.push(condition),)
+        start = _SearchNode(
+            pair=TemplatePair(Template(self.left_start, 0), Template(self.right_start, 0)),
+            condition=condition,
+            left_env=initial_symbolic_store(self.left_aut, LEFT),
+            right_env=initial_symbolic_store(self.right_aut, RIGHT),
+            left_buffer=CLit(Bits("")),
+            right_buffer=CLit(Bits("")),
+            leap_vars=(),
+            activations=activations,
+        )
+        queue = deque([start])
+        visited = _VisitedSet()
+        if dedup:
+            visited.dominated(start)  # seed the frontier with the root
+        # Deterministic per-call leap-variable naming: a re-solve with the
+        # same bounds rebuilds structurally identical conditions, so the
+        # incremental session's fingerprint memo reuses their encodings.
+        var_counter = 0
+        while queue:
+            node = queue.popleft()
+            if node.pair.accept_mismatch():
+                candidate = self._try_extract(node)
+                if candidate is not None:
+                    return candidate
+                continue
+            if len(node.leap_vars) >= max_leaps:
+                continue
+            consumed = sum(var.var_width for var in node.leap_vars)
+            leap = leap_size(self.left_aut, self.right_aut, node.pair)
+            if consumed + leap > max_packet_bits:
+                continue
+            if node.pair.left.state == REJECT and node.pair.right.state == REJECT:
+                continue  # both stuck in reject; no future mismatch possible
+            stats.expanded += 1
+            leap_var = CVar(f"cexpkt{var_counter}", leap)
+            var_counter += 1
+            left_outcomes = _forward_leap(
+                self.left_aut, node.pair.left, leap, leap_var,
+                node.left_env, node.left_buffer,
+            )
+            right_outcomes = _forward_leap(
+                self.right_aut, node.pair.right, leap, leap_var,
+                node.right_env, node.right_buffer,
+            )
+            for left_target, left_condition, left_env, left_buffer in left_outcomes:
+                for right_target, right_condition, right_env, right_buffer in right_outcomes:
+                    edge = simplify_formula(mk_and([left_condition, right_condition]))
+                    successor = _SearchNode(
+                        pair=TemplatePair(left_target, right_target),
+                        condition=simplify_formula(mk_and([node.condition, edge])),
+                        left_env=left_env,
+                        right_env=right_env,
+                        left_buffer=left_buffer,
+                        right_buffer=right_buffer,
+                        leap_vars=node.leap_vars + (leap_var,),
+                        activations=node.activations,
+                    )
+                    if dedup and visited.dominated(successor):
+                        stats.deduped += 1
+                        continue
+                    stats.successors += 1
+                    if self.solver.incremental and not isinstance(edge, FTrue):
+                        successor.activations = node.activations + (self.solver.push(edge),)
+                    stats.sat_checks += 1
+                    if self.solver.satisfiable(successor):
+                        stats.enqueued += 1
+                        queue.append(successor)
+                    else:
+                        stats.pruned_unsat += 1
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _try_extract(self, node: _SearchNode) -> Optional[Counterexample]:
+        """Solve the node's path condition and confirm the candidate concretely."""
+        variables: Dict[str, int] = {}
+        for name, width in self.left_aut.headers.items():
+            variables[store_variable_name(LEFT, name)] = width
+        for name, width in self.right_aut.headers.items():
+            variables[store_variable_name(RIGHT, name)] = width
+        for leap_var in node.leap_vars:
+            variables[variable_name(leap_var.name)] = leap_var.var_width
+        model = self.solver.model(node, variables)
+        if model is None:
+            return None
+        self.statistics.extractions += 1
+
+        def header_value(side: str, aut: P4Automaton, name: str) -> Bits:
+            value = model.get(store_variable_name(side, name))
+            if value is None:
+                return Bits.zeros(aut.header_size(name))
+            return value
+
+        left_store = {
+            name: header_value(LEFT, self.left_aut, name) for name in self.left_aut.headers
+        }
+        right_store = {
+            name: header_value(RIGHT, self.right_aut, name) for name in self.right_aut.headers
+        }
+        packet = Bits("")
+        for leap_var in node.leap_vars:
+            value = model.get(variable_name(leap_var.name), Bits.zeros(leap_var.var_width))
+            packet = packet.concat(value)
+        left_accepts = accepts(self.left_aut, self.left_start, packet, left_store)
+        right_accepts = accepts(self.right_aut, self.right_start, packet, right_store)
+        if left_accepts == right_accepts:
+            # The model predicts an acceptance mismatch the concrete semantics
+            # does not reproduce: a soundness red flag somewhere between the
+            # WP encoding and the SAT solver.  Count it and keep searching.
+            self.statistics.replay_divergences += 1
+            warnings.warn(
+                "counterexample model diverged from concrete replay at "
+                f"{node.pair}: packet {packet} is "
+                f"{'accepted' if left_accepts else 'rejected'} by both parsers "
+                "although the path condition predicted a mismatch; the "
+                "symbolic pipeline and the interpreter disagree",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return None
+        return Counterexample(
+            packet,
+            left_store,
+            right_store,
+            left_accepts,
+            right_accepts,
+            leap_widths=tuple(var.var_width for var in node.leap_vars),
+        )
+
+
 def find_counterexample(
     left_aut: P4Automaton,
     left_start: str,
@@ -97,100 +513,24 @@ def find_counterexample(
     max_leaps: int = 32,
     max_packet_bits: int = 4096,
     initial_condition: Formula = TRUE,
+    dedup: bool = True,
+    use_incremental: bool = True,
+    statistics: Optional[CounterexampleStatistics] = None,
 ) -> Optional[Counterexample]:
     """Search for a distinguishing packet, breadth first over leaps.
 
     Returns ``None`` when no counterexample is found within the bounds; this is
-    *not* a proof of equivalence.
+    *not* a proof of equivalence.  ``statistics`` (when given) receives the
+    node and solver accounting of the search, including the count of SAT
+    models whose concrete replay failed to reproduce the predicted mismatch.
     """
-    backend = backend or InternalBackend()
-    start = _SearchNode(
-        pair=TemplatePair(Template(left_start, 0), Template(right_start, 0)),
-        condition=simplify_formula(initial_condition),
-        left_env=initial_symbolic_store(left_aut, LEFT),
-        right_env=initial_symbolic_store(right_aut, RIGHT),
-        left_buffer=CLit(Bits("")),
-        right_buffer=CLit(Bits("")),
-        leap_vars=(),
+    search = CounterexampleSearch(
+        left_aut, left_start, right_aut, right_start,
+        backend=backend, use_incremental=use_incremental, statistics=statistics,
     )
-    queue = deque([start])
-    expansions = 0
-    while queue:
-        node = queue.popleft()
-        if node.pair.accept_mismatch():
-            candidate = _try_extract(node, left_aut, left_start, right_aut, right_start, backend)
-            if candidate is not None:
-                return candidate
-            continue
-        if len(node.leap_vars) >= max_leaps:
-            continue
-        consumed = sum(var.var_width for var in node.leap_vars)
-        leap = leap_size(left_aut, right_aut, node.pair)
-        if consumed + leap > max_packet_bits:
-            continue
-        if node.pair.left.state == REJECT and node.pair.right.state == REJECT:
-            continue  # both stuck in reject; no future mismatch possible
-        leap_var = CVar(fresh_variable_name("pkt"), leap)
-        left_outcomes = _forward_leap(
-            left_aut, node.pair.left, leap, leap_var, node.left_env, node.left_buffer
-        )
-        right_outcomes = _forward_leap(
-            right_aut, node.pair.right, leap, leap_var, node.right_env, node.right_buffer
-        )
-        for left_target, left_condition, left_env, left_buffer in left_outcomes:
-            for right_target, right_condition, right_env, right_buffer in right_outcomes:
-                condition = simplify_formula(
-                    mk_and([node.condition, left_condition, right_condition])
-                )
-                successor = _SearchNode(
-                    pair=TemplatePair(left_target, right_target),
-                    condition=condition,
-                    left_env=left_env,
-                    right_env=right_env,
-                    left_buffer=left_buffer,
-                    right_buffer=right_buffer,
-                    leap_vars=node.leap_vars + (leap_var,),
-                )
-                expansions += 1
-                if _is_satisfiable(condition, backend):
-                    queue.append(successor)
-    return None
-
-
-def _is_satisfiable(condition: Formula, backend: SolverBackend) -> bool:
-    lowered = lower_formula(condition)
-    return backend.check_sat(lowered).status is not SatStatus.UNSAT
-
-
-def _try_extract(
-    node: _SearchNode,
-    left_aut: P4Automaton,
-    left_start: str,
-    right_aut: P4Automaton,
-    right_start: str,
-    backend: SolverBackend,
-) -> Optional[Counterexample]:
-    """Solve the node's path condition and confirm the candidate concretely."""
-    result = backend.check_sat(lower_formula(node.condition))
-    if result.status is not SatStatus.SAT:
-        return None
-    model = result.model or {}
-
-    def header_value(side: str, aut: P4Automaton, name: str) -> Bits:
-        variable = store_variable_name(side, name)
-        value = model.get(variable)
-        if value is None:
-            return Bits.zeros(aut.header_size(name))
-        return value
-
-    left_store = {name: header_value(LEFT, left_aut, name) for name in left_aut.headers}
-    right_store = {name: header_value(RIGHT, right_aut, name) for name in right_aut.headers}
-    packet = Bits("")
-    for leap_var in node.leap_vars:
-        value = model.get(variable_name(leap_var.name), Bits.zeros(leap_var.var_width))
-        packet = packet.concat(value)
-    left_accepts = accepts(left_aut, left_start, packet, left_store)
-    right_accepts = accepts(right_aut, right_start, packet, right_store)
-    if left_accepts == right_accepts:
-        return None
-    return Counterexample(packet, left_store, right_store, left_accepts, right_accepts)
+    return search.search(
+        max_leaps=max_leaps,
+        max_packet_bits=max_packet_bits,
+        initial_condition=initial_condition,
+        dedup=dedup,
+    )

@@ -144,9 +144,14 @@ def _effective_config(
     job: Job,
     cache_dir: Optional[str],
     use_incremental: Optional[bool] = None,
+    oracle_packets: Optional[int] = None,
+    oracle_seed: Optional[int] = None,
 ) -> Optional[CheckerConfig]:
     config = job.config
-    if cache_dir is None and use_incremental is None:
+    if (
+        cache_dir is None and use_incremental is None
+        and oracle_packets is None and oracle_seed is None
+    ):
         return config
     if config is None:
         config = CheckerConfig()
@@ -154,6 +159,10 @@ def _effective_config(
         config = dataclasses.replace(config, cache_dir=cache_dir)
     if use_incremental is not None and config.use_incremental != use_incremental:
         config = dataclasses.replace(config, use_incremental=use_incremental)
+    if oracle_packets is not None and config.oracle_packets == 0:
+        config = dataclasses.replace(config, oracle_packets=oracle_packets)
+    if oracle_seed is not None and config.oracle_seed is None:
+        config = dataclasses.replace(config, oracle_seed=oracle_seed)
     return config
 
 
@@ -161,8 +170,10 @@ def _execute_job(
     job: Job,
     cache_dir: Optional[str] = None,
     use_incremental: Optional[bool] = None,
+    oracle_packets: Optional[int] = None,
+    oracle_seed: Optional[int] = None,
 ) -> object:
-    config = _effective_config(job, cache_dir, use_incremental)
+    config = _effective_config(job, cache_dir, use_incremental, oracle_packets, oracle_seed)
     if isinstance(job, CaseJob):
         from ..reporting.runner import case_studies
 
@@ -187,11 +198,17 @@ def _execute_job(
 
 
 def _pooled_worker(
-    conn, job: Job, cache_dir: Optional[str], use_incremental: Optional[bool]
+    conn,
+    job: Job,
+    cache_dir: Optional[str],
+    use_incremental: Optional[bool],
+    oracle_packets: Optional[int] = None,
+    oracle_seed: Optional[int] = None,
 ) -> None:
     """Child-process entry point: run one job, ship the outcome over a pipe."""
     try:
-        payload = ("ok", _execute_job(job, cache_dir, use_incremental))
+        payload = ("ok", _execute_job(job, cache_dir, use_incremental,
+                                      oracle_packets, oracle_seed))
     except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
         payload = ("error", f"{type(exc).__name__}: {exc}")
     try:
@@ -224,7 +241,11 @@ class EquivalenceEngine:
     second), so limits should comfortably exceed that.  ``cache_dir`` threads
     a shared persistent query cache into every job's checker configuration;
     ``use_incremental`` (when not ``None``) overrides the incremental-session
-    toggle of every job's configuration.
+    toggle of every job's configuration.  ``oracle_packets``/``oracle_seed``
+    (when not ``None``) switch on the differential concrete oracle for every
+    job that does not already configure it — each verdict is cross-checked
+    against that many seeded random packets (see
+    :mod:`repro.oracle.differential`).
     """
 
     def __init__(
@@ -234,6 +255,8 @@ class EquivalenceEngine:
         timeout: Optional[float] = None,
         mp_context: str = "spawn",
         use_incremental: Optional[bool] = None,
+        oracle_packets: Optional[int] = None,
+        oracle_seed: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"worker count must be >= 1, got {jobs}")
@@ -242,6 +265,8 @@ class EquivalenceEngine:
         self.timeout = timeout
         self.mp_context = mp_context
         self.use_incremental = use_incremental
+        self.oracle_packets = oracle_packets
+        self.oracle_seed = oracle_seed
         self.statistics = EngineStatistics()
 
     # ------------------------------------------------------------------
@@ -286,7 +311,8 @@ class EquivalenceEngine:
         start = time.perf_counter()
         limit = self._job_limit(job)
         try:
-            value = _execute_job(job, self.cache_dir, self.use_incremental)
+            value = _execute_job(job, self.cache_dir, self.use_incremental,
+                                 self.oracle_packets, self.oracle_seed)
         except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
             elapsed = time.perf_counter() - start
             if limit is not None and elapsed > limit:
@@ -332,7 +358,8 @@ class EquivalenceEngine:
                     receiver, sender = context.Pipe(duplex=False)
                     process = context.Process(
                         target=_pooled_worker,
-                        args=(sender, job, self.cache_dir, self.use_incremental),
+                        args=(sender, job, self.cache_dir, self.use_incremental,
+                              self.oracle_packets, self.oracle_seed),
                         daemon=True,
                     )
                     process.start()

@@ -27,6 +27,7 @@ present.  The pure fast mode is kept for experiments on the trade-off.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -43,7 +44,7 @@ from ..logic.fingerprint import confrel_fingerprint
 from ..logic.simplify import simplify_formula
 from ..p4a.bitvec import Bits
 from ..smt.backend import InternalBackend, SolverBackend
-from ..smt.bvsolver import SatResult, SatStatus
+from ..smt.bvsolver import SatResult, SatStatus, complete_model
 from ..smt.cegis import solve_exists_forall
 
 FAST = "fast"
@@ -75,6 +76,9 @@ class EntailmentStatistics:
     unknown: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Refutation models that fail concrete re-evaluation against the query —
+    #: a soundness red flag for the solver stack (or a stale cache entry).
+    model_divergences: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -88,6 +92,7 @@ class EntailmentStatistics:
             "unknown": self.unknown,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "model_divergences": self.model_divergences,
         }
 
 
@@ -116,6 +121,10 @@ class EntailmentChecker:
                 # every query falls back to the one-shot path.
                 self._session = factory()
         self._lowered_premises: Dict[str, folbv.BFormula] = {}
+        # The compiled FOL(BV) query of the most recent fast-path check; used
+        # to re-validate refutation models by concrete evaluation (cached
+        # models in particular are never validated by the solver itself).
+        self._last_query: Optional[folbv.BFormula] = None
         # Identity-keyed canonicalization memo (incremental path only): the
         # algorithm re-checks against the same premise *objects* every
         # iteration, so simplify + canonicalize each one exactly once.  The
@@ -157,6 +166,7 @@ class EntailmentChecker:
             result = self._check_sat_incremental(canonical_premises, canonical_goal)
         else:
             query = compile_entailment(canonical_premises, canonical_goal)
+            self._last_query = query.formula
             cache_stats = getattr(self.backend, "cache_statistics", None)
             hits_before = cache_stats.hits if cache_stats is not None else 0
             result = self.backend.check_sat(query.formula)
@@ -173,8 +183,30 @@ class EntailmentChecker:
         if self.mode == FAST or not premises:
             # With no premises the fast path is already exact.
             self.statistics.smt_refuted += 1
+            self._validate_refutation_model(result)
             return EntailmentOutcome(False, "smt", result.model)
         return self._check_exact(canonical_premises, canonical_goal)
+
+    def _validate_refutation_model(self, result: SatResult) -> None:
+        """Concretely re-evaluate a refutation model against the query.
+
+        The solver validates its own fresh models, but models served from the
+        persistent query cache bypass that check; replaying them through the
+        independent evaluator turns a stale or corrupt entry into a counted,
+        warned-about divergence instead of a silently wrong refutation.
+        """
+        if result.model is None or self._last_query is None:
+            return
+        completed = complete_model(self._last_query, result.model)
+        if not folbv.eval_formula(self._last_query, completed):
+            self.statistics.model_divergences += 1
+            warnings.warn(
+                "entailment refutation model does not satisfy the compiled "
+                "query when evaluated concretely; the solver stack (or a "
+                "cached result) and the evaluator disagree",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------
 
@@ -210,6 +242,7 @@ class EntailmentChecker:
         lowered_goal = lower_formula(goal)
         negated_goal = folbv.b_not(lowered_goal)
         combined = folbv.b_and(list(lowered_premises) + [negated_goal])
+        self._last_query = combined
         lookup = getattr(self.backend, "lookup", None)
         if lookup is not None:
             cached = lookup(combined)

@@ -27,7 +27,12 @@ from ..p4a.syntax import P4Automaton
 from ..smt.backend import InternalBackend, SolverBackend
 from .algorithm import CheckerConfig, CheckerStatistics, PreBisimResult, PreBisimulationChecker
 from .certificate import Certificate
-from .counterexample import Counterexample, find_counterexample
+from .counterexample import (
+    Counterexample,
+    CounterexampleSearch,
+    CounterexampleStatistics,
+    find_counterexample,  # noqa: F401 - re-exported for API compatibility
+)
 from .templates import GuardedFormula
 
 
@@ -93,20 +98,142 @@ def _run(
         require_equal_acceptance=require_equal_acceptance,
     )
     result = checker.run()
+    statistics = result.statistics
+    effective = checker.config
+    # The oracle only understands language equivalence (acceptance compared
+    # under unconstrained, independent stores); relational properties and
+    # constrained initial conditions are out of its scope.
+    oracle_applies = (
+        effective.oracle_packets > 0
+        and require_equal_acceptance
+        and store_relation is None
+        and initial_pure is TRUE
+        and extra_initial is None
+    )
+    oracle_seed = effective.oracle_seed if effective.oracle_seed is not None else 0
+
     if result.proved:
-        return EquivalenceResult(True, result.certificate, None, result.statistics, result)
+        if oracle_applies:
+            _cross_check_proof(
+                left_aut, left_start, right_aut, right_start,
+                effective.oracle_packets, oracle_seed, statistics,
+            )
+        return EquivalenceResult(True, result.certificate, None, statistics, result)
+
     counterexample = None
+    search = None
+    search_stats = CounterexampleStatistics()
     if find_counterexamples and require_equal_acceptance:
-        counterexample = find_counterexample(
-            left_aut,
-            left_start,
-            right_aut,
-            right_start,
+        search = CounterexampleSearch(
+            left_aut, left_start, right_aut, right_start,
             backend=InternalBackend(),
-            max_leaps=counterexample_max_leaps,
+            use_incremental=effective.use_incremental,
+            statistics=search_stats,
         )
+        counterexample = search.search(max_leaps=counterexample_max_leaps)
+    if counterexample is None and oracle_applies:
+        # The proof search got stuck and the symbolic counterexample search
+        # (if any) came up empty: fuzz for a concrete witness.  The search is
+        # known empty-handed at this point, so the minimizer must not be
+        # offered it for re-solving — its tightened bounds are a subset of a
+        # space that already contains no witness.
+        search = None
+        counterexample = _fuzz_for_witness(
+            left_aut, left_start, right_aut, right_start,
+            effective.oracle_packets, oracle_seed, statistics,
+        )
+    if counterexample is not None and effective.minimize_counterexamples:
+        counterexample = _confirm_and_minimize(
+            left_aut, left_start, right_aut, right_start,
+            counterexample, search, counterexample_max_leaps, statistics,
+        )
+    statistics.counterexample_search = search_stats.as_dict()
+    statistics.replay_divergences += search_stats.replay_divergences
     verdict: Optional[bool] = False if counterexample is not None else None
-    return EquivalenceResult(verdict, None, counterexample, result.statistics, result)
+    return EquivalenceResult(verdict, None, counterexample, statistics, result)
+
+
+def _cross_check_proof(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    packets: int,
+    seed: int,
+    statistics: CheckerStatistics,
+) -> None:
+    """Fuzz a proven verdict; a single disagreement is a soundness bug."""
+    from ..oracle.differential import OracleDivergenceError, cross_check
+
+    report = cross_check(
+        left_aut, left_start, right_aut, right_start, packets=packets, seed=seed
+    )
+    statistics.oracle = dict(report.summary())
+    if not report.ok:
+        raise OracleDivergenceError(
+            report,
+            f"'equivalent' verdict for {left_aut.name} ~ {right_aut.name}",
+        )
+
+
+def _fuzz_for_witness(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    packets: int,
+    seed: int,
+    statistics: CheckerStatistics,
+) -> Optional[Counterexample]:
+    """Fuzz an unknown verdict for a concrete witness the search missed."""
+    from ..oracle.differential import cross_check
+
+    report = cross_check(
+        left_aut, left_start, right_aut, right_start, packets=packets, seed=seed
+    )
+    statistics.oracle = dict(report.summary())
+    if not report.divergences:
+        return None
+    divergence = report.divergences[0]
+    return Counterexample(
+        divergence.packet,
+        divergence.left_store,
+        divergence.right_store,
+        divergence.left_accepts,
+        divergence.right_accepts,
+    )
+
+
+def _confirm_and_minimize(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    counterexample: Counterexample,
+    search: Optional[CounterexampleSearch],
+    max_leaps: int,
+    statistics: CheckerStatistics,
+) -> Optional[Counterexample]:
+    """Replay-confirm a witness, then shrink it before it is reported."""
+    from ..oracle.minimize import confirm_counterexample, minimize_counterexample
+
+    if not confirm_counterexample(
+        left_aut, left_start, right_aut, right_start, counterexample
+    ):
+        # Every extraction path replays concretely before returning, so an
+        # unconfirmed witness here means internal state was corrupted between
+        # extraction and reporting; refuse to report it.
+        statistics.replay_divergences += 1
+        return None
+    minimization = minimize_counterexample(
+        left_aut, left_start, right_aut, right_start,
+        counterexample, search=search, max_leaps=max_leaps,
+    )
+    statistics.oracle.setdefault("packets", 0)
+    statistics.oracle["confirmed"] = 1
+    statistics.oracle["minimized_from"] = minimization.original_width
+    statistics.oracle["minimized_to"] = minimization.counterexample.packet.width
+    return minimization.counterexample
 
 
 def check_language_equivalence(

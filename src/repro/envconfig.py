@@ -23,6 +23,14 @@ JOBS_VAR = "LEAPFROG_JOBS"
 CACHE_DIR_VAR = "LEAPFROG_CACHE_DIR"
 #: Ablation toggle for the incremental solver session (unset = per-config default).
 INCREMENTAL_VAR = "LEAPFROG_INCREMENTAL"
+#: Differential-oracle packet count per verdict; also accepts on/off
+#: (on = the default packet budget).  Unset/0/off disables the oracle.
+ORACLE_VAR = "LEAPFROG_ORACLE"
+#: Seed threaded through every random sampler (oracle, benchmarks, tests).
+SEED_VAR = "LEAPFROG_SEED"
+
+#: Packet budget used when ``LEAPFROG_ORACLE`` is a bare "on"/"true".
+DEFAULT_ORACLE_PACKETS = 64
 
 _TRUE_VALUES = ("1", "true", "yes", "on")
 _FALSE_VALUES = ("0", "false", "no", "off")
@@ -81,3 +89,53 @@ def incremental_from_env(
     """The ``LEAPFROG_INCREMENTAL`` toggle: True/False, or ``None`` when unset."""
     environ = os.environ if environ is None else environ
     return parse_flag(environ.get(INCREMENTAL_VAR), source=INCREMENTAL_VAR)
+
+
+def parse_oracle_packets(raw: Optional[str], source: str = ORACLE_VAR) -> Optional[int]:
+    """Parse an oracle packet budget; ``None``/empty means "not set".
+
+    Accepts a non-negative integer (0 = oracle off) or the boolean words
+    accepted by :func:`parse_flag` (``on`` = the default budget of
+    ``DEFAULT_ORACLE_PACKETS`` packets).
+    """
+    if raw is None or raw.strip() == "":
+        return None
+    value = raw.strip().lower()
+    if value in _TRUE_VALUES:
+        return DEFAULT_ORACLE_PACKETS
+    if value in _FALSE_VALUES:
+        return 0
+    try:
+        packets = int(value)
+    except ValueError:
+        raise EnvConfigError(
+            f"{source} must be a non-negative integer or one of "
+            f"{_TRUE_VALUES + _FALSE_VALUES}, got {raw!r}"
+        ) from None
+    if packets < 0:
+        raise EnvConfigError(f"{source} must be >= 0, got {packets}")
+    return packets
+
+
+def oracle_packets_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[int]:
+    """The ``LEAPFROG_ORACLE`` packet budget, or ``None`` when unset."""
+    environ = os.environ if environ is None else environ
+    return parse_oracle_packets(environ.get(ORACLE_VAR), source=ORACLE_VAR)
+
+
+def parse_seed(raw: Optional[str], source: str = SEED_VAR) -> Optional[int]:
+    """Parse a sampler seed (any integer); ``None``/empty means "not set"."""
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise EnvConfigError(f"{source} must be an integer, got {raw!r}") from None
+
+
+def seed_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[int]:
+    """The ``LEAPFROG_SEED`` sampler seed, or ``None`` when unset."""
+    environ = os.environ if environ is None else environ
+    return parse_seed(environ.get(SEED_VAR), source=SEED_VAR)

@@ -1,0 +1,175 @@
+"""The differential fuzz suite over the parser-gen scenarios.
+
+For every scenario (Edge, ServiceProvider, Datacenter, Enterprise and their
+mini variants) the suite cross-checks two independently produced parsers with
+the concrete oracle:
+
+* **self** — the scenario's reference P4A against itself (any divergence is an
+  interpreter/sampler bug);
+* **translation** — the reference P4A against the automaton back-translated
+  from the compiled hardware table (any divergence is a compiler or
+  back-translation bug the symbolic translation-validation run should have
+  caught).
+
+Rows carry full telemetry; :func:`write_reports` persists one JSON file per
+run — including every recorded divergence with its seed, packet and stores —
+so a CI failure is reproducible from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..parsergen import compile_graph, graph_to_p4a, hardware_to_p4a, scenario
+from ..parsergen.scenarios import MINI_SCENARIOS, SCENARIOS
+from .differential import OracleReport, cross_check
+
+
+@dataclass
+class ScenarioOracleRow:
+    """Telemetry for one scenario's differential runs."""
+
+    scenario: str
+    packets: int
+    seed: int
+    self_report: OracleReport
+    translation_report: Optional[OracleReport] = None
+    elapsed_seconds: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def divergences(self) -> int:
+        total = self.self_report.total_divergences
+        if self.translation_report is not None:
+            total += self.translation_report.total_divergences
+        return total
+
+    @property
+    def ok(self) -> bool:
+        return self.divergences == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "scenario": self.scenario,
+            "packets": self.packets,
+            "seed": self.seed,
+            "divergences": self.divergences,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "self": self.self_report.as_dict(),
+        }
+        if self.translation_report is not None:
+            record["translation"] = self.translation_report.as_dict()
+        record.update(self.extra)
+        return record
+
+
+def run_differential_suite(
+    names: Optional[Sequence[str]] = None,
+    packets: int = 128,
+    seed: int = 0,
+    include_translation: bool = True,
+) -> List[ScenarioOracleRow]:
+    """Cross-check every named scenario (default: all registered scenarios)."""
+    if names is None:
+        names = list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenarios: {', '.join(unknown)}; known: {sorted(SCENARIOS)}")
+    rows: List[ScenarioOracleRow] = []
+    for name in names:
+        start_time = time.perf_counter()
+        graph = scenario(name)
+        automaton, start = graph_to_p4a(graph)
+        self_report = cross_check(
+            automaton, start, automaton, start, packets=packets, seed=seed
+        )
+        translation_report = None
+        extra: Dict[str, object] = {}
+        if include_translation:
+            hardware = compile_graph(graph)
+            translated, translated_start = hardware_to_p4a(hardware)
+            translation_report = cross_check(
+                automaton, start, translated, translated_start,
+                packets=packets, seed=seed,
+            )
+            extra["hardware_entries"] = len(hardware.entries)
+        rows.append(
+            ScenarioOracleRow(
+                scenario=name,
+                packets=packets,
+                seed=seed,
+                self_report=self_report,
+                translation_report=translation_report,
+                elapsed_seconds=time.perf_counter() - start_time,
+                extra=extra,
+            )
+        )
+    return rows
+
+
+def mini_scenario_names() -> List[str]:
+    """The four mini scenarios the CI oracle smoke covers."""
+    return list(MINI_SCENARIOS)
+
+
+def render_suite(rows: Sequence[ScenarioOracleRow]) -> str:
+    """A fixed-width summary table of one suite run."""
+    headers = ("Scenario", "Packets", "Seed", "Self div.", "Transl. div.", "Accepted", "Time (s)")
+    table: List[List[str]] = []
+    for row in rows:
+        translation = (
+            str(row.translation_report.total_divergences)
+            if row.translation_report is not None else "-"
+        )
+        table.append([
+            row.scenario,
+            str(row.packets),
+            str(row.seed),
+            str(row.self_report.total_divergences),
+            translation,
+            str(row.self_report.accepted_left),
+            f"{row.elapsed_seconds:.2f}",
+        ])
+    widths = [len(header) for header in headers]
+    for line in table:
+        for index, cell in enumerate(line):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def write_reports(rows: Sequence[ScenarioOracleRow], directory: str) -> List[str]:
+    """Persist the suite's telemetry (and any divergences) as JSON files.
+
+    Always writes ``summary.json``; additionally writes one
+    ``divergence_<scenario>.json`` per scenario that diverged, carrying the
+    seed, the packets and the initial stores needed to reproduce.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    summary_path = os.path.join(directory, "summary.json")
+    with open(summary_path, "w") as handle:
+        json.dump(
+            {
+                "ok": all(row.ok for row in rows),
+                "rows": [row.as_dict() for row in rows],
+            },
+            handle,
+            indent=2,
+        )
+    written.append(summary_path)
+    for row in rows:
+        if row.ok:
+            continue
+        path = os.path.join(directory, f"divergence_{row.scenario}.json")
+        with open(path, "w") as handle:
+            json.dump(row.as_dict(), handle, indent=2)
+        written.append(path)
+    return written

@@ -252,7 +252,10 @@ def language_sample(
 ) -> Iterator[Bits]:
     """Enumerate all accepted packets up to ``max_length`` bits (testing helper).
 
-    Exponential in ``max_length``; only usable on tiny automata.
+    Exponential in ``max_length``; only usable on tiny automata.  For anything
+    larger, sample the language instead:
+    :func:`repro.oracle.sampler.seeded_language_sample` draws distinct accepted
+    packets from seeded structure-aware walks at any scale.
     """
     from itertools import product
 

@@ -253,6 +253,52 @@ def mini_edge() -> ParseGraph:
     return make_graph("mini_edge", "ethernet", nodes)
 
 
+def mini_service_provider() -> ParseGraph:
+    """A small ServiceProvider-shaped graph: an MPLS-like stack of depth two."""
+    mini_mpls = header("mpls", ("label", 7), ("bos", 1))
+    l3 = {MINI_ETH_IPV4: "ipv4", MINI_ETH_IPV6: "ipv6"}
+    nodes = [
+        Node("ethernet", MINI_ETHERNET, ("ethertype",),
+             tuple(edge(t, ethertype=v) for v, t in {0x47: "mpls0", **l3}.items()), DROP),
+        Node("mpls0", mini_mpls, ("bos",),
+             (edge("mpls1", bos=0), edge("ipv4_mpls", bos=1)), DROP),
+        Node("mpls1", mini_mpls, ("bos",), (edge("ipv4_mpls", bos=1),), DROP),
+        Node("ipv4", MINI_IPV4, ("protocol",),
+             (edge("tcp", protocol=MINI_PROTO_TCP), edge("udp", protocol=MINI_PROTO_UDP)), DROP),
+        Node("ipv6", MINI_IPV6, ("next_header",),
+             (edge("tcp", next_header=MINI_PROTO_TCP), edge("udp", next_header=MINI_PROTO_UDP)),
+             DROP),
+        Node("ipv4_mpls", MINI_IPV4, ("protocol",),
+             (edge("tcp", protocol=MINI_PROTO_TCP), edge("udp", protocol=MINI_PROTO_UDP)), DROP),
+        _terminal("tcp", MINI_TCP),
+        _terminal("udp", MINI_UDP),
+    ]
+    return make_graph("mini_service_provider", "ethernet", nodes)
+
+
+def mini_datacenter() -> ParseGraph:
+    """A small Datacenter-shaped graph: a VXLAN-like tunnel to an inner stack."""
+    mini_vxlan = header("vxlan", ("vni", 8))
+    mini_vxlan_port = 0x12
+    nodes = [
+        Node("ethernet", MINI_ETHERNET, ("ethertype",),
+             (edge("ipv4", ethertype=MINI_ETH_IPV4),), DROP),
+        Node("ipv4", MINI_IPV4, ("protocol",),
+             (edge("tcp", protocol=MINI_PROTO_TCP), edge("udp", protocol=MINI_PROTO_UDP)), DROP),
+        _terminal("tcp", MINI_TCP),
+        Node("udp", MINI_UDP, ("ports",), (edge("vxlan", ports=mini_vxlan_port),), DONE),
+        Node("vxlan", mini_vxlan, (), (), "ethernet_inner"),
+        Node("ethernet_inner", MINI_ETHERNET, ("ethertype",),
+             (edge("ipv4_inner", ethertype=MINI_ETH_IPV4),), DROP),
+        Node("ipv4_inner", MINI_IPV4, ("protocol",),
+             (edge("tcp_inner", protocol=MINI_PROTO_TCP),
+              edge("udp_inner", protocol=MINI_PROTO_UDP)), DROP),
+        _terminal("tcp_inner", MINI_TCP),
+        _terminal("udp_inner", MINI_UDP),
+    ]
+    return make_graph("mini_datacenter", "ethernet", nodes)
+
+
 SCENARIOS: Dict[str, Callable[[], ParseGraph]] = {
     "enterprise": enterprise,
     "edge": edge_router,
@@ -260,7 +306,12 @@ SCENARIOS: Dict[str, Callable[[], ParseGraph]] = {
     "datacenter": datacenter,
     "mini_enterprise": mini_enterprise,
     "mini_edge": mini_edge,
+    "mini_service_provider": mini_service_provider,
+    "mini_datacenter": mini_datacenter,
 }
+
+#: The four scaled-down deployment scenarios the CI oracle smoke runs on.
+MINI_SCENARIOS = ("mini_edge", "mini_enterprise", "mini_service_provider", "mini_datacenter")
 
 
 def scenario(name: str) -> ParseGraph:

@@ -80,4 +80,11 @@ def attach_run_statistics(metrics: CaseMetrics, statistics: CheckerStatistics,
         )
         metrics.extra["cache_hits"] = int(statistics.cache.get("hits", 0))
         metrics.extra["cache_misses"] = int(statistics.cache.get("misses", 0))
+    oracle_divergences = int(statistics.oracle.get("divergences", 0)) if statistics.oracle else 0
+    if statistics.oracle or statistics.replay_divergences:
+        # Model-vs-replay mismatches plus concrete oracle disagreements; 0 is
+        # the healthy value and is rendered (a "-" means the oracle never ran).
+        metrics.extra["divergences"] = oracle_divergences + statistics.replay_divergences
+    if statistics.oracle and statistics.oracle.get("packets"):
+        metrics.extra["oracle_packets"] = int(statistics.oracle["packets"])
     return metrics

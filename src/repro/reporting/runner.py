@@ -219,8 +219,9 @@ def case_studies() -> Dict[str, CaseStudy]:
         _relational_verification_case(),
         _external_filtering_case(),
         _scenario_self_comparison("Edge", "edge", "mini_edge"),
-        _scenario_self_comparison("Service Provider", "service_provider", "mini_enterprise"),
-        _scenario_self_comparison("Datacenter", "datacenter", "mini_edge"),
+        _scenario_self_comparison("Service Provider", "service_provider",
+                                  "mini_service_provider"),
+        _scenario_self_comparison("Datacenter", "datacenter", "mini_datacenter"),
         _scenario_self_comparison("Enterprise", "enterprise", "mini_enterprise"),
         _translation_validation_case(),
     ]
@@ -235,6 +236,8 @@ def run_cases(
     cache_dir: Optional[str] = None,
     timeout: Optional[float] = None,
     use_incremental: Optional[bool] = None,
+    oracle_packets: Optional[int] = None,
+    oracle_seed: Optional[int] = None,
 ) -> List[CaseMetrics]:
     """Run the selected case studies and return their metric rows.
 
@@ -242,9 +245,11 @@ def run_cases(
     ``jobs`` selects the worker count (1 = in-process, the deterministic
     baseline), ``cache_dir`` shares a persistent solver-query cache between
     workers and across invocations, ``timeout`` bounds each case's wall-clock
-    time, and ``use_incremental`` (when not ``None``) overrides the
-    incremental solver-session toggle of every case's configuration.  Rows
-    come back in registry order regardless of which worker finished first.
+    time, ``use_incremental`` (when not ``None``) overrides the incremental
+    solver-session toggle of every case's configuration, and
+    ``oracle_packets``/``oracle_seed`` (when not ``None``) cross-check every
+    verdict against that many seeded concrete packets.  Rows come back in
+    registry order regardless of which worker finished first.
     """
     from ..core.engine import CaseJob, EquivalenceEngine
 
@@ -257,7 +262,9 @@ def run_cases(
     if unknown:
         raise KeyError(f"unknown case studies: {', '.join(unknown)}")
     engine = EquivalenceEngine(
-        jobs=jobs, cache_dir=cache_dir, timeout=timeout, use_incremental=use_incremental
+        jobs=jobs, cache_dir=cache_dir, timeout=timeout,
+        use_incremental=use_incremental,
+        oracle_packets=oracle_packets, oracle_seed=oracle_seed,
     )
     # --case is repeatable, so the same name may appear twice; suffix repeats
     # to keep engine job labels unique while preserving one row per request.

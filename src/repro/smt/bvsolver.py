@@ -104,7 +104,7 @@ class InternalBVSolver:
                                blasted.cnf.num_vars)
         elif sat:
             model = blasted.decode_model(sat_model)
-            if self._validate_models and not folbv.eval_formula(formula, _complete_model(formula, model)):
+            if self._validate_models and not folbv.eval_formula(formula, complete_model(formula, model)):
                 raise RuntimeError(
                     "internal solver returned a model that does not satisfy the formula"
                 )
@@ -141,7 +141,7 @@ class InternalBVSolver:
         )
 
 
-def _complete_model(formula: BFormula, model: Dict[str, Bits]) -> Dict[str, Bits]:
+def complete_model(formula: BFormula, model: Dict[str, Bits]) -> Dict[str, Bits]:
     """Fill in zero values for variables the SAT model does not mention."""
     completed = dict(model)
     for name, width in folbv.free_variables(formula).items():

@@ -43,7 +43,7 @@ from ..logic.fingerprint import folbv_fingerprint
 from ..logic.folbv import BFormula, Term
 from ..p4a.bitvec import Bits
 from .bitblast import BitAtom, BitblastError
-from .bvsolver import SatResult, SatStatus, SolverStatistics, _complete_model
+from .bvsolver import SatResult, SatStatus, SolverStatistics, complete_model
 from .sat.cnf import CnfBuilder
 from .sat.solver import CdclSolver
 
@@ -290,7 +290,7 @@ class IncrementalSession:
             model = self._decode_model(sat_values, variables)
             if self._validate_models and validate_formula is not None:
                 if not folbv.eval_formula(
-                    validate_formula, _complete_model(validate_formula, model)
+                    validate_formula, complete_model(validate_formula, model)
                 ):
                     raise RuntimeError(
                         "incremental session returned a model that does not "

@@ -260,6 +260,36 @@ class TestConfigPlumbing:
         assert config.cache_dir == "/tmp/engine-cache"
         assert _effective_config(bare, None, None) is None
 
+    def test_engine_oracle_override(self):
+        from repro.core.engine import _effective_config
+
+        bare = EquivalenceJob(
+            tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse", job_id="bare"
+        )
+        config = _effective_config(bare, None, oracle_packets=40, oracle_seed=9)
+        assert config.oracle_packets == 40
+        assert config.oracle_seed == 9
+        # An explicit job config keeps its own oracle settings.
+        mine = EquivalenceJob(
+            tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse",
+            config=CheckerConfig(oracle_packets=8, oracle_seed=1), job_id="mine",
+        )
+        config = _effective_config(mine, None, oracle_packets=40, oracle_seed=9)
+        assert config.oracle_packets == 8
+        assert config.oracle_seed == 1
+
+    def test_engine_oracle_cross_checks_every_job(self):
+        engine = EquivalenceEngine(jobs=1, oracle_packets=30, oracle_seed=2)
+        [result] = engine.run([
+            EquivalenceJob(
+                tiny.incremental_bits_checked(), "Start", tiny.big_bits_checked(), "Parse",
+                job_id="oracled",
+            )
+        ])
+        assert result.ok and result.value.verdict is True
+        assert result.value.statistics.oracle["packets"] == 30
+        assert result.value.statistics.oracle["divergences"] == 0
+
     def test_run_cases_through_engine_matches_direct_run(self):
         from repro.reporting import run_cases
 

@@ -65,6 +65,50 @@ class TestIncrementalFlag:
             envconfig.incremental_from_env({"LEAPFROG_INCREMENTAL": "maybe"})
 
 
+class TestOraclePackets:
+    def test_unset_is_none(self):
+        assert envconfig.parse_oracle_packets(None) is None
+        assert envconfig.parse_oracle_packets("  ") is None
+        assert envconfig.oracle_packets_from_env({}) is None
+
+    def test_integer_values(self):
+        assert envconfig.parse_oracle_packets("0") == 0
+        assert envconfig.parse_oracle_packets(" 128 ") == 128
+        assert envconfig.oracle_packets_from_env({"LEAPFROG_ORACLE": "32"}) == 32
+
+    def test_boolean_words(self):
+        assert envconfig.parse_oracle_packets("on") == envconfig.DEFAULT_ORACLE_PACKETS
+        assert envconfig.parse_oracle_packets("true") == envconfig.DEFAULT_ORACLE_PACKETS
+        assert envconfig.parse_oracle_packets("off") == 0
+        assert envconfig.parse_oracle_packets("FALSE") == 0
+
+    def test_negative_and_garbage_rejected(self):
+        with pytest.raises(EnvConfigError, match=">= 0"):
+            envconfig.parse_oracle_packets("-1")
+        with pytest.raises(EnvConfigError, match="LEAPFROG_ORACLE"):
+            envconfig.parse_oracle_packets("lots")
+
+    def test_source_names_the_flag(self):
+        with pytest.raises(EnvConfigError, match="--oracle-packets"):
+            envconfig.parse_oracle_packets("x", source="--oracle-packets")
+
+
+class TestSeed:
+    def test_unset_is_none(self):
+        assert envconfig.parse_seed(None) is None
+        assert envconfig.seed_from_env({}) is None
+        assert envconfig.seed_from_env({"LEAPFROG_SEED": " "}) is None
+
+    def test_any_integer_accepted(self):
+        assert envconfig.parse_seed("0") == 0
+        assert envconfig.parse_seed("-7") == -7
+        assert envconfig.seed_from_env({"LEAPFROG_SEED": "20220613"}) == 20220613
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EnvConfigError, match="LEAPFROG_SEED"):
+            envconfig.seed_from_env({"LEAPFROG_SEED": "lucky"})
+
+
 class TestCliIntegration:
     def test_cli_reports_env_error_cleanly(self, capsys, monkeypatch):
         from repro.cli import main

@@ -72,3 +72,59 @@ class TestCli:
         assert code == 0
         output = capsys.readouterr().out
         assert "ethernet" in output and "Match:" in output
+
+
+class TestOracleCli:
+    def test_check_with_oracle_packets(self, tmp_path, capsys):
+        left = tmp_path / "left.p4a"
+        right = tmp_path / "right.p4a"
+        left.write_text(pretty(tiny.incremental_bits_checked()))
+        right.write_text(pretty(tiny.big_bits_checked()))
+        code = main([
+            "check", str(left), str(right), "--left-start", "Start",
+            "--right-start", "Parse", "--oracle-packets", "40", "--seed", "9",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "PROVED" in output
+        assert "0 divergences over 40 packets" in output
+
+    def test_check_refuted_reports_minimized_packet(self, tmp_path, capsys):
+        left = tmp_path / "left.p4a"
+        right = tmp_path / "right.p4a"
+        left.write_text(pretty(tiny.incremental_bits()))
+        right.write_text(pretty(tiny.big_bits_wrong_length()))
+        code = main([
+            "check", str(left), str(right), "--left-start", "Start",
+            "--right-start", "Parse",
+        ])
+        assert code == 1
+        assert "REFUTED" in capsys.readouterr().out
+
+    def test_oracle_command_mini_scenarios(self, tmp_path, capsys):
+        report_dir = tmp_path / "reports"
+        code = main([
+            "oracle", "--scenario", "mini_edge", "--scenario", "mini_datacenter",
+            "--packets", "30", "--seed", "4", "--report-dir", str(report_dir),
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "mini_edge" in output and "mini_datacenter" in output
+        assert (report_dir / "summary.json").exists()
+
+    def test_oracle_command_env_defaults(self, capsys, monkeypatch):
+        monkeypatch.setenv("LEAPFROG_ORACLE", "25")
+        monkeypatch.setenv("LEAPFROG_SEED", "77")
+        code = main(["oracle", "--scenario", "mini_enterprise", "--no-translation"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "25" in output and "77" in output
+
+    def test_table_with_oracle_shows_divergence_column(self, capsys):
+        code = main([
+            "table", "--case", "Speculative loop", "--oracle-packets", "30",
+            "--seed", "1",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Divergences" in output

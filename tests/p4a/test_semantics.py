@@ -197,3 +197,74 @@ class TestChained:
     def test_chained_accepts_exactly_total_length(self, chunks, bits):
         aut = chained_automaton(tuple(chunks))
         assert accepts(aut, "s0", Bits(bits)) == (len(bits) == sum(chunks))
+
+
+class TestEdgeCases:
+    """Corner cases of Definitions 3.4–3.6 the oracle's sampler leans on."""
+
+    def test_empty_packet_never_accepted_when_bits_needed(self):
+        aut = fixed_length_automaton(2)
+        assert not accepts(aut, "s0", Bits(""))
+        accepted, store = parse_packet(aut, "s0", Bits(""))
+        assert not accepted
+        assert store == initial_store(aut)  # nothing was extracted
+
+    def test_empty_packet_run_is_the_initial_configuration(self):
+        aut = fixed_length_automaton(3)
+        config = multi_step(aut, initial_configuration(aut, "s0"), Bits(""))
+        assert config == initial_configuration(aut, "s0")
+
+    def test_bits_remaining_after_accept_reject_but_keep_store(self):
+        aut = fixed_length_automaton(2)
+        accepted, store = parse_packet(aut, "s0", Bits("10"))
+        assert accepted and store["data"] == Bits("10")
+        # One stray bit: the verdict flips to reject but the store survives
+        # (accept steps to reject without clearing extracted headers).
+        overrun, overrun_store = parse_packet(aut, "s0", Bits("101"))
+        assert not overrun
+        assert overrun_store["data"] == Bits("10")
+
+    def test_buffered_bits_block_acceptance(self):
+        aut = fixed_length_automaton(4)
+        final = multi_step(aut, initial_configuration(aut, "s0"), Bits("101"))
+        assert final.state == "s0" and final.buffer == Bits("101")
+        assert not final.is_accepting()
+
+    def test_missing_store_header_defaults_until_referenced(self):
+        from repro.p4a.errors import P4ASemanticsError
+
+        aut = tiny.store_dependent()
+        # A partial store is fine as long as the run never reads the hole...
+        partial = {"data": Bits("0")}
+        config = initial_configuration(aut, "Start", partial)
+        assert config.store_dict() == partial
+        # ...but the transition reads "ghost", which must fail loudly rather
+        # than silently defaulting.
+        with pytest.raises(P4ASemanticsError, match="ghost"):
+            multi_step(aut, config, Bits("0"))
+
+    def test_default_store_is_all_zeros(self):
+        aut = tiny.store_dependent()
+        explicit = {"data": Bits("0"), "ghost": Bits("0")}
+        assert parse_packet(aut, "Start", Bits("1")) == parse_packet(
+            aut, "Start", Bits("1"), explicit
+        )
+
+    def test_parse_packet_matches_run_trace_final_configuration(self):
+        aut = mpls.reference_parser()
+        label = Bits("0" * 23 + "1" + "0" * 8)
+        packet = label.concat(Bits("01" * 32))
+        accepted, store = parse_packet(aut, "q1", packet)
+        trace = list(run_trace(aut, "q1", packet))
+        final = trace[-1]
+        assert accepted == final.is_accepting()
+        assert store == final.store_dict()
+        assert len(trace) == packet.width + 1
+
+    def test_parse_packet_matches_run_trace_on_rejections(self):
+        aut = mpls.reference_parser()
+        packet = Bits("1" * 40)  # not a valid label stack prefix length
+        accepted, store = parse_packet(aut, "q1", packet)
+        final = list(run_trace(aut, "q1", packet))[-1]
+        assert accepted == final.is_accepting()
+        assert store == final.store_dict()

@@ -183,7 +183,8 @@ def _random_walk_packet(graph, rng):
     return Bits(bits)
 
 
-@pytest.mark.parametrize("name", ["mini_enterprise", "mini_edge", "enterprise", "datacenter"])
+@pytest.mark.parametrize("name", ["mini_enterprise", "mini_edge", "mini_service_provider",
+                                  "mini_datacenter", "enterprise", "datacenter"])
 def test_four_layer_differential(name):
     """Graph interpreter, hardware simulator, P4A and back-translated P4A agree."""
     rng = random.Random(hash(name) & 0xFFFF)
@@ -215,7 +216,8 @@ class TestBacktranslation:
         assert any("adv" in name for name in automaton.states)
 
     def test_scenarios_compile_and_translate(self):
-        for name in ("enterprise", "edge", "service_provider", "datacenter"):
+        for name in ("enterprise", "edge", "service_provider", "datacenter",
+                     "mini_service_provider", "mini_datacenter"):
             hardware = compile_graph(scenario(name))
             automaton, start = hardware_to_p4a(hardware)
             assert start in automaton.states

@@ -65,6 +65,22 @@ class TestIpTcpUdp:
             ip_tcp_udp.combined_parser(), "parse_combined", packets,
         )
 
+    def test_reference_and_combined_agree_on_structured_samples(self):
+        """Uniform noise almost never exercises the deep accepting paths; the
+        seeded structure-aware sampler does, on both parsers' shapes."""
+        from repro.oracle.sampler import PacketSampler
+
+        reference = ip_tcp_udp.reference_parser()
+        combined = ip_tcp_udp.combined_parser()
+        packets = [
+            p for p, _ in PacketSampler(reference, "parse_ip", seed=11).sample(40)
+        ] + [
+            p for p, _ in PacketSampler(combined, "parse_combined", seed=11).sample(40)
+        ]
+        assert agree_on_packets(reference, "parse_ip", combined, "parse_combined", packets)
+        # The structured sample actually reaches acceptance on both sides.
+        assert any(accepts(reference, "parse_ip", p) for p in packets)
+
     def test_broken_combined_differs(self):
         aut = ip_tcp_udp.broken_combined()
         packet = self.ip_header("0001").concat(Bits.zeros(64))
