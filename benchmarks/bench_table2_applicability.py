@@ -1,5 +1,6 @@
 """Table 2, applicability rows (Section 7.2): self-comparison of the four
-parser-gen scenarios (Edge, Service Provider, Datacenter, Enterprise).
+parser-gen scenarios (Edge, Service Provider, Datacenter, Enterprise) plus
+the four protocol-family refactoring pairs of the scenario registry.
 
 By default the mini variants of the scenarios are used so the whole benchmark
 suite stays in the minutes range with the pure-Python solver; set
@@ -13,7 +14,11 @@ import pytest
 from repro.core.engine import CaseJob
 from repro.reporting import full_scale_requested
 
-_APPLICABILITY_ROWS = ["Edge", "Service Provider", "Datacenter", "Enterprise"]
+_APPLICABILITY_ROWS = [
+    "Edge", "Service Provider", "Datacenter", "Enterprise",
+    "VXLAN/GRE Tunneling", "IPv6 Extension Chain",
+    "QinQ Double Tagging", "ARP/ICMP Control Plane",
+]
 
 
 @pytest.mark.parametrize("name", _APPLICABILITY_ROWS)

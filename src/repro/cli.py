@@ -7,8 +7,10 @@
 * ``table [--full] [--case NAME ...]`` — run the Table 2 case studies and print
   the results in the paper's row format;
 * ``list`` — list the registered case studies;
-* ``oracle`` — run the differential concrete-oracle fuzz suite over parser-gen
-  scenarios and write reproducible divergence reports;
+* ``scenarios list/show/run`` — browse the tagged scenario registry and
+  verify a scenario against its expected verdict;
+* ``oracle`` — run the differential concrete-oracle fuzz suite over the
+  registered scenarios and write reproducible divergence reports;
 * ``dump-scenario NAME`` — print a parser-gen scenario as a P4 automaton (and
   optionally its compiled hardware table).
 """
@@ -24,8 +26,12 @@ from .core.algorithm import CheckerConfig
 from .core.equivalence import check_language_equivalence
 from .p4a.pretty import pretty
 from .p4a.surface import parse_automaton
-from .parsergen import compile_graph, graph_to_p4a, scenario
+from .parsergen import compile_graph, graph_to_p4a
 from .reporting import case_studies, render_markdown, render_text, run_cases
+# Imported from the registry module directly: pulling in `repro.scenarios`
+# would populate the whole catalog on every CLI start-up, even for commands
+# that never touch it.
+from .scenarios.registry import ScenarioLookupError
 
 
 def _jobs_argument(value: str) -> int:
@@ -131,14 +137,61 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the registered case studies")
 
+    scenarios = sub.add_parser(
+        "scenarios", help="browse and run the tagged scenario registry"
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="list registered scenarios (optionally filtered by tag)"
+    )
+    scenarios_list.add_argument(
+        "--family", choices=_scenario_registry().FAMILIES,
+        help="only scenarios of this deployment family",
+    )
+    scenarios_list.add_argument(
+        "--size", choices=_scenario_registry().SIZES,
+        help="only scenarios of this scale",
+    )
+    scenarios_list.add_argument(
+        "--verdict", choices=_scenario_registry().VERDICTS,
+        help="only scenarios with this expected verdict",
+    )
+    scenarios_list.add_argument(
+        "--kind", choices=_scenario_registry().KINDS,
+        help="only scenarios of this kind",
+    )
+    scenarios_list.add_argument(
+        "--json", action="store_true", help="emit the catalog as JSON"
+    )
+
+    scenarios_show = scenarios_sub.add_parser(
+        "show", help="show one scenario's tags, structure and description"
+    )
+    scenarios_show.add_argument("name", help="scenario name (see `scenarios list`)")
+
+    scenarios_run = scenarios_sub.add_parser(
+        "run",
+        help="check a scenario's equivalence and compare against its "
+             "expected verdict (exit 0 on a match)",
+    )
+    scenarios_run.add_argument("name", help="scenario name (see `scenarios list`)")
+    scenarios_run.add_argument(
+        "--no-counterexample", action="store_true",
+        help="skip the counterexample search; an expected-inequivalent "
+             "scenario can then only be confirmed by the concrete oracle "
+             "(--oracle-packets), and exits 2 otherwise",
+    )
+    _add_oracle_arguments(scenarios_run)
+
     oracle = sub.add_parser(
         "oracle",
         help="run the differential concrete-oracle fuzz suite over scenarios",
     )
     oracle.add_argument(
         "--scenario", action="append", metavar="NAME",
-        help="fuzz only the named scenario (repeatable; default: the four "
-             "mini scenarios, or all scenarios with --all)",
+        help="fuzz only the named scenario (repeatable; default: every mini "
+             "scenario, or all scenarios with --all)",
     )
     oracle.add_argument(
         "--all", action="store_true", help="fuzz every registered scenario"
@@ -244,14 +297,14 @@ def _command_table(args: argparse.Namespace) -> int:
 
 def _command_oracle(args: argparse.Namespace) -> int:
     from .oracle.suite import render_suite, run_differential_suite, write_reports
-    from .parsergen.scenarios import MINI_SCENARIOS, SCENARIOS
+    from .scenarios import mini_names, names as registry_names
 
     if args.scenario:
         names = args.scenario
     elif args.all:
-        names = list(SCENARIOS)
+        names = registry_names()
     else:
-        names = list(MINI_SCENARIOS)
+        names = mini_names()
     packets = (
         args.packets if args.packets is not None
         else envconfig.oracle_packets_from_env()
@@ -271,9 +324,13 @@ def _command_oracle(args: argparse.Namespace) -> int:
     if args.report_dir:
         for path in write_reports(rows, args.report_dir):
             print(f"wrote {path}")
-    divergences = sum(row.divergences for row in rows)
-    if divergences:
-        print(f"FAIL: {divergences} divergences (reproduce with --seed {seed or 0})")
+    failing = [row for row in rows if not row.ok]
+    if failing:
+        print(
+            f"FAIL: {len(failing)} scenario(s) contradict their expected "
+            f"verdict: {', '.join(row.scenario for row in failing)} "
+            f"(reproduce with --seed {seed or 0})"
+        )
         return 1
     return 0
 
@@ -284,8 +341,108 @@ def _command_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_registry():
+    """The scenario-registry module (imported lazily to keep startup light)."""
+    from . import scenarios
+
+    return scenarios
+
+
+def _render_scenario_table(rows) -> str:
+    from .reporting.table import render_fixed_width
+
+    headers = ("Name", "Family", "Size", "Kind", "Expected", "States", "Header bits")
+    table = []
+    for info in rows:
+        states, header_bits, _ = info.structure()
+        table.append([
+            info.name, info.family, info.size, info.kind, info.verdict,
+            str(states), str(header_bits),
+        ])
+    return render_fixed_width(headers, table)
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    registry = _scenario_registry()
+    if args.scenarios_command == "list":
+        rows = registry.filter_scenarios(
+            family=args.family, size=args.size, verdict=args.verdict, kind=args.kind
+        )
+        if args.json:
+            records = []
+            for info in rows:
+                states, header_bits, branched_bits = info.structure()
+                records.append({
+                    "name": info.name, "family": info.family, "size": info.size,
+                    "kind": info.kind, "verdict": info.verdict,
+                    "states": states, "header_bits": header_bits,
+                    "branched_bits": branched_bits,
+                    "description": info.description,
+                })
+            print(json.dumps(records, indent=2))
+        else:
+            print(_render_scenario_table(rows))
+            print(f"\n{len(rows)} scenario(s)")
+        return 0
+    if args.scenarios_command == "show":
+        info = registry.get(args.name)
+        states, header_bits, branched_bits = info.structure()
+        print(f"name:         {info.name}")
+        print(f"family:       {info.family}")
+        print(f"size:         {info.size}")
+        print(f"kind:         {info.kind}")
+        print(f"expected:     {info.verdict}")
+        print(f"states:       {states} (both sides)")
+        print(f"header bits:  {header_bits}")
+        print(f"branched bits: {branched_bits}")
+        print(f"description:  {info.description}")
+        return 0
+    return _command_scenarios_run(args, registry)
+
+
+def _command_scenarios_run(args: argparse.Namespace, registry) -> int:
+    info = registry.get(args.name)
+    left, left_start, right, right_start = info.automata()
+    oracle_packets, oracle_seed = _oracle_settings(args)
+    config = CheckerConfig(
+        oracle_packets=oracle_packets or 0,
+        oracle_seed=oracle_seed,
+    )
+    result = check_language_equivalence(
+        left, left_start, right, right_start, config=config,
+        find_counterexamples=not args.no_counterexample,
+    )
+    print(f"{info.name} [{info.family}/{info.size}] expected {info.verdict}")
+    print(result)
+    if result.verdict is None:
+        hint = (
+            " (counterexample search disabled; re-run without "
+            "--no-counterexample or add --oracle-packets)"
+            if args.no_counterexample else ""
+        )
+        print(f"MISMATCH: checker returned no verdict{hint}")
+        return 2
+    observed = "equivalent" if result.proved else "not_equivalent"
+    if observed == info.verdict:
+        print("OK: verdict matches the registry expectation")
+        return 0
+    print(f"MISMATCH: observed {observed}")
+    return 1
+
+
 def _command_dump_scenario(args: argparse.Namespace) -> int:
-    graph = scenario(args.name)
+    info = _scenario_registry().get(args.name)
+    graph = info.graph()
+    if graph is None:
+        print(
+            f"error: scenario {args.name!r} is an automaton pair, not a parse "
+            f"graph; use `scenarios show {args.name}` or `scenarios run "
+            f"{args.name}` instead",
+            file=sys.stderr,
+        )
+        return 2
     automaton, start = graph_to_p4a(graph)
     print(f"// scenario {args.name}: start state {start}")
     print(pretty(automaton))
@@ -300,12 +457,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _command_check,
         "table": _command_table,
         "list": _command_list,
+        "scenarios": _command_scenarios,
         "oracle": _command_oracle,
         "dump-scenario": _command_dump_scenario,
     }
     try:
         return handlers[args.command](args)
     except envconfig.EnvConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ScenarioLookupError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

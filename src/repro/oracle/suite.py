@@ -1,19 +1,25 @@
-"""The differential fuzz suite over the parser-gen scenarios.
+"""The differential fuzz suite over the registered scenarios.
 
-For every scenario (Edge, ServiceProvider, Datacenter, Enterprise and their
-mini variants) the suite cross-checks two independently produced parsers with
-the concrete oracle:
+For every scenario in the tagged registry (:mod:`repro.scenarios`) the suite
+cross-checks two independently produced parsers with the concrete oracle:
 
-* **self** — the scenario's reference P4A against itself (any divergence is an
-  interpreter/sampler bug);
-* **translation** — the reference P4A against the automaton back-translated
-  from the compiled hardware table (any divergence is a compiler or
-  back-translation bug the symbolic translation-validation run should have
-  caught).
+* **graph scenarios** (the parser-gen deployment mixes) run a **self**
+  cross-check — the scenario's reference P4A against itself (any divergence
+  is an interpreter/sampler bug) — plus a **translation** cross-check against
+  the automaton back-translated from the compiled hardware table (any
+  divergence is a compiler or back-translation bug the symbolic
+  translation-validation run should have caught);
+* **pair scenarios** (the protocol-family workloads) cross-check their two
+  sides against each other.  A pair tagged ``equivalent`` must produce zero
+  divergences; a pair tagged ``not_equivalent`` must produce at least one.
+  When the fuzz budget misses a deliberately planted bug, the suite falls
+  back to the bounded symbolic counterexample search and replays its witness
+  concretely, so an expected-inequivalent row never depends on sampler luck.
 
-Rows carry full telemetry; :func:`write_reports` persists one JSON file per
-run — including every recorded divergence with its seed, packet and stores —
-so a CI failure is reproducible from the artifact alone.
+A row is **ok** when the observed divergences match the scenario's expected
+verdict.  Rows carry full telemetry; :func:`write_reports` persists one JSON
+file per failing row — including every recorded divergence with its seed,
+packet and stores — so a CI failure is reproducible from the artifact alone.
 """
 
 from __future__ import annotations
@@ -24,9 +30,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..parsergen import compile_graph, graph_to_p4a, hardware_to_p4a, scenario
-from ..parsergen.scenarios import MINI_SCENARIOS, SCENARIOS
-from .differential import OracleReport, cross_check
+from ..parsergen import compile_graph, graph_to_p4a, hardware_to_p4a
+from ..scenarios import Scenario, get, mini_names, names as registry_names
+from .differential import Divergence, OracleReport, cross_check
 
 
 @dataclass
@@ -39,6 +45,8 @@ class ScenarioOracleRow:
     self_report: OracleReport
     translation_report: Optional[OracleReport] = None
     elapsed_seconds: float = 0.0
+    kind: str = "graph"
+    expected_equivalent: bool = True
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -50,11 +58,17 @@ class ScenarioOracleRow:
 
     @property
     def ok(self) -> bool:
-        return self.divergences == 0
+        """Observed divergences match the scenario's expected verdict."""
+        if self.expected_equivalent:
+            return self.divergences == 0
+        return self.divergences > 0
 
     def as_dict(self) -> Dict[str, object]:
         record: Dict[str, object] = {
             "scenario": self.scenario,
+            "kind": self.kind,
+            "expected": "equivalent" if self.expected_equivalent else "not_equivalent",
+            "ok": self.ok,
             "packets": self.packets,
             "seed": self.seed,
             "divergences": self.divergences,
@@ -67,6 +81,71 @@ class ScenarioOracleRow:
         return record
 
 
+def _graph_row(info: Scenario, packets: int, seed: int, include_translation: bool):
+    graph = info.graph()
+    automaton, start = graph_to_p4a(graph)
+    self_report = cross_check(
+        automaton, start, automaton, start, packets=packets, seed=seed
+    )
+    translation_report = None
+    extra: Dict[str, object] = {}
+    if include_translation:
+        hardware = compile_graph(graph)
+        translated, translated_start = hardware_to_p4a(hardware)
+        translation_report = cross_check(
+            automaton, start, translated, translated_start,
+            packets=packets, seed=seed,
+        )
+        extra["hardware_entries"] = len(hardware.entries)
+    return self_report, translation_report, extra
+
+
+def _pair_row(info: Scenario, packets: int, seed: int):
+    left, left_start, right, right_start = info.automata()
+    report = cross_check(
+        left, left_start, right, right_start, packets=packets, seed=seed
+    )
+    extra: Dict[str, object] = {}
+    if not info.expected_equivalent and report.total_divergences == 0:
+        # The fuzz budget missed the planted inequivalence: find a witness
+        # symbolically and replay it concretely so the row's verdict is
+        # deterministic rather than a function of sampler luck.
+        witness = _symbolic_witness(left, left_start, right, right_start)
+        if witness is not None:
+            report.divergences.append(witness)
+            report.total_divergences += 1
+            extra["witness_origin"] = "symbolic-search"
+    return report, extra
+
+
+def _symbolic_witness(left, left_start, right, right_start) -> Optional[Divergence]:
+    """A replay-confirmed divergence from the bounded counterexample search."""
+    from ..core.counterexample import CounterexampleSearch
+    from ..p4a.semantics import accepts
+    from ..smt.backend import InternalBackend
+
+    search = CounterexampleSearch(
+        left, left_start, right, right_start, backend=InternalBackend()
+    )
+    counterexample = search.search(max_leaps=16)
+    if counterexample is None:
+        return None
+    left_accepts = accepts(left, left_start, counterexample.packet, counterexample.left_store)
+    right_accepts = accepts(
+        right, right_start, counterexample.packet, counterexample.right_store
+    )
+    if left_accepts == right_accepts:
+        return None  # replay disagrees with the search; refuse the witness
+    return Divergence(
+        packet=counterexample.packet,
+        left_store=counterexample.left_store,
+        right_store=counterexample.right_store,
+        left_accepts=left_accepts,
+        right_accepts=right_accepts,
+        origin="symbolic-search",
+    )
+
+
 def run_differential_suite(
     names: Optional[Sequence[str]] = None,
     packets: int = 128,
@@ -75,28 +154,24 @@ def run_differential_suite(
 ) -> List[ScenarioOracleRow]:
     """Cross-check every named scenario (default: all registered scenarios)."""
     if names is None:
-        names = list(SCENARIOS)
-    unknown = [name for name in names if name not in SCENARIOS]
+        names = registry_names()
+    known = set(registry_names())
+    unknown = [name for name in names if name not in known]
     if unknown:
-        raise ValueError(f"unknown scenarios: {', '.join(unknown)}; known: {sorted(SCENARIOS)}")
+        raise ValueError(
+            f"unknown scenarios: {', '.join(unknown)}; known: {sorted(known)}"
+        )
     rows: List[ScenarioOracleRow] = []
     for name in names:
+        info = get(name)
         start_time = time.perf_counter()
-        graph = scenario(name)
-        automaton, start = graph_to_p4a(graph)
-        self_report = cross_check(
-            automaton, start, automaton, start, packets=packets, seed=seed
-        )
         translation_report = None
-        extra: Dict[str, object] = {}
-        if include_translation:
-            hardware = compile_graph(graph)
-            translated, translated_start = hardware_to_p4a(hardware)
-            translation_report = cross_check(
-                automaton, start, translated, translated_start,
-                packets=packets, seed=seed,
+        if info.kind == "graph":
+            self_report, translation_report, extra = _graph_row(
+                info, packets, seed, include_translation
             )
-            extra["hardware_entries"] = len(hardware.entries)
+        else:
+            self_report, extra = _pair_row(info, packets, seed)
         rows.append(
             ScenarioOracleRow(
                 scenario=name,
@@ -105,6 +180,8 @@ def run_differential_suite(
                 self_report=self_report,
                 translation_report=translation_report,
                 elapsed_seconds=time.perf_counter() - start_time,
+                kind=info.kind,
+                expected_equivalent=info.expected_equivalent,
                 extra=extra,
             )
         )
@@ -112,13 +189,16 @@ def run_differential_suite(
 
 
 def mini_scenario_names() -> List[str]:
-    """The four mini scenarios the CI oracle smoke covers."""
-    return list(MINI_SCENARIOS)
+    """Every ``mini`` scenario — the population the CI oracle smoke covers."""
+    return mini_names()
 
 
 def render_suite(rows: Sequence[ScenarioOracleRow]) -> str:
     """A fixed-width summary table of one suite run."""
-    headers = ("Scenario", "Packets", "Seed", "Self div.", "Transl. div.", "Accepted", "Time (s)")
+    from ..reporting.table import render_fixed_width
+
+    headers = ("Scenario", "Kind", "Expected", "Packets", "Seed",
+               "Self div.", "Transl. div.", "Accepted", "OK", "Time (s)")
     table: List[List[str]] = []
     for row in rows:
         translation = (
@@ -127,30 +207,26 @@ def render_suite(rows: Sequence[ScenarioOracleRow]) -> str:
         )
         table.append([
             row.scenario,
+            row.kind,
+            "equiv" if row.expected_equivalent else "inequiv",
             str(row.packets),
             str(row.seed),
             str(row.self_report.total_divergences),
             translation,
             str(row.self_report.accepted_left),
+            "yes" if row.ok else "NO",
             f"{row.elapsed_seconds:.2f}",
         ])
-    widths = [len(header) for header in headers]
-    for line in table:
-        for index, cell in enumerate(line):
-            widths[index] = max(widths[index], len(cell))
-    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
-    lines.append("  ".join("-" * w for w in widths))
-    for line in table:
-        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
-    return "\n".join(lines)
+    return render_fixed_width(headers, table)
 
 
 def write_reports(rows: Sequence[ScenarioOracleRow], directory: str) -> List[str]:
-    """Persist the suite's telemetry (and any divergences) as JSON files.
+    """Persist the suite's telemetry (and any failures) as JSON files.
 
     Always writes ``summary.json``; additionally writes one
-    ``divergence_<scenario>.json`` per scenario that diverged, carrying the
-    seed, the packets and the initial stores needed to reproduce.
+    ``divergence_<scenario>.json`` per *failing* row (unexpected divergences,
+    or an expected inequivalence the oracle could not demonstrate), carrying
+    the seed, the packets and the initial stores needed to reproduce.
     """
     os.makedirs(directory, exist_ok=True)
     written: List[str] = []

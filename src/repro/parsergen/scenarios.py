@@ -299,6 +299,9 @@ def mini_datacenter() -> ParseGraph:
     return make_graph("mini_datacenter", "ethernet", nodes)
 
 
+#: The parse-graph builders defined in this module, keyed by catalog name.
+#: Enumeration and lookup now live in :mod:`repro.scenarios` (the tagged
+#: registry); this mapping remains for direct access to the graph builders.
 SCENARIOS: Dict[str, Callable[[], ParseGraph]] = {
     "enterprise": enterprise,
     "edge": edge_router,
@@ -310,13 +313,24 @@ SCENARIOS: Dict[str, Callable[[], ParseGraph]] = {
     "mini_datacenter": mini_datacenter,
 }
 
-#: The four scaled-down deployment scenarios the CI oracle smoke runs on.
+#: The four scaled-down deployment graphs (the quick-test population).
 MINI_SCENARIOS = ("mini_edge", "mini_enterprise", "mini_service_provider", "mini_datacenter")
 
 
 def scenario(name: str) -> ParseGraph:
-    """Look up a scenario by name (see :data:`SCENARIOS`)."""
-    try:
-        return SCENARIOS[name]()
-    except KeyError:
-        raise ValueError(f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}") from None
+    """Look up a parse-graph scenario by its registry name.
+
+    Delegates to the tagged registry (:func:`repro.scenarios.get`), so lookup
+    errors name near-misses; only ``graph``-kind scenarios have a parse graph
+    to return.
+    """
+    from ..scenarios import get
+
+    info = get(name)
+    graph = info.graph()
+    if graph is None:
+        raise ValueError(
+            f"scenario {name!r} is an automaton pair, not a parse graph; "
+            "use repro.scenarios.get(name).automata()"
+        )
+    return graph

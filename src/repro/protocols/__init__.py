@@ -1,5 +1,28 @@
-"""Protocol parser library: the case-study parsers from the paper's figures."""
+"""Protocol parser library: case-study parsers from the paper's figures plus
+the real-world protocol families of the scenario catalog."""
 
-from . import mpls, tiny
+from . import (
+    arp_icmp,
+    ethernet_ip,
+    ethernet_vlan,
+    ip_options,
+    ip_tcp_udp,
+    ipv6_ext,
+    mpls,
+    qinq,
+    tiny,
+    vxlan_gre,
+)
 
-__all__ = ["mpls", "tiny"]
+__all__ = [
+    "arp_icmp",
+    "ethernet_ip",
+    "ethernet_vlan",
+    "ip_options",
+    "ip_tcp_udp",
+    "ipv6_ext",
+    "mpls",
+    "qinq",
+    "tiny",
+    "vxlan_gre",
+]

@@ -1,0 +1,195 @@
+"""ARP and ICMP control-plane parsers (enterprise campus switch).
+
+A control-plane punt path classifies exactly the traffic the CPU must see:
+ARP requests and replies, ICMP echo request/reply, and ICMP destination
+unreachable (which carries a stub of the original datagram):
+
+    eth ( arp(oper ∈ {1,2})
+        | ipv4 icmp(type ∈ {0,8})
+        | ipv4 icmp(type = 3) orig )
+
+Three parsers over that language:
+
+* :func:`reference_parser` — extracts each protocol header in one block and
+  selects on the opcode/type field;
+* :func:`split_parser` — an equivalent variant that extracts the selector
+  field first and the header body in a separate state (the
+  incremental-vs-block extraction shape of the paper's Figure 5), valid
+  because the branch depends only on the leading field;
+* :func:`broken_parser` — a deliberately inequivalent variant that accepts
+  ICMP destination-unreachable without the mandatory original-datagram stub.
+
+The ARP opcode and ICMP type occupy the *leading* bits of their headers (as
+in the real formats); the ethertype and IPv4 protocol lookups occupy the
+trailing bits of theirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..p4a.bitvec import Bits
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import ACCEPT, P4Automaton, REJECT
+
+START = "ethernet"
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+ICMP_ECHO_REPLY = 0
+ICMP_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+
+
+@dataclass(frozen=True)
+class Widths:
+    """Header and lookup-field bit widths plus the selector values."""
+
+    eth: int
+    eth_type: int
+    arp: int
+    arp_oper: int
+    ip: int
+    ip_proto: int
+    icmp: int
+    icmp_type: int
+    orig: int
+    eth_arp: int
+    eth_ipv4: int
+    proto_icmp: int
+
+
+FULL = Widths(eth=112, eth_type=16, arp=224, arp_oper=16, ip=160, ip_proto=8,
+              icmp=64, icmp_type=8, orig=64,
+              eth_arp=0x0806, eth_ipv4=0x0800, proto_icmp=1)
+
+MINI = Widths(eth=8, eth_type=8, arp=16, arp_oper=8, ip=8, ip_proto=8,
+              icmp=16, icmp_type=8, orig=8,
+              eth_arp=0x06, eth_ipv4=0x08, proto_icmp=1)
+
+
+def _pat(value: int, width: int) -> Bits:
+    return Bits.from_int(value, width)
+
+
+def _outer_states(builder: AutomatonBuilder, w: Widths, arp_target: str) -> None:
+    builder.header("eth", w.eth).header("ip", w.ip)
+    builder.state("ethernet").extract("eth").select(
+        f"eth[{w.eth - w.eth_type}:{w.eth - 1}]",
+        [
+            (_pat(w.eth_arp, w.eth_type), arp_target),
+            (_pat(w.eth_ipv4, w.eth_type), "ipv4"),
+            ("_", REJECT),
+        ],
+    )
+
+
+def _ipv4_state(builder: AutomatonBuilder, w: Widths, icmp_target: str) -> None:
+    builder.state("ipv4").extract("ip").select(
+        f"ip[{w.ip - w.ip_proto}:{w.ip - 1}]",
+        [(_pat(w.proto_icmp, w.ip_proto), icmp_target), ("_", REJECT)],
+    )
+
+
+def reference_parser(w: Widths = FULL) -> P4Automaton:
+    """Block extraction: whole ARP and ICMP headers, then one select each."""
+    builder = AutomatonBuilder(f"arp_icmp_reference_{w.eth}")
+    _outer_states(builder, w, "arp")
+    builder.header("arp_hdr", w.arp).header("icmp_hdr", w.icmp).header("orig_hdr", w.orig)
+    builder.state("arp").extract("arp_hdr").select(
+        f"arp_hdr[0:{w.arp_oper - 1}]",
+        [
+            (_pat(ARP_REQUEST, w.arp_oper), ACCEPT),
+            (_pat(ARP_REPLY, w.arp_oper), ACCEPT),
+            ("_", REJECT),
+        ],
+    )
+    _ipv4_state(builder, w, "icmp")
+    builder.state("icmp").extract("icmp_hdr").select(
+        f"icmp_hdr[0:{w.icmp_type - 1}]",
+        [
+            (_pat(ICMP_ECHO_REPLY, w.icmp_type), ACCEPT),
+            (_pat(ICMP_ECHO_REQUEST, w.icmp_type), ACCEPT),
+            (_pat(ICMP_UNREACHABLE, w.icmp_type), "unreachable"),
+            ("_", REJECT),
+        ],
+    )
+    builder.state("unreachable").extract("orig_hdr").accept()
+    return builder.build()
+
+
+def split_parser(w: Widths = FULL) -> P4Automaton:
+    """Equivalent variant extracting the selector field before the body.
+
+    The ARP opcode and ICMP type are the leading bits of their headers and
+    fully determine the branch, so extracting them alone and deferring the
+    rest of the header to a successor state accepts exactly the same packets
+    as the block extraction of the reference.
+    """
+    builder = AutomatonBuilder(f"arp_icmp_split_{w.eth}")
+    _outer_states(builder, w, "arp_oper")
+    builder.header("oper", w.arp_oper).header("arp_body", w.arp - w.arp_oper)
+    builder.header("icmp_type_hdr", w.icmp_type).header("icmp_body", w.icmp - w.icmp_type)
+    builder.header("orig_hdr", w.orig)
+    builder.state("arp_oper").extract("oper").select(
+        "oper",
+        [
+            (_pat(ARP_REQUEST, w.arp_oper), "arp_body_state"),
+            (_pat(ARP_REPLY, w.arp_oper), "arp_body_state"),
+            ("_", REJECT),
+        ],
+    )
+    builder.state("arp_body_state").extract("arp_body").accept()
+    _ipv4_state(builder, w, "icmp_type_state")
+    builder.state("icmp_type_state").extract("icmp_type_hdr").select(
+        "icmp_type_hdr",
+        [
+            (_pat(ICMP_ECHO_REPLY, w.icmp_type), "icmp_body_state"),
+            (_pat(ICMP_ECHO_REQUEST, w.icmp_type), "icmp_body_state"),
+            (_pat(ICMP_UNREACHABLE, w.icmp_type), "icmp_unreachable"),
+            ("_", REJECT),
+        ],
+    )
+    builder.state("icmp_body_state").extract("icmp_body").accept()
+    builder.state("icmp_unreachable").extract("icmp_body").goto("orig")
+    builder.state("orig").extract("orig_hdr").accept()
+    return builder.build()
+
+
+def broken_parser(w: Widths = FULL) -> P4Automaton:
+    """Inequivalent variant: the punt path's validity checks are gone.
+
+    The ARP state accepts *any* opcode (not just request/reply), and ICMP
+    type 3 goes straight to accept, so destination-unreachable packets
+    missing the original-datagram stub are wrongly accepted — and well-formed
+    ones (with the stub) are wrongly rejected for trailing bits.
+    """
+    builder = AutomatonBuilder(f"arp_icmp_broken_{w.eth}")
+    _outer_states(builder, w, "arp")
+    builder.header("arp_hdr", w.arp).header("icmp_hdr", w.icmp)
+    # Bug: no opcode check.
+    builder.state("arp").extract("arp_hdr").accept()
+    _ipv4_state(builder, w, "icmp")
+    # Bug: type 3 accepts immediately instead of requiring the stub.
+    builder.state("icmp").extract("icmp_hdr").select(
+        f"icmp_hdr[0:{w.icmp_type - 1}]",
+        [
+            (_pat(ICMP_ECHO_REPLY, w.icmp_type), ACCEPT),
+            (_pat(ICMP_ECHO_REQUEST, w.icmp_type), ACCEPT),
+            (_pat(ICMP_UNREACHABLE, w.icmp_type), ACCEPT),
+            ("_", REJECT),
+        ],
+    )
+    return builder.build()
+
+
+def mini_reference() -> P4Automaton:
+    return reference_parser(MINI)
+
+
+def mini_split() -> P4Automaton:
+    return split_parser(MINI)
+
+
+def mini_broken() -> P4Automaton:
+    return broken_parser(MINI)

@@ -1,0 +1,180 @@
+"""IPv6 extension-header chain parsers (hop-by-hop / routing / fragment order).
+
+RFC 8200 recommends a fixed extension-header order: Hop-by-Hop Options first
+(and only first), then Routing, then Fragment, then the upper-layer header.
+The parsers here accept exactly the canonically-ordered chains — every header
+optional, each appearing at most once, TCP or UDP as the upper layer:
+
+    ipv6 [hbh] [routing] [fragment] (tcp | udp)
+
+Three parsers over that language:
+
+* :func:`reference_parser` — one state per extension header; the chain order
+  is enforced by which next-header codes each state accepts;
+* :func:`unrolled_parser` — an equivalent variant that duplicates the Routing
+  state per predecessor (straight from the base header vs. after Hop-by-Hop),
+  the state-rearrangement shape front-end compilers produce when they inline
+  per-path parsing;
+* :func:`broken_parser` — a deliberately inequivalent variant that also
+  accepts Hop-by-Hop *after* Routing, the exact ordering violation RFC 8200
+  forbids.
+
+Next-header codes use the real IANA values (0, 43, 44, 6, 17) at every scale;
+the next-header lookup field occupies the trailing bits of each header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..p4a.bitvec import Bits
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import P4Automaton, REJECT
+
+START = "ipv6"
+
+NEXT_HBH = 0
+NEXT_ROUTING = 43
+NEXT_FRAGMENT = 44
+NEXT_TCP = 6
+NEXT_UDP = 17
+
+
+@dataclass(frozen=True)
+class Widths:
+    """Header bit widths for one scale of the parsers (8-bit next-header)."""
+
+    base: int
+    hbh: int
+    routing: int
+    fragment: int
+    tcp: int
+    udp: int
+    next_header: int = 8
+
+
+FULL = Widths(base=320, hbh=64, routing=64, fragment=64, tcp=160, udp=64)
+
+MINI = Widths(base=16, hbh=8, routing=8, fragment=8, tcp=8, udp=8)
+
+
+def _next_select(header: str, bits: int, w: Widths, targets):
+    """A select on the trailing next-header field: [(code, target), ...]."""
+    expr = f"{header}[{bits - w.next_header}:{bits - 1}]"
+    cases = [(Bits.from_int(code, w.next_header), target) for code, target in targets]
+    cases.append(("_", REJECT))
+    return expr, cases
+
+
+def _upper_states(builder: AutomatonBuilder, w: Widths) -> None:
+    builder.state("tcp").extract("tcp_hdr").accept()
+    builder.state("udp").extract("udp_hdr").accept()
+
+
+def _declare_headers(builder: AutomatonBuilder, w: Widths) -> None:
+    builder.header("base", w.base).header("hbh_hdr", w.hbh)
+    builder.header("frag_hdr", w.fragment)
+    builder.header("tcp_hdr", w.tcp).header("udp_hdr", w.udp)
+
+
+def reference_parser(w: Widths = FULL) -> P4Automaton:
+    """One state per extension header, canonical order enforced by selects."""
+    builder = AutomatonBuilder(f"ipv6_ext_reference_{w.base}")
+    _declare_headers(builder, w)
+    builder.header("rt_hdr", w.routing)
+    builder.state("ipv6").extract("base").select(*_next_select("base", w.base, w, [
+        (NEXT_HBH, "hbh"), (NEXT_ROUTING, "routing"), (NEXT_FRAGMENT, "fragment"),
+        (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+    ]))
+    builder.state("hbh").extract("hbh_hdr").select(*_next_select("hbh_hdr", w.hbh, w, [
+        (NEXT_ROUTING, "routing"), (NEXT_FRAGMENT, "fragment"),
+        (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+    ]))
+    builder.state("routing").extract("rt_hdr").select(*_next_select("rt_hdr", w.routing, w, [
+        (NEXT_FRAGMENT, "fragment"), (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+    ]))
+    builder.state("fragment").extract("frag_hdr").select(
+        *_next_select("frag_hdr", w.fragment, w, [(NEXT_TCP, "tcp"), (NEXT_UDP, "udp")])
+    )
+    _upper_states(builder, w)
+    return builder.build()
+
+
+def unrolled_parser(w: Widths = FULL) -> P4Automaton:
+    """Equivalent variant with the Routing state duplicated per predecessor.
+
+    ``routing_direct`` is reached straight from the base header and
+    ``routing_after_hbh`` after a Hop-by-Hop header; both accept the same
+    successors, so the language is unchanged while the automaton shape (and
+    the reachable template pairs the checker must relate) differs.
+    """
+    builder = AutomatonBuilder(f"ipv6_ext_unrolled_{w.base}")
+    _declare_headers(builder, w)
+    builder.header("rt_direct_hdr", w.routing).header("rt_hbh_hdr", w.routing)
+    builder.state("ipv6").extract("base").select(*_next_select("base", w.base, w, [
+        (NEXT_HBH, "hbh"), (NEXT_ROUTING, "routing_direct"), (NEXT_FRAGMENT, "fragment"),
+        (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+    ]))
+    builder.state("hbh").extract("hbh_hdr").select(*_next_select("hbh_hdr", w.hbh, w, [
+        (NEXT_ROUTING, "routing_after_hbh"), (NEXT_FRAGMENT, "fragment"),
+        (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+    ]))
+    for state, hdr in (("routing_direct", "rt_direct_hdr"), ("routing_after_hbh", "rt_hbh_hdr")):
+        builder.state(state).extract(hdr).select(*_next_select(hdr, w.routing, w, [
+            (NEXT_FRAGMENT, "fragment"), (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+        ]))
+    builder.state("fragment").extract("frag_hdr").select(
+        *_next_select("frag_hdr", w.fragment, w, [(NEXT_TCP, "tcp"), (NEXT_UDP, "udp")])
+    )
+    _upper_states(builder, w)
+    return builder.build()
+
+
+def broken_parser(w: Widths = FULL) -> P4Automaton:
+    """Inequivalent variant: the "Hop-by-Hop only first" rule is not enforced.
+
+    Both the routing and the fragment states gain a next-header case for
+    code 0, so chains like ``ipv6 → routing → hbh → tcp`` and
+    ``ipv6 → fragment → hbh → udp`` — which RFC 8200 and the reference
+    parser reject — are accepted.
+    """
+    builder = AutomatonBuilder(f"ipv6_ext_broken_{w.base}")
+    _declare_headers(builder, w)
+    builder.header("rt_hdr", w.routing).header("hbh_late_hdr", w.hbh)
+    builder.state("ipv6").extract("base").select(*_next_select("base", w.base, w, [
+        (NEXT_HBH, "hbh"), (NEXT_ROUTING, "routing"), (NEXT_FRAGMENT, "fragment"),
+        (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+    ]))
+    builder.state("hbh").extract("hbh_hdr").select(*_next_select("hbh_hdr", w.hbh, w, [
+        (NEXT_ROUTING, "routing"), (NEXT_FRAGMENT, "fragment"),
+        (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+    ]))
+    # Bug: code 0 (Hop-by-Hop) is accepted after Routing and after Fragment.
+    builder.state("routing").extract("rt_hdr").select(*_next_select("rt_hdr", w.routing, w, [
+        (NEXT_HBH, "hbh_late"), (NEXT_FRAGMENT, "fragment"),
+        (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+    ]))
+    builder.state("hbh_late").extract("hbh_late_hdr").select(
+        *_next_select("hbh_late_hdr", w.hbh, w, [
+            (NEXT_FRAGMENT, "fragment"), (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+        ])
+    )
+    builder.state("fragment").extract("frag_hdr").select(
+        *_next_select("frag_hdr", w.fragment, w, [
+            (NEXT_HBH, "hbh_late"), (NEXT_TCP, "tcp"), (NEXT_UDP, "udp"),
+        ])
+    )
+    _upper_states(builder, w)
+    return builder.build()
+
+
+def mini_reference() -> P4Automaton:
+    return reference_parser(MINI)
+
+
+def mini_unrolled() -> P4Automaton:
+    return unrolled_parser(MINI)
+
+
+def mini_broken() -> P4Automaton:
+    return broken_parser(MINI)

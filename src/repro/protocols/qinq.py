@@ -1,0 +1,155 @@
+"""802.1ad QinQ double-tagging parsers (service-provider edge).
+
+A provider-bridge ingress port accepts untagged customer frames, single
+C-tagged frames (TPID 0x8100) and properly double-tagged frames, where an
+S-tag (TPID 0x88A8) **must** be followed by a C-tag before the IPv4 payload:
+
+    eth [stag ctag | ctag] ipv4
+
+Three parsers over that language:
+
+* :func:`reference_parser` — one state per tag, the S-tag state admitting only
+  a C-tag successor as 802.1ad requires;
+* :func:`fused_parser` — an equivalent variant that extracts both tags of a
+  double-tagged frame as one block and validates the two inner TPIDs with a
+  single two-expression select (the single-cycle lookup a wide parser
+  pipeline performs);
+* :func:`broken_parser` — a deliberately inequivalent variant with the classic
+  sloppy-QinQ bug: the S-tag state also admits a bare IPv4 successor, so
+  S-tagged frames with no C-tag are wrongly accepted.
+
+The TPID/ethertype lookup field occupies the trailing bits of each header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..p4a.bitvec import Bits
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import P4Automaton, REJECT
+
+START = "ethernet"
+
+
+@dataclass(frozen=True)
+class Widths:
+    """Header and lookup-field bit widths plus the TPID selector values."""
+
+    eth: int
+    tag: int
+    ip: int
+    tpid: int
+    tpid_stag: int
+    tpid_ctag: int
+    eth_ipv4: int
+
+
+FULL = Widths(eth=112, tag=32, ip=160, tpid=16,
+              tpid_stag=0x88A8, tpid_ctag=0x8100, eth_ipv4=0x0800)
+
+MINI = Widths(eth=8, tag=12, ip=8, tpid=8,
+              tpid_stag=0xA8, tpid_ctag=0x81, eth_ipv4=0x08)
+
+
+def _tpid_slice(header: str, bits: int, w: Widths) -> str:
+    return f"{header}[{bits - w.tpid}:{bits - 1}]"
+
+
+def _pat(value: int, w: Widths) -> Bits:
+    return Bits.from_int(value, w.tpid)
+
+
+def _outer_state(builder: AutomatonBuilder, w: Widths, stag_target: str) -> None:
+    builder.header("eth", w.eth).header("ip", w.ip)
+    builder.state("ethernet").extract("eth").select(
+        _tpid_slice("eth", w.eth, w),
+        [
+            (_pat(w.tpid_stag, w), stag_target),
+            (_pat(w.tpid_ctag, w), "ctag"),
+            (_pat(w.eth_ipv4, w), "ipv4"),
+            ("_", REJECT),
+        ],
+    )
+
+
+def _ctag_and_payload(builder: AutomatonBuilder, w: Widths) -> None:
+    builder.header("ctag_hdr", w.tag)
+    builder.state("ctag").extract("ctag_hdr").select(
+        _tpid_slice("ctag_hdr", w.tag, w),
+        [(_pat(w.eth_ipv4, w), "ipv4"), ("_", REJECT)],
+    )
+    builder.state("ipv4").extract("ip").accept()
+
+
+def reference_parser(w: Widths = FULL) -> P4Automaton:
+    """One state per tag; the S-tag admits only a C-tag successor."""
+    builder = AutomatonBuilder(f"qinq_reference_{w.tag}")
+    _outer_state(builder, w, "stag")
+    builder.header("stag_hdr", w.tag)
+    builder.state("stag").extract("stag_hdr").select(
+        _tpid_slice("stag_hdr", w.tag, w),
+        [(_pat(w.tpid_ctag, w), "ctag"), ("_", REJECT)],
+    )
+    _ctag_and_payload(builder, w)
+    return builder.build()
+
+
+def fused_parser(w: Widths = FULL) -> P4Automaton:
+    """Equivalent variant reading both tags of a double-tagged frame at once.
+
+    Sound because the reference S-tag state rejects everything except a C-tag
+    continuation: on every accepted packet the two tags are adjacent, so the
+    fused block sees exactly the same bits and the two-expression select
+    enforces exactly the same TPID constraints.
+    """
+    builder = AutomatonBuilder(f"qinq_fused_{w.tag}")
+    _outer_state(builder, w, "double_tag")
+    builder.header("tags", 2 * w.tag)
+    builder.state("double_tag").extract("tags").select(
+        [
+            f"tags[{w.tag - w.tpid}:{w.tag - 1}]",          # S-tag's inner TPID
+            f"tags[{2 * w.tag - w.tpid}:{2 * w.tag - 1}]",  # C-tag's ethertype
+        ],
+        [
+            ((_pat(w.tpid_ctag, w), _pat(w.eth_ipv4, w)), "ipv4"),
+            (("_", "_"), REJECT),
+        ],
+    )
+    _ctag_and_payload(builder, w)
+    return builder.build()
+
+
+def broken_parser(w: Widths = FULL) -> P4Automaton:
+    """Inequivalent variant: the S-tag state also admits bare IPv4.
+
+    802.1ad requires an S-tag to be followed by a C-tag; this parser lets the
+    payload follow the S-tag directly, accepting single-tagged provider frames
+    the reference rejects.
+    """
+    builder = AutomatonBuilder(f"qinq_broken_{w.tag}")
+    _outer_state(builder, w, "stag")
+    builder.header("stag_hdr", w.tag)
+    # Bug: the eth_ipv4 case should not exist.
+    builder.state("stag").extract("stag_hdr").select(
+        _tpid_slice("stag_hdr", w.tag, w),
+        [
+            (_pat(w.tpid_ctag, w), "ctag"),
+            (_pat(w.eth_ipv4, w), "ipv4"),
+            ("_", REJECT),
+        ],
+    )
+    _ctag_and_payload(builder, w)
+    return builder.build()
+
+
+def mini_reference() -> P4Automaton:
+    return reference_parser(MINI)
+
+
+def mini_fused() -> P4Automaton:
+    return fused_parser(MINI)
+
+
+def mini_broken() -> P4Automaton:
+    return broken_parser(MINI)

@@ -1,0 +1,180 @@
+"""VXLAN-over-UDP and GRE tunnel encapsulation parsers (datacenter underlay).
+
+A top-of-rack underlay parser sees plain IPv4 traffic, VXLAN-encapsulated
+overlay frames (UDP destination port 4789 followed by a VXLAN header and an
+inner Ethernet/IPv4 stack) and GRE tunnels (IP protocol 47 followed by a GRE
+header whose protocol field announces the inner IPv4 payload).
+
+Three parsers over that language:
+
+* :func:`reference_parser` — one state per header, the natural translation of
+  the protocol specifications;
+* :func:`fused_parser` — an equivalent *decap-fused* variant: the VXLAN header
+  and the inner Ethernet header are extracted as one block (likewise GRE and
+  its inner IPv4), the way wide-datapath hardware parsers speculate across
+  unconditional header boundaries.  Leapfrog proves the fusion sound;
+* :func:`broken_parser` — a deliberately inequivalent variant that skips the
+  inner-Ethernet ethertype check after VXLAN decapsulation, accepting overlay
+  frames whose inner payload is not IPv4.  Used by negative tests and the
+  differential oracle smoke.
+
+Lookup fields occupy the trailing bits of their header (a layout
+simplification: field position does not affect acceptance, which is all the
+equivalence checker compares).  ``MINI`` widths keep the same structure small
+enough for quick symbolic checks; ``FULL`` widths match the real headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..p4a.bitvec import Bits
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import ACCEPT, P4Automaton, REJECT
+
+START = "ethernet"
+
+
+@dataclass(frozen=True)
+class Widths:
+    """Header and lookup-field bit widths for one scale of the parsers."""
+
+    eth: int
+    eth_type: int
+    ip: int
+    ip_proto: int
+    udp: int
+    udp_port: int
+    vxlan: int
+    gre: int
+    gre_proto: int
+    #: Selector values, truncated to the matching field width.
+    eth_ipv4: int
+    proto_udp: int
+    proto_gre: int
+    vxlan_port: int
+
+
+FULL = Widths(
+    eth=112, eth_type=16, ip=160, ip_proto=8, udp=64, udp_port=16,
+    vxlan=64, gre=32, gre_proto=16,
+    eth_ipv4=0x0800, proto_udp=17, proto_gre=47, vxlan_port=4789,
+)
+
+MINI = Widths(
+    eth=8, eth_type=8, ip=12, ip_proto=8, udp=8, udp_port=8,
+    vxlan=8, gre=8, gre_proto=8,
+    eth_ipv4=0x08, proto_udp=17, proto_gre=47, vxlan_port=0x12,
+)
+
+
+def _trailing(header: str, header_bits: int, field_bits: int) -> str:
+    """Slice shorthand for a lookup field in the trailing bits of a header."""
+    return f"{header}[{header_bits - field_bits}:{header_bits - 1}]"
+
+
+def _pat(value: int, width: int) -> Bits:
+    return Bits.from_int(value, width)
+
+
+def _common_prefix(builder: AutomatonBuilder, w: Widths) -> None:
+    """States shared by all three variants: ethernet → ipv4 → udp/gre fork."""
+    builder.header("eth", w.eth).header("ip", w.ip).header("udp", w.udp)
+    builder.state("ethernet").extract("eth").select(
+        _trailing("eth", w.eth, w.eth_type),
+        [(_pat(w.eth_ipv4, w.eth_type), "ipv4"), ("_", REJECT)],
+    )
+    builder.state("ipv4").extract("ip").select(
+        _trailing("ip", w.ip, w.ip_proto),
+        [
+            (_pat(w.proto_udp, w.ip_proto), "udp"),
+            (_pat(w.proto_gre, w.ip_proto), "gre"),
+            ("_", ACCEPT),
+        ],
+    )
+    builder.state("udp").extract("udp").select(
+        _trailing("udp", w.udp, w.udp_port),
+        [(_pat(w.vxlan_port, w.udp_port), "vxlan"), ("_", ACCEPT)],
+    )
+
+
+def reference_parser(w: Widths = FULL) -> P4Automaton:
+    """One state per header: the natural tunnel-decapsulation parser."""
+    builder = AutomatonBuilder(f"vxlan_gre_reference_{w.eth}")
+    _common_prefix(builder, w)
+    builder.header("vxlan", w.vxlan).header("gre", w.gre)
+    builder.header("inner_eth", w.eth).header("inner_ip", w.ip)
+    builder.state("vxlan").extract("vxlan").goto("inner_ethernet")
+    builder.state("inner_ethernet").extract("inner_eth").select(
+        _trailing("inner_eth", w.eth, w.eth_type),
+        [(_pat(w.eth_ipv4, w.eth_type), "inner_ipv4"), ("_", REJECT)],
+    )
+    builder.state("gre").extract("gre").select(
+        _trailing("gre", w.gre, w.gre_proto),
+        [(_pat(w.eth_ipv4, w.gre_proto), "inner_ipv4"), ("_", REJECT)],
+    )
+    builder.state("inner_ipv4").extract("inner_ip").accept()
+    return builder.build()
+
+
+def fused_parser(w: Widths = FULL) -> P4Automaton:
+    """Equivalent decap-fused variant.
+
+    The VXLAN header carries no branching information, so the fused parser
+    extracts VXLAN plus the inner Ethernet header as a single block and
+    selects on the inner ethertype slice directly; the GRE state likewise
+    extracts GRE plus the inner IPv4 header at once and validates the GRE
+    protocol field afterwards.  Both fusions preserve the language: every
+    non-reject path through the reference states extracts exactly the same
+    bits before the next branch.
+    """
+    builder = AutomatonBuilder(f"vxlan_gre_fused_{w.eth}")
+    _common_prefix(builder, w)
+    builder.header("vxlan_decap", w.vxlan + w.eth)
+    builder.header("gre_decap", w.gre + w.ip)
+    builder.header("inner_ip", w.ip)
+    # Inner ethertype sits in the trailing bits of the fused block.
+    builder.state("vxlan").extract("vxlan_decap").select(
+        _trailing("vxlan_decap", w.vxlan + w.eth, w.eth_type),
+        [(_pat(w.eth_ipv4, w.eth_type), "inner_ipv4"), ("_", REJECT)],
+    )
+    # The GRE protocol field sits right before the fused inner IPv4 payload.
+    builder.state("gre").extract("gre_decap").select(
+        f"gre_decap[{w.gre - w.gre_proto}:{w.gre - 1}]",
+        [(_pat(w.eth_ipv4, w.gre_proto), ACCEPT), ("_", REJECT)],
+    )
+    builder.state("inner_ipv4").extract("inner_ip").accept()
+    return builder.build()
+
+
+def broken_parser(w: Widths = FULL) -> P4Automaton:
+    """Inequivalent variant: decapsulation skips payload-type validation.
+
+    Both tunnel paths extract their headers and fall straight through to the
+    inner IPv4 state — the VXLAN path never checks the inner Ethernet
+    ethertype and the GRE path never checks the GRE protocol field — so
+    tunnelled frames carrying a non-IPv4 payload of the right length are
+    wrongly accepted.
+    """
+    builder = AutomatonBuilder(f"vxlan_gre_broken_{w.eth}")
+    _common_prefix(builder, w)
+    builder.header("vxlan", w.vxlan).header("gre", w.gre)
+    builder.header("inner_eth", w.eth).header("inner_ip", w.ip)
+    builder.state("vxlan").extract("vxlan").goto("inner_ethernet")
+    # Bug: the selects on the inner ethertype and the GRE protocol are gone.
+    builder.state("inner_ethernet").extract("inner_eth").goto("inner_ipv4")
+    builder.state("gre").extract("gre").goto("inner_ipv4")
+    builder.state("inner_ipv4").extract("inner_ip").accept()
+    return builder.build()
+
+
+def mini_reference() -> P4Automaton:
+    return reference_parser(MINI)
+
+
+def mini_fused() -> P4Automaton:
+    return fused_parser(MINI)
+
+
+def mini_broken() -> P4Automaton:
+    return broken_parser(MINI)

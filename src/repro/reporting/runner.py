@@ -176,13 +176,20 @@ def _external_filtering_case() -> CaseStudy:
 # ---------------------------------------------------------------------------
 
 
-def _scenario_self_comparison(display: str, full_name: str, mini_name: str) -> CaseStudy:
-    def build(full: bool):
-        graph = scenario(full_name if full else mini_name)
-        automaton, start = graph_to_p4a(graph)
-        return automaton, start, automaton, start
+def _registry_scenario_case(display: str, full_name: str, mini_name: str,
+                            category: str = "applicability") -> CaseStudy:
+    """A case study backed by the tagged scenario registry.
 
-    return _language_equivalence_case(display, "applicability", build)
+    Covers both registry kinds: graph scenarios become self-comparisons and
+    pair scenarios check their two sides against each other, exactly as
+    :meth:`repro.scenarios.Scenario.automata` presents them.
+    """
+    def build(full: bool):
+        from ..scenarios import get
+
+        return get(full_name if full else mini_name).automata()
+
+    return _language_equivalence_case(display, category, build)
 
 
 def _translation_validation_case() -> CaseStudy:
@@ -218,11 +225,15 @@ def case_studies() -> Dict[str, CaseStudy]:
         _language_equivalence_case("Speculative loop", "utility", _speculative_loop),
         _relational_verification_case(),
         _external_filtering_case(),
-        _scenario_self_comparison("Edge", "edge", "mini_edge"),
-        _scenario_self_comparison("Service Provider", "service_provider",
-                                  "mini_service_provider"),
-        _scenario_self_comparison("Datacenter", "datacenter", "mini_datacenter"),
-        _scenario_self_comparison("Enterprise", "enterprise", "mini_enterprise"),
+        _registry_scenario_case("Edge", "edge", "mini_edge"),
+        _registry_scenario_case("Service Provider", "service_provider",
+                                "mini_service_provider"),
+        _registry_scenario_case("Datacenter", "datacenter", "mini_datacenter"),
+        _registry_scenario_case("Enterprise", "enterprise", "mini_enterprise"),
+        _registry_scenario_case("VXLAN/GRE Tunneling", "vxlan_gre", "mini_vxlan_gre"),
+        _registry_scenario_case("IPv6 Extension Chain", "ipv6_ext", "mini_ipv6_ext"),
+        _registry_scenario_case("QinQ Double Tagging", "qinq", "mini_qinq"),
+        _registry_scenario_case("ARP/ICMP Control Plane", "arp_icmp", "mini_arp_icmp"),
         _translation_validation_case(),
     ]
     return {study.name: study for study in studies}

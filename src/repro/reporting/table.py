@@ -48,10 +48,13 @@ def _rows(cases: Sequence[CaseMetrics]) -> List[List[str]]:
     return rows
 
 
-def render_text(cases: Sequence[CaseMetrics], title: Optional[str] = None) -> str:
-    """Fixed-width text table (printed by the benchmark harness)."""
-    headers = [label for label, _ in _COLUMNS]
-    rows = _rows(cases)
+def render_fixed_width(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                       title: Optional[str] = None) -> str:
+    """A fixed-width text table: header line, dashed rule, one line per row.
+
+    The shared renderer behind the Table 2 output, the oracle-suite summary
+    and ``scenarios list``.
+    """
     widths = [len(h) for h in headers]
     for row in rows:
         for index, cell in enumerate(row):
@@ -64,6 +67,12 @@ def render_text(cases: Sequence[CaseMetrics], title: Optional[str] = None) -> st
     for row in rows:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_text(cases: Sequence[CaseMetrics], title: Optional[str] = None) -> str:
+    """Fixed-width text table (printed by the benchmark harness)."""
+    headers = [label for label, _ in _COLUMNS]
+    return render_fixed_width(headers, _rows(cases), title=title)
 
 
 def render_markdown(cases: Sequence[CaseMetrics], title: Optional[str] = None) -> str:

@@ -1,0 +1,45 @@
+"""Tagged scenario registry: the single source of truth for workloads.
+
+``repro.scenarios`` enumerates every benchmark scenario — the parser-gen
+deployment graphs and the real-world protocol-family pairs — with tags
+(family, size, expected verdict, kind) and builders.  The CLI
+(``repro scenarios list/show/run``), the Table 2 runner, the differential
+oracle suite, the benchmarks and the generated catalog docs all consume this
+registry; see :mod:`repro.scenarios.registry` for the API and
+:mod:`repro.scenarios.catalog` for the registered population.
+"""
+
+from . import catalog  # noqa: F401  (populates the registry on import)
+from .registry import (
+    FAMILIES,
+    KINDS,
+    SIZES,
+    VERDICTS,
+    Scenario,
+    ScenarioLookupError,
+    ScenarioRegistrationError,
+    filter_scenarios,
+    get,
+    mini_names,
+    names,
+    pair,
+    register,
+    scenarios,
+)
+
+__all__ = [
+    "FAMILIES",
+    "KINDS",
+    "SIZES",
+    "VERDICTS",
+    "Scenario",
+    "ScenarioLookupError",
+    "ScenarioRegistrationError",
+    "filter_scenarios",
+    "get",
+    "mini_names",
+    "names",
+    "pair",
+    "register",
+    "scenarios",
+]

@@ -1,0 +1,148 @@
+"""The scenario catalog: every registered workload, tagged.
+
+Importing this module populates the registry with
+
+* the eight parser-gen deployment scenarios of Gibb et al. (full and mini),
+  checked as self-comparisons and against their compiled hardware tables, and
+* four real-world protocol families, each contributing an *equivalent*
+  reference/refactoring pair and a deliberately *inequivalent* broken variant
+  at both scales:
+
+  - ``vxlan_gre`` — VXLAN-over-UDP and GRE tunnel decapsulation (fused
+    block extraction vs. one state per header; the broken variant skips
+    payload-type validation after decap);
+  - ``ipv6_ext`` — IPv6 extension-header chains (routing states unrolled per
+    predecessor; the broken variant drops the RFC 8200 "Hop-by-Hop only
+    first" rule);
+  - ``qinq`` — 802.1ad QinQ double tagging (both tags fused into one
+    extraction; the broken variant admits an S-tag without a C-tag);
+  - ``arp_icmp`` — ARP/ICMP control-plane punting (selector-first split
+    extraction; the broken variant loses its opcode and unreachable-stub
+    checks).
+
+The generated catalog table in the README and ``repro scenarios list`` are
+rendered straight from this registry.
+"""
+
+from __future__ import annotations
+
+from ..parsergen import scenarios as parsergen_scenarios
+from ..protocols import arp_icmp, ipv6_ext, qinq, vxlan_gre
+from .registry import pair, register
+
+# ---------------------------------------------------------------------------
+# Parser-gen deployment scenarios (graph kind, verified as self-comparisons)
+# ---------------------------------------------------------------------------
+
+_GRAPHS = (
+    ("edge", "edge", "full", parsergen_scenarios.edge_router,
+     "Gateway router: VLANs, a two-deep MPLS stack, GRE tunnelling."),
+    ("service_provider", "service-provider", "full", parsergen_scenarios.service_provider,
+     "Core router: a four-deep MPLS label stack in front of the IP payload."),
+    ("datacenter", "datacenter", "full", parsergen_scenarios.datacenter,
+     "Top-of-rack switch: VLAN, IPv4/IPv6, VXLAN tunnelling to an inner stack."),
+    ("enterprise", "enterprise", "full", parsergen_scenarios.enterprise,
+     "Campus router: Ethernet, up to two VLAN tags, IPv4/IPv6, L4."),
+    ("mini_edge", "edge", "mini", parsergen_scenarios.mini_edge,
+     "Edge-shaped mini graph: an MPLS-like tag stack in front of IP."),
+    ("mini_service_provider", "service-provider", "mini",
+     parsergen_scenarios.mini_service_provider,
+     "ServiceProvider-shaped mini graph: an MPLS-like stack of depth two."),
+    ("mini_datacenter", "datacenter", "mini", parsergen_scenarios.mini_datacenter,
+     "Datacenter-shaped mini graph: a VXLAN-like tunnel to an inner stack."),
+    ("mini_enterprise", "enterprise", "mini", parsergen_scenarios.mini_enterprise,
+     "Enterprise-shaped mini graph: VLAN, IPv4/IPv6, L4."),
+)
+
+for _name, _family, _size, _builder, _description in _GRAPHS:
+    register(
+        name=_name, family=_family, size=_size, verdict="equivalent",
+        kind="graph", description=_description,
+    )(_builder)
+
+
+# ---------------------------------------------------------------------------
+# Protocol-family pairs (pair kind, expected verdict per variant)
+# ---------------------------------------------------------------------------
+
+def _register_family(
+    stem: str,
+    family: str,
+    module,
+    full_equivalent,
+    full_broken,
+    mini_equivalent,
+    mini_broken,
+    equivalent_description: str,
+    broken_description: str,
+) -> None:
+    """One protocol family: equivalent + broken pairs at both scales."""
+    start = module.START
+    for scale, equivalent, broken in (
+        ("full", full_equivalent, full_broken),
+        ("mini", mini_equivalent, mini_broken),
+    ):
+        prefix = "" if scale == "full" else "mini_"
+        register(
+            name=f"{prefix}{stem}", family=family, size=scale,
+            verdict="equivalent", kind="pair",
+            description=equivalent_description,
+        )(pair(*equivalent(start)))
+        register(
+            name=f"{prefix}{stem}_broken", family=family, size=scale,
+            verdict="not_equivalent", kind="pair",
+            description=broken_description,
+        )(pair(*broken(start)))
+
+
+def _sides(left, right):
+    return lambda start: (left, start, right, start)
+
+
+_register_family(
+    "vxlan_gre", "tunnel", vxlan_gre,
+    _sides(vxlan_gre.reference_parser, vxlan_gre.fused_parser),
+    _sides(vxlan_gre.reference_parser, vxlan_gre.broken_parser),
+    _sides(vxlan_gre.mini_reference, vxlan_gre.mini_fused),
+    _sides(vxlan_gre.mini_reference, vxlan_gre.mini_broken),
+    "VXLAN-over-UDP and GRE decapsulation: per-header reference vs. "
+    "decap-fused block extraction.",
+    "Tunnel decapsulation that skips inner payload-type validation "
+    "(accepts non-IPv4 payloads).",
+)
+
+_register_family(
+    "ipv6_ext", "edge", ipv6_ext,
+    _sides(ipv6_ext.reference_parser, ipv6_ext.unrolled_parser),
+    _sides(ipv6_ext.reference_parser, ipv6_ext.broken_parser),
+    _sides(ipv6_ext.mini_reference, ipv6_ext.mini_unrolled),
+    _sides(ipv6_ext.mini_reference, ipv6_ext.mini_broken),
+    "IPv6 extension-header chains (hbh/routing/fragment): shared-state "
+    "reference vs. per-predecessor unrolled routing states.",
+    "Extension-chain parser that drops the RFC 8200 'Hop-by-Hop only "
+    "first' ordering rule.",
+)
+
+_register_family(
+    "qinq", "service-provider", qinq,
+    _sides(qinq.reference_parser, qinq.fused_parser),
+    _sides(qinq.reference_parser, qinq.broken_parser),
+    _sides(qinq.mini_reference, qinq.mini_fused),
+    _sides(qinq.mini_reference, qinq.mini_broken),
+    "802.1ad QinQ double tagging: per-tag reference vs. both tags fused "
+    "into one extraction.",
+    "QinQ parser that admits an S-tag directly followed by IPv4 (no "
+    "C-tag required).",
+)
+
+_register_family(
+    "arp_icmp", "enterprise", arp_icmp,
+    _sides(arp_icmp.reference_parser, arp_icmp.split_parser),
+    _sides(arp_icmp.reference_parser, arp_icmp.broken_parser),
+    _sides(arp_icmp.mini_reference, arp_icmp.mini_split),
+    _sides(arp_icmp.mini_reference, arp_icmp.mini_broken),
+    "ARP/ICMP control-plane punting: block extraction vs. selector-first "
+    "split extraction.",
+    "Punt-path parser missing its validity checks (any ARP opcode; "
+    "unreachable without the original-datagram stub).",
+)

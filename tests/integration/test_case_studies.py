@@ -33,12 +33,17 @@ class TestRunnerRegistry:
             "Service Provider",
             "Datacenter",
             "Enterprise",
+            "VXLAN/GRE Tunneling",
+            "IPv6 Extension Chain",
+            "QinQ Double Tagging",
+            "ARP/ICMP Control Plane",
             "Translation Validation",
         }
 
     def test_categories(self):
         registry = case_studies()
         assert registry["Edge"].category == "applicability"
+        assert registry["QinQ Double Tagging"].category == "applicability"
         assert registry["Speculative loop"].category == "utility"
         assert registry["Translation Validation"].category == "translation-validation"
 
@@ -61,7 +66,17 @@ def test_utility_case_study_proves(name):
     assert outcome.metrics.total_bits > 0
 
 
-@pytest.mark.parametrize("name", ["Edge", "Enterprise"])
+@pytest.mark.parametrize(
+    "name",
+    [
+        "Edge",
+        "Enterprise",
+        "VXLAN/GRE Tunneling",
+        "IPv6 Extension Chain",
+        "QinQ Double Tagging",
+        "ARP/ICMP Control Plane",
+    ],
+)
 def test_applicability_case_study_proves(name):
     outcome = case_studies()[name](full=False, config=QUICK_CONFIG)
     assert outcome.verdict is True

@@ -74,6 +74,52 @@ class TestCli:
         assert "ethernet" in output and "Match:" in output
 
 
+class TestScenariosCli:
+    def test_list_all(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "mini_vxlan_gre" in output and "not_equivalent" in output
+
+    def test_list_filtered_json(self, capsys):
+        import json
+
+        assert main(["scenarios", "list", "--family", "tunnel",
+                     "--size", "mini", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert {r["name"] for r in records} == {
+            "mini_vxlan_gre", "mini_vxlan_gre_broken",
+        }
+        assert all(r["states"] > 0 and r["header_bits"] > 0 for r in records)
+
+    def test_show(self, capsys):
+        assert main(["scenarios", "show", "mini_qinq_broken"]) == 0
+        output = capsys.readouterr().out
+        assert "service-provider" in output and "not_equivalent" in output
+
+    def test_run_matches_equivalent_expectation(self, capsys):
+        assert main(["scenarios", "run", "mini_qinq"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_run_matches_inequivalent_expectation(self, capsys):
+        assert main(["scenarios", "run", "mini_arp_icmp_broken"]) == 0
+        output = capsys.readouterr().out
+        assert "REFUTED" in output and "OK" in output
+
+    def test_unknown_scenario_suggests_near_miss(self, capsys):
+        assert main(["scenarios", "show", "mini_qinc"]) == 2
+        assert "mini_qinq" in capsys.readouterr().err
+
+    def test_run_without_counterexample_explains_missing_verdict(self, capsys):
+        code = main(["scenarios", "run", "mini_qinq_broken", "--no-counterexample"])
+        assert code == 2
+        assert "--no-counterexample" in capsys.readouterr().out
+
+    def test_dump_scenario_rejects_pair_scenarios(self, capsys):
+        assert main(["dump-scenario", "mini_qinq"]) == 2
+        err = capsys.readouterr().err
+        assert "automaton pair" in err and "scenarios show" in err
+
+
 class TestOracleCli:
     def test_check_with_oracle_packets(self, tmp_path, capsys):
         left = tmp_path / "left.p4a"

@@ -132,15 +132,27 @@ class TestVerdictIntegration:
 
 
 class TestSuite:
-    def test_all_mini_scenarios_zero_divergences(self):
+    def test_all_mini_scenarios_match_expectations(self):
         rows = run_differential_suite(
             names=mini_scenario_names(), packets=60, seed=20220613
         )
-        assert len(rows) == 4
+        # Four mini graphs plus the four protocol families' pairs (each an
+        # equivalent and a broken variant).
+        assert len(rows) == 12
         assert all(row.ok for row in rows), render_suite(rows)
-        # Both the self- and the translation cross-check must actually run.
-        assert all(row.translation_report is not None for row in rows)
-        assert all(row.self_report.accepted_left > 0 for row in rows)
+        graph_rows = [row for row in rows if row.kind == "graph"]
+        pair_rows = [row for row in rows if row.kind == "pair"]
+        assert len(graph_rows) == 4 and len(pair_rows) == 8
+        # Both the self- and the translation cross-check must actually run on
+        # graph scenarios; pair scenarios have no hardware translation.
+        assert all(row.translation_report is not None for row in graph_rows)
+        assert all(row.translation_report is None for row in pair_rows)
+        assert all(row.self_report.accepted_left > 0 for row in graph_rows)
+        # Expected-inequivalent rows must demonstrate a divergence (fuzzed or
+        # recovered by the symbolic fallback).
+        for row in pair_rows:
+            if not row.expected_equivalent:
+                assert row.divergences > 0, render_suite(rows)
 
     def test_full_scenarios_sampled_cleanly(self):
         rows = run_differential_suite(names=["edge"], packets=30, seed=1)

@@ -1,0 +1,188 @@
+"""Invariants of the tagged scenario registry and its catalog population."""
+
+import pytest
+
+from repro.oracle.differential import cross_check
+from repro.p4a.typing import check_automaton
+from repro.scenarios import (
+    FAMILIES,
+    KINDS,
+    SIZES,
+    VERDICTS,
+    ScenarioLookupError,
+    ScenarioRegistrationError,
+    filter_scenarios,
+    get,
+    mini_names,
+    names,
+    register,
+    scenarios,
+)
+
+NEW_FAMILY_STEMS = ("vxlan_gre", "ipv6_ext", "qinq", "arp_icmp")
+
+
+class TestEnumeration:
+    def test_catalog_breadth(self):
+        assert len(names()) >= 16
+
+    def test_legacy_parser_gen_scenarios_present(self):
+        assert set(names()) >= {
+            "edge", "service_provider", "datacenter", "enterprise",
+            "mini_edge", "mini_service_provider", "mini_datacenter",
+            "mini_enterprise",
+        }
+
+    def test_all_new_families_present_at_both_scales(self):
+        for stem in NEW_FAMILY_STEMS:
+            for name in (stem, f"{stem}_broken",
+                         f"mini_{stem}", f"mini_{stem}_broken"):
+                assert name in names(), name
+
+    def test_every_family_tag_is_populated(self):
+        populated = {scenario.family for scenario in scenarios()}
+        assert populated == set(FAMILIES)
+
+    def test_mini_names_are_exactly_the_mini_tagged(self):
+        assert mini_names() == [s.name for s in scenarios() if s.size == "mini"]
+
+
+class TestTags:
+    def test_tags_complete_and_valid(self):
+        for scenario in scenarios():
+            assert scenario.family in FAMILIES, scenario.name
+            assert scenario.size in SIZES, scenario.name
+            assert scenario.verdict in VERDICTS, scenario.name
+            assert scenario.kind in KINDS, scenario.name
+            assert scenario.description, scenario.name
+
+    def test_broken_variants_expect_refutation(self):
+        for scenario in scenarios():
+            expected = not scenario.name.endswith("_broken")
+            assert scenario.expected_equivalent is expected, scenario.name
+
+    def test_graph_scenarios_expose_graphs_pairs_do_not(self):
+        for scenario in scenarios():
+            graph = scenario.graph()
+            if scenario.kind == "graph":
+                assert graph is not None and graph.nodes, scenario.name
+            else:
+                assert graph is None, scenario.name
+
+    def test_filtering_by_tags(self):
+        tunnel_minis = filter_scenarios(family="tunnel", size="mini")
+        assert {s.name for s in tunnel_minis} == {
+            "mini_vxlan_gre", "mini_vxlan_gre_broken",
+        }
+        assert all(
+            s.verdict == "not_equivalent"
+            for s in filter_scenarios(verdict="not_equivalent")
+        )
+        assert filter_scenarios(kind="graph", size="mini") == filter_scenarios(
+            size="mini", kind="graph"
+        )
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("name", [s.name for s in scenarios()])
+    def test_every_scenario_type_checks(self, name):
+        """Both sides of every registered scenario satisfy ⊢A, and the start
+        states exist."""
+        scenario = get(name)
+        left, left_start, right, right_start = scenario.automata()
+        check_automaton(left)
+        check_automaton(right)
+        assert left_start in left.states
+        assert right_start in right.states
+
+    def test_structure_is_cached_and_consistent(self):
+        scenario = get("mini_qinq")
+        first = scenario.structure()
+        assert scenario.structure() is first
+        states, header_bits, branched_bits = first
+        assert states > 0 and header_bits > 0 and branched_bits > 0
+
+
+class TestLookup:
+    def test_lookup_error_names_near_misses(self):
+        with pytest.raises(ScenarioLookupError) as excinfo:
+            get("mini_vxlan_gr")
+        assert "mini_vxlan_gre" in str(excinfo.value)
+
+    def test_lookup_error_without_near_miss_lists_known(self):
+        with pytest.raises(ScenarioLookupError) as excinfo:
+            get("zzzzzz")
+        assert "known:" in str(excinfo.value)
+
+    def test_lookup_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            get("metro")
+
+    def test_legacy_scenario_function_delegates_to_registry(self):
+        from repro.parsergen import scenario
+
+        graph = scenario("mini_edge")
+        assert graph.name == "mini_edge"
+        with pytest.raises(ValueError):
+            scenario("metro")
+        # Pair scenarios have no parse graph to return.
+        with pytest.raises(ValueError, match="not a parse graph"):
+            scenario("mini_qinq")
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ScenarioRegistrationError, match="already registered"):
+            register(
+                family="edge", size="mini", verdict="equivalent",
+                kind="graph", name="mini_edge", description="dup",
+            )(lambda: None)
+
+    def test_invalid_tags_rejected(self):
+        with pytest.raises(ScenarioRegistrationError, match="family"):
+            register(family="metro", size="mini", verdict="equivalent",
+                     description="x")
+        with pytest.raises(ScenarioRegistrationError, match="size"):
+            register(family="edge", size="medium", verdict="equivalent",
+                     description="x")
+        with pytest.raises(ScenarioRegistrationError, match="verdict"):
+            register(family="edge", size="mini", verdict="maybe",
+                     description="x")
+        with pytest.raises(ScenarioRegistrationError, match="kind"):
+            register(family="edge", size="mini", verdict="equivalent",
+                     kind="dag", description="x")
+
+    def test_missing_description_rejected(self):
+        with pytest.raises(ScenarioRegistrationError, match="description"):
+            register(
+                family="edge", size="mini", verdict="equivalent",
+                kind="pair", name="no_description_scenario",
+            )(lambda: None)
+
+
+class TestNewFamilyOracleSmoke:
+    """Fixed-seed differential smoke over every new mini protocol pair."""
+
+    SEED = 20220613
+    PACKETS = 200
+
+    @pytest.mark.parametrize("stem", NEW_FAMILY_STEMS)
+    def test_equivalent_mini_pair_has_no_divergence(self, stem):
+        left, left_start, right, right_start = get(f"mini_{stem}").automata()
+        report = cross_check(
+            left, left_start, right, right_start,
+            packets=self.PACKETS, seed=self.SEED,
+        )
+        assert report.total_divergences == 0
+        assert report.accepted_left > 0, "sampler never reached acceptance"
+
+    @pytest.mark.parametrize("stem", NEW_FAMILY_STEMS)
+    def test_broken_mini_pair_diverges_in_suite(self, stem):
+        from repro.oracle.suite import run_differential_suite
+
+        [row] = run_differential_suite(
+            names=[f"mini_{stem}_broken"], packets=self.PACKETS, seed=self.SEED
+        )
+        assert row.ok
+        assert row.divergences > 0
+        assert not row.expected_equivalent

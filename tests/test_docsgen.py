@@ -1,0 +1,93 @@
+"""The generated documentation must match the code it is derived from."""
+
+import pytest
+
+from repro import docsgen
+
+ROOT = docsgen.repo_root()
+
+
+class TestDrift:
+    def test_repo_root_is_the_checkout(self):
+        assert (ROOT / "src" / "repro" / "docsgen.py").exists()
+
+    def test_cli_reference_is_up_to_date(self):
+        generated = docsgen.render_cli_markdown()
+        on_disk = (ROOT / "docs" / "cli.md").read_text()
+        assert on_disk == generated, (
+            "docs/cli.md drifted from the argparse tree; "
+            "regenerate with `python -m repro.docsgen`"
+        )
+
+    def test_readme_catalog_is_up_to_date(self):
+        readme = (ROOT / "README.md").read_text()
+        assert readme == docsgen.inject_catalog(readme), (
+            "the README scenario catalog drifted from the registry; "
+            "regenerate with `python -m repro.docsgen`"
+        )
+
+    def test_check_drift_reports_clean_tree(self):
+        assert docsgen.check_drift(ROOT) == []
+
+    def test_check_mode_exit_codes(self, tmp_path, capsys):
+        assert docsgen.main(["--check", "--check-links"]) == 0
+        capsys.readouterr()
+        # A stale copy of the tree must fail the check.
+        stale_root = tmp_path / "repo"
+        (stale_root / "docs").mkdir(parents=True)
+        (stale_root / "README.md").write_text(
+            f"x\n{docsgen.CATALOG_BEGIN}\nstale\n{docsgen.CATALOG_END}\n"
+        )
+        (stale_root / "docs" / "cli.md").write_text("stale\n")
+        assert docsgen.main(["--check", "--root", str(stale_root)]) == 1
+        assert "stale" in capsys.readouterr().out
+
+
+class TestContent:
+    def test_cli_reference_covers_every_subcommand(self):
+        page = docsgen.render_cli_markdown()
+        for command in ("check", "table", "list", "scenarios", "oracle",
+                        "dump-scenario"):
+            assert f"`leapfrog-repro {command}`" in page
+        for nested in ("scenarios list", "scenarios show", "scenarios run"):
+            assert f"`leapfrog-repro {nested}`" in page
+        assert "--oracle-packets N" in page
+
+    def test_catalog_covers_every_registered_scenario(self):
+        from repro.scenarios import names
+
+        table = docsgen.render_catalog_markdown()
+        for name in names():
+            assert f"`{name}`" in table
+
+    def test_catalog_rows_carry_structure_columns(self):
+        from repro.scenarios import get
+
+        states, header_bits, _ = get("mini_qinq").structure()
+        table = docsgen.render_catalog_markdown()
+        row = next(line for line in table.splitlines() if "`mini_qinq`" in line)
+        assert f"| {states} |" in row and f"| {header_bits} |" in row
+
+    def test_inject_requires_markers(self):
+        with pytest.raises(ValueError, match="markers"):
+            docsgen.inject_catalog("no markers here")
+
+
+class TestLinks:
+    def test_all_relative_links_resolve(self):
+        assert docsgen.check_links(ROOT) == []
+
+    def test_broken_link_detected(self, tmp_path):
+        root = tmp_path / "repo"
+        (root / "docs").mkdir(parents=True)
+        (root / "README.md").write_text("[dead](docs/missing.md)\n")
+        broken = docsgen.check_links(root)
+        assert broken and broken[0][1] == "docs/missing.md"
+
+    def test_external_and_anchor_links_ignored(self, tmp_path):
+        root = tmp_path / "repo"
+        root.mkdir()
+        (root / "README.md").write_text(
+            "[a](https://example.org) [b](#section) [c](mailto:x@y.z)\n"
+        )
+        assert docsgen.check_links(root) == []
