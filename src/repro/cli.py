@@ -11,6 +11,9 @@
   verify a scenario against its expected verdict;
 * ``oracle`` — run the differential concrete-oracle fuzz suite over the
   registered scenarios and write reproducible divergence reports;
+* ``synth emit/run`` — synthesize seeded automaton pairs with known
+  ground-truth verdicts and (``run``) check that the engine agrees with
+  every label;
 * ``dump-scenario NAME`` — print a parser-gen scenario as a P4 automaton (and
   optionally its compiled hardware table).
 """
@@ -38,6 +41,14 @@ def _jobs_argument(value: str) -> int:
     """argparse type for ``--jobs``: a validated positive integer."""
     try:
         return envconfig.parse_jobs(value, source="--jobs")
+    except envconfig.EnvConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _count_argument(value: str) -> int:
+    """argparse type for ``--count``: a validated positive integer."""
+    try:
+        return envconfig.parse_jobs(value, source="--count")
     except envconfig.EnvConfigError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -213,6 +224,56 @@ def _build_parser() -> argparse.ArgumentParser:
     oracle.add_argument(
         "--no-translation", action="store_true",
         help="skip the compiled-hardware translation cross-check",
+    )
+
+    synth = sub.add_parser(
+        "synth",
+        help="synthesize seeded automaton pairs with known ground-truth verdicts",
+    )
+    synth_sub = synth.add_subparsers(dest="synth_command", required=True)
+
+    def _add_synth_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--count", type=_count_argument, default=20, metavar="N",
+            help="number of pairs to synthesize (default: 20)",
+        )
+        subparser.add_argument(
+            "--seed", type=_seed_argument, default=None, metavar="S",
+            help="base seed; pair i uses seed S+i (default: LEAPFROG_SEED or 0)",
+        )
+        subparser.add_argument(
+            "--size", choices=("mini", "full"), default="mini",
+            help="generator envelope (default: mini)",
+        )
+        subparser.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+
+    synth_emit = synth_sub.add_parser(
+        "emit", help="synthesize pairs and print them without checking"
+    )
+    _add_synth_arguments(synth_emit)
+    synth_emit.add_argument(
+        "--pretty", action="store_true",
+        help="also print both automata of every pair in surface syntax",
+    )
+
+    synth_run = synth_sub.add_parser(
+        "run",
+        help="synthesize pairs, check each with the engine and compare "
+             "against the ground-truth label (exit 0 when all agree)",
+    )
+    _add_synth_arguments(synth_run)
+    synth_run.add_argument(
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help="check pairs across N worker processes "
+             "(default: LEAPFROG_JOBS or 1, sequential)",
+    )
+    synth_run.add_argument(
+        "--oracle-packets", type=_oracle_argument, default=None, metavar="N",
+        help="cross-check every verdict against N seeded concrete packets "
+             f"(default: LEAPFROG_ORACLE or {envconfig.DEFAULT_ORACLE_PACKETS}; "
+             "0 disables)",
     )
 
     dump = sub.add_parser("dump-scenario", help="print a parser-gen scenario as a P4 automaton")
@@ -432,6 +493,152 @@ def _command_scenarios_run(args: argparse.Namespace, registry) -> int:
     return 1
 
 
+def _command_synth(args: argparse.Namespace) -> int:
+    import json
+
+    from .synth import config_for_size, synthesize_batch
+
+    seed = args.seed if args.seed is not None else envconfig.seed_from_env()
+    seed = seed if seed is not None else 0
+    pairs = synthesize_batch(args.count, seed, config=config_for_size(args.size))
+    if args.synth_command == "emit":
+        return _synth_emit(args, pairs, seed, json)
+    return _synth_run(args, pairs, seed, json)
+
+
+def _synth_emit(args: argparse.Namespace, pairs, seed: int, json) -> int:
+    if args.json:
+        records = []
+        for pair in pairs:
+            record = pair.as_dict()
+            record["left"] = pretty(pair.left)
+            record["right"] = pretty(pair.right)
+            record["left_start"] = pair.left_start
+            record["right_start"] = pair.right_start
+            records.append(record)
+        print(json.dumps({"seed": seed, "size": args.size, "pairs": records},
+                         indent=2))
+        return 0
+    print(_render_synth_table(pairs))
+    print(f"\n{len(pairs)} pair(s) from seed {seed} ({args.size})")
+    if args.pretty:
+        for pair in pairs:
+            print(f"\n// {pair.name}: expected {pair.verdict}, "
+                  f"transforms: {', '.join(pair.transforms) or '(none)'}")
+            print(f"// left start {pair.left_start}")
+            print(pretty(pair.left))
+            print(f"// right start {pair.right_start}")
+            print(pretty(pair.right))
+    return 0
+
+
+def _render_synth_table(pairs, observations=None) -> str:
+    from .reporting.table import render_fixed_width
+
+    headers = ["Pair", "Seed", "States", "Bits", "Expected", "Transforms"]
+    if observations is not None:
+        headers += ["Observed", "Oracle div/pkts", "Agree"]
+    table = []
+    for index, pair in enumerate(pairs):
+        states, bits = pair.structure()
+        row = [
+            pair.name, str(pair.seed), str(states), str(bits),
+            "equiv" if pair.expected_equivalent else "inequiv",
+            ",".join(pair.transforms),
+        ]
+        if observations is not None:
+            observed, oracle_cell, agree = observations[index]
+            row += [observed, str(oracle_cell), "yes" if agree else "NO"]
+        table.append(row)
+    return render_fixed_width(tuple(headers), table)
+
+
+def _synth_run(args: argparse.Namespace, pairs, seed: int, json) -> int:
+    """Check every synthesized pair against its ground-truth label.
+
+    Exit codes match ``scenarios run``: 0 when every engine verdict agrees
+    with the synthesizer's label (and the concrete oracle contradicts no
+    proof), 1 on a disagreement, 2 when any pair gets no verdict at all.
+    """
+    from .core.engine import EquivalenceEngine, EquivalenceJob
+
+    jobs = args.jobs if args.jobs is not None else envconfig.jobs_from_env()
+    packets = (
+        args.oracle_packets if args.oracle_packets is not None
+        else envconfig.oracle_packets_from_env()
+    )
+    if packets is None:
+        packets = envconfig.DEFAULT_ORACLE_PACKETS
+    # The oracle rides on each verdict inside the worker (a proved pair that
+    # diverges concretely fails its job), so --jobs parallelizes the
+    # concrete replays along with the symbolic checks.
+    engine = EquivalenceEngine(
+        jobs=jobs,
+        oracle_packets=packets or None,
+        oracle_seed=seed if packets else None,
+    )
+    results = engine.run([
+        EquivalenceJob(
+            pair.left, pair.left_start, pair.right, pair.right_start,
+            find_counterexamples=True, job_id=pair.name,
+        )
+        for pair in pairs
+    ])
+
+    observations = []
+    mismatches = 0
+    stuck = 0
+    for pair, result in zip(pairs, results):
+        if not result.ok:
+            # Includes the oracle contradicting a proof (the worker raises).
+            observations.append((result.status, "-", False))
+            stuck += 1
+            continue
+        verdict = result.value.verdict
+        if verdict is None:
+            observed = "unknown"
+        else:
+            observed = "equivalent" if verdict else "not_equivalent"
+        oracle = result.value.statistics.oracle
+        fuzzed = oracle.get("packets", 0)
+        divergences = oracle.get("divergences", 0)
+        oracle_cell = f"{divergences}/{fuzzed}" if fuzzed else "-"
+        agree = observed == pair.verdict
+        # A broken pair's stored witness must still replay its divergence.
+        if not pair.expected_equivalent:
+            agree = agree and pair.replay_witness()
+        observations.append((observed, oracle_cell, agree))
+        if not agree:
+            if observed == "unknown":
+                stuck += 1
+            else:
+                mismatches += 1
+
+    agreeing = sum(1 for _, _, agree in observations if agree)
+    summary = (
+        f"{agreeing}/{len(pairs)} verdicts agree with ground truth "
+        f"(seed {seed}, size {args.size}, oracle {packets} packets)"
+    )
+    if args.json:
+        print(json.dumps({
+            "seed": seed, "size": args.size, "oracle_packets": packets,
+            "agreeing": agreeing, "pairs": [
+                {**pair.as_dict(), "observed": observed,
+                 "oracle": oracle_cell, "agree": agree}
+                for pair, (observed, oracle_cell, agree)
+                in zip(pairs, observations)
+            ],
+        }, indent=2))
+    else:
+        print(_render_synth_table(pairs, observations))
+        print(f"\n{summary}")
+    if mismatches:
+        return 1
+    if stuck:
+        return 2
+    return 0
+
+
 def _command_dump_scenario(args: argparse.Namespace) -> int:
     info = _scenario_registry().get(args.name)
     graph = info.graph()
@@ -459,6 +666,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _command_list,
         "scenarios": _command_scenarios,
         "oracle": _command_oracle,
+        "synth": _command_synth,
         "dump-scenario": _command_dump_scenario,
     }
     try:

@@ -234,6 +234,7 @@ def case_studies() -> Dict[str, CaseStudy]:
         _registry_scenario_case("IPv6 Extension Chain", "ipv6_ext", "mini_ipv6_ext"),
         _registry_scenario_case("QinQ Double Tagging", "qinq", "mini_qinq"),
         _registry_scenario_case("ARP/ICMP Control Plane", "arp_icmp", "mini_arp_icmp"),
+        _registry_scenario_case("Synthetic Cascade", "synthetic", "mini_synthetic"),
         _translation_validation_case(),
     ]
     return {study.name: study for study in studies}

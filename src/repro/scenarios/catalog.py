@@ -20,6 +20,14 @@ Importing this module populates the registry with
     extraction; the broken variant loses its opcode and unreachable-stub
     checks).
 
+* the ``synthetic`` family: fixed-seed representatives of the mutation-based
+  synthesizer (:mod:`repro.synth`) at both scales — an equivalence-preserving
+  rewrite chain of a generated select cascade, and a variant carrying one
+  witness-confirmed verdict-breaking mutation.  ``repro synth run`` draws
+  unboundedly many more of these; the registered rows pin two seeds so the
+  oracle suite, the Table 2 runner and CI cover the synthesizer's output like
+  any hand-written scenario.
+
 The generated catalog table in the README and ``repro scenarios list`` are
 rendered straight from this registry.
 """
@@ -146,3 +154,38 @@ _register_family(
     "Punt-path parser missing its validity checks (any ARP opcode; "
     "unreachable without the original-datagram stub).",
 )
+
+
+# ---------------------------------------------------------------------------
+# Synthetic family (fixed-seed draws from the mutation-based synthesizer)
+# ---------------------------------------------------------------------------
+
+#: The seed behind the registered synthetic scenarios (PLDI 2022; the same
+#: fixed seed the CI smoke jobs use).  Any fixed value works.
+SYNTH_SEED = 20220613
+
+
+def _synthetic_builder(size: str, verdict: str):
+    def build():
+        from ..synth import config_for_size, synthesize_pair
+
+        return synthesize_pair(
+            SYNTH_SEED, config=config_for_size(size), verdict=verdict
+        ).automata()
+
+    return build
+
+
+for _size, _prefix in (("full", ""), ("mini", "mini_")):
+    register(
+        name=f"{_prefix}synthetic", family="synthetic", size=_size,
+        verdict="equivalent", kind="pair",
+        description=f"Seed {SYNTH_SEED}: generated select cascade vs. an "
+                    "equivalence-preserving rewrite chain of it.",
+    )(_synthetic_builder(_size, "equivalent"))
+    register(
+        name=f"{_prefix}synthetic_broken", family="synthetic", size=_size,
+        verdict="not_equivalent", kind="pair",
+        description=f"Seed {SYNTH_SEED}: generated select cascade vs. a "
+                    "variant with one witness-confirmed breaking mutation.",
+    )(_synthetic_builder(_size, "not_equivalent"))

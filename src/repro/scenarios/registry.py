@@ -31,8 +31,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..p4a.syntax import P4Automaton
 
-#: Deployment families a scenario may belong to.
-FAMILIES = ("edge", "datacenter", "enterprise", "service-provider", "tunnel")
+#: Deployment families a scenario may belong to.  ``synthetic`` is the
+#: parametric family: its members are drawn from the seeded mutation-based
+#: synthesizer (:mod:`repro.synth`) rather than written by hand.
+FAMILIES = ("edge", "datacenter", "enterprise", "service-provider", "tunnel", "synthetic")
 #: Scenario scales.
 SIZES = ("mini", "full")
 #: Expected equivalence-check outcomes.

@@ -1,0 +1,63 @@
+"""Mutation-based scenario synthesis.
+
+The subsystem turns a seed into an unbounded supply of equivalence-checking
+workloads with known ground truth:
+
+* :mod:`repro.synth.generator` draws random well-typed select-cascade
+  automata (seeded, width-bounded, validated through ⊢A);
+* :mod:`repro.synth.transforms` rewrites them — equivalence-preserving
+  rewrites for ``equivalent`` pairs, verdict-breaking mutations (confirmed
+  by a concrete witness packet) for ``not_equivalent`` pairs;
+* :mod:`repro.synth.pairs` packages one seed into one self-labeling
+  :class:`SynthesizedPair`;
+* :mod:`repro.synth.strategies` exposes the generator to Hypothesis
+  (imported lazily — everything else works without Hypothesis installed).
+
+Consumers: the ``synthetic`` family of the scenario registry, the
+``repro synth`` CLI subcommand, the certificate-replay and property test
+suites, and ``benchmarks/bench_synth_churn.py``.
+"""
+
+from .generator import (
+    FULL_CONFIG,
+    MINI_CONFIG,
+    GeneratorConfig,
+    SynthesisError,
+    generate_automaton,
+)
+from .pairs import (
+    EQUIVALENT,
+    NOT_EQUIVALENT,
+    SynthesizedPair,
+    config_for_size,
+    synthesize_batch,
+    synthesize_pair,
+)
+from .transforms import (
+    BREAKING_MUTATIONS,
+    EQUIVALENCE_TRANSFORMS,
+    apply_breaking_mutation,
+    apply_equivalence_chain,
+    find_witness,
+    path_packets,
+)
+
+__all__ = [
+    "BREAKING_MUTATIONS",
+    "EQUIVALENCE_TRANSFORMS",
+    "EQUIVALENT",
+    "FULL_CONFIG",
+    "GeneratorConfig",
+    "MINI_CONFIG",
+    "NOT_EQUIVALENT",
+    "SynthesisError",
+    "SynthesizedPair",
+    "apply_breaking_mutation",
+    "apply_equivalence_chain",
+    "config_for_size",
+    "find_witness",
+    "generate_automaton",
+    "path_packets",
+    "synthesize_batch",
+    "synthesize_pair",
+]

@@ -1,0 +1,249 @@
+"""Seeded generation of random well-typed P4 automata.
+
+The generator draws *select cascades*: acyclic automata whose states appear
+in a fixed topological order, each extracting one or two freshly declared
+headers and then either jumping unconditionally or branching on the value of
+the **last header extracted in that state**.  The shape is deliberately
+restricted — it is the shape of every real parser in the scenario catalog —
+and it buys three invariants the rest of :mod:`repro.synth` leans on:
+
+* **well-typedness by construction** (and double-checked through
+  :func:`repro.p4a.typing.check_automaton` before anything is returned);
+* **store independence**: every header examined by a ``select`` is extracted
+  in the same state, so acceptance depends only on the packet.  A concrete
+  witness found under all-zero initial stores therefore refutes language
+  equivalence outright;
+* **direct packet control**: the bits feeding every branch are a known slice
+  of the bits consumed by that state, which lets
+  :func:`repro.synth.transforms.path_packets` enumerate one packet per
+  control path without a solver.
+
+Every draw is driven by a caller-supplied :class:`random.Random`, so a seed
+fully determines the automaton; :class:`GeneratorConfig` bounds the number of
+states, the per-header widths and the total extracted bits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..p4a.bitvec import Bits
+from ..p4a.syntax import (
+    ACCEPT,
+    REJECT,
+    Assign,
+    BVLit,
+    ExactPattern,
+    Extract,
+    Goto,
+    HeaderRef,
+    Op,
+    P4Automaton,
+    Select,
+    SelectCase,
+    State,
+    Transition,
+    WILDCARD,
+)
+from ..p4a.typing import check_automaton
+
+
+class SynthesisError(RuntimeError):
+    """Raised when synthesis cannot satisfy its own invariants."""
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape bounds for the generator.
+
+    ``max_total_bits`` bounds the sum of all declared header widths — the
+    knob that keeps symbolic checks of synthesized pairs in the
+    milliseconds-to-seconds range.
+    """
+
+    min_states: int = 2
+    max_states: int = 5
+    min_header_bits: int = 2
+    max_header_bits: int = 4
+    #: Soft cap on the sum of declared header widths: scratch extracts stop
+    #: once it is reached and goto headers shrink to fit; a select header may
+    #: overshoot by at most its own (small) width when case counts force it.
+    max_total_bits: int = 20
+    max_cases: int = 3
+    wildcard_probability: float = 0.5
+    second_extract_probability: float = 0.25
+    assign_probability: float = 0.25
+    goto_probability: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.min_states < 1 or self.max_states < self.min_states:
+            raise SynthesisError("invalid state bounds")
+        if self.min_header_bits < 1 or self.max_header_bits < self.min_header_bits:
+            raise SynthesisError("invalid header-width bounds")
+        if self.max_cases < 1:
+            raise SynthesisError("max_cases must be >= 1")
+
+
+#: Default configuration: mini-sized automata (seconds with the pure-Python
+#: solver even across hundreds of pairs).
+MINI_CONFIG = GeneratorConfig()
+
+#: Larger automata for the ``full``-tagged synthetic scenarios.
+FULL_CONFIG = GeneratorConfig(
+    min_states=5,
+    max_states=8,
+    min_header_bits=2,
+    max_header_bits=6,
+    max_total_bits=40,
+    max_cases=4,
+)
+
+
+def _select_width(
+    rng: random.Random, config: GeneratorConfig, required: int, budget: int
+) -> int:
+    """A width for a branched-on header: within budget where possible, but
+    always with room for ``required`` exact cases, one spare value (guard
+    flips need a fresh value) and the implicit-reject fall-through."""
+    minimum = max(2, (required + 1).bit_length())
+    drawn = rng.randint(config.min_header_bits, config.max_header_bits)
+    return max(minimum, min(drawn, budget))
+
+
+def generate_automaton(
+    rng: random.Random,
+    config: GeneratorConfig = MINI_CONFIG,
+    name: str = "synth",
+) -> Tuple[P4Automaton, str]:
+    """Draw one well-typed select cascade; returns ``(automaton, start)``.
+
+    Guarantees beyond well-typedness: state ``q0`` is the start, every state
+    is reachable from it, every state can reach ``accept``, every ``select``
+    examines the header extracted last in its own state with pairwise
+    distinct exact patterns, and at most ``2**width - 2`` cases ever occupy a
+    ``width``-bit select (so a fresh non-matching value always exists).
+    """
+    num_states = rng.randint(config.min_states, config.max_states)
+    state_names = [f"q{i}" for i in range(num_states)]
+
+    # A spanning skeleton keeps every state reachable: each state j > 0 gets
+    # one designated parent i < j whose transition must include an edge to j.
+    children: Dict[int, List[int]] = {i: [] for i in range(num_states)}
+    for j in range(1, num_states):
+        children[rng.randrange(j)].append(j)
+
+    headers: Dict[str, int] = {}
+    total_bits = 0
+
+    def declare(prefix: str, index: int, width: int) -> str:
+        nonlocal total_bits
+        header = f"{prefix}{index}"
+        headers[header] = width
+        total_bits += width
+        return header
+
+    states: Dict[str, State] = {}
+    for i in range(num_states):
+        required = [state_names[j] for j in children[i]]
+        # Goto can carry at most one required child edge.
+        use_goto = len(required) <= 1 and rng.random() < config.goto_probability
+        budget_left = max(1, config.max_total_bits - total_bits)
+
+        ops: List[Op] = []
+        if use_goto:
+            width = min(
+                rng.randint(config.min_header_bits, config.max_header_bits),
+                budget_left,
+            )
+            selected = declare("h", i, max(1, width))
+            ops.append(Extract(selected))
+            if required:
+                target = required[0]
+            elif i == num_states - 1:
+                target = ACCEPT
+            else:
+                target = rng.choice(state_names[i + 1 :] + [ACCEPT, REJECT])
+            transition: Transition = Goto(target)
+        else:
+            extra = rng.randint(0, max(0, config.max_cases - len(required) - 1))
+            num_cases = max(1, len(required) + extra)
+            width = _select_width(rng, config, num_cases, budget_left)
+            selected = declare("h", i, width)
+            ops.append(Extract(selected))
+
+            # Distinct exact values; the width guarantees at least two values
+            # stay unused (one for guard flips, one for the implicit reject).
+            values = rng.sample(range(1 << width), num_cases)
+            pool = state_names[i + 1 :] + [ACCEPT, REJECT]
+            targets = list(required)
+            while len(targets) < num_cases:
+                targets.append(rng.choice(pool))
+            rng.shuffle(targets)  # permutes, so required children stay present
+            cases = [
+                SelectCase((ExactPattern(Bits.from_int(value, width)),), target)
+                for value, target in zip(values, targets)
+            ]
+            if rng.random() < config.wildcard_probability:
+                cases.append(SelectCase((WILDCARD,), rng.choice(pool)))
+            transition = Select((HeaderRef(selected),), tuple(cases))
+
+        # Optional scratch extract *before* the selected header so the select
+        # still examines the last extracted header.  Optional assignment to a
+        # previously declared header (never the one being branched on).
+        if rng.random() < config.second_extract_probability and total_bits < config.max_total_bits:
+            scratch = declare("x", i, rng.randint(1, max(1, min(
+                config.max_header_bits, config.max_total_bits - total_bits))))
+            ops.insert(0, Extract(scratch))
+        assignable = [h for h in headers if h != selected]
+        if assignable and rng.random() < config.assign_probability:
+            target_header = rng.choice(assignable)
+            ops.append(Assign(
+                target_header,
+                BVLit(Bits.from_int(
+                    rng.randrange(1 << headers[target_header]),
+                    headers[target_header],
+                )),
+            ))
+
+        states[state_names[i]] = State(state_names[i], tuple(ops), transition)
+
+    _ensure_accept_reachable(states, state_names)
+
+    automaton = P4Automaton(name, headers, states)
+    check_automaton(automaton)
+    return automaton, state_names[0]
+
+
+def _ensure_accept_reachable(states: Dict[str, State], order: List[str]) -> None:
+    """Rewrite final-only dead ends so every state can reach ``accept``.
+
+    Walking in reverse topological order, a state that cannot reach accept
+    can only have final targets (its state targets come later and are already
+    fixed); pointing one of its edges at ``accept`` fixes it without touching
+    the spanning skeleton, which only pins state-to-state edges.
+    """
+    reaches: Dict[str, bool] = {ACCEPT: True, REJECT: False}
+    for name in reversed(order):
+        state = states[name]
+        transition = state.transition
+        if isinstance(transition, Goto):
+            if not reaches.get(transition.target, False):
+                if transition.target in (ACCEPT, REJECT):
+                    transition = Goto(ACCEPT)
+                # A state target that cannot reach accept is impossible here:
+                # later states are processed first and always end up reaching.
+        else:
+            targets = [case.target for case in transition.cases]
+            if not any(reaches.get(target, False) for target in targets):
+                cases = list(transition.cases)
+                index = next(
+                    (k for k, case in enumerate(cases)
+                     if case.target in (ACCEPT, REJECT)),
+                    0,
+                )
+                cases[index] = SelectCase(cases[index].patterns, ACCEPT)
+                transition = Select(transition.exprs, tuple(cases))
+        states[name] = State(state.name, state.ops, transition)
+        reaches[name] = True

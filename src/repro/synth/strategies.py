@@ -1,0 +1,75 @@
+"""Hypothesis strategies over the synthesis subsystem.
+
+The strategies wrap the seeded generator: Hypothesis draws a seed (and
+optionally shape bounds) and the generator turns it into a well-typed
+automaton or a self-labeled pair.  Shrinking therefore happens in seed/bound
+space — Hypothesis minimizes towards small seeds and tight shapes rather
+than structurally minimal automata, which is the standard trade-off for
+generator-backed strategies and keeps every drawn value inside the
+generator's invariants (see :mod:`repro.synth.generator`).
+
+A failing example always prints as a ``(seed, config)`` pair, so
+``synthesize_pair(seed, config)`` reproduces it outside Hypothesis.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from hypothesis import strategies as st
+
+from ..p4a.syntax import P4Automaton
+from .generator import MINI_CONFIG, GeneratorConfig, generate_automaton
+from .pairs import EQUIVALENT, NOT_EQUIVALENT, SynthesizedPair, synthesize_pair
+
+#: Seeds stay small so shrunk counterexamples are easy to quote in a test.
+seeds = st.integers(min_value=0, max_value=2**20)
+
+
+@st.composite
+def generator_configs(draw) -> GeneratorConfig:
+    """Shape bounds within the mini envelope (checks stay fast)."""
+    min_states = draw(st.integers(1, 3))
+    min_bits = draw(st.integers(1, 2))
+    return GeneratorConfig(
+        min_states=min_states,
+        max_states=draw(st.integers(min_states, 5)),
+        min_header_bits=min_bits,
+        max_header_bits=draw(st.integers(max(2, min_bits), 4)),
+        max_total_bits=draw(st.integers(8, 20)),
+        max_cases=draw(st.integers(1, 3)),
+    )
+
+
+@st.composite
+def automata(
+    draw, config: Optional[GeneratorConfig] = None
+) -> Tuple[P4Automaton, str]:
+    """A well-typed select cascade as ``(automaton, start)``."""
+    if config is None:
+        config = draw(generator_configs())
+    seed = draw(seeds)
+    return generate_automaton(random.Random(seed), config)
+
+
+@st.composite
+def synthesized_pairs(
+    draw,
+    verdict: Optional[str] = None,
+    config: GeneratorConfig = MINI_CONFIG,
+) -> SynthesizedPair:
+    """A self-labeled pair; ``verdict`` pins the label, ``None`` mixes both."""
+    if verdict is None:
+        verdict = draw(st.sampled_from((EQUIVALENT, NOT_EQUIVALENT)))
+    return synthesize_pair(draw(seeds), config=config, verdict=verdict)
+
+
+def equivalent_pairs(config: GeneratorConfig = MINI_CONFIG):
+    """Pairs whose ground truth is ``equivalent`` (by construction)."""
+    return synthesized_pairs(verdict=EQUIVALENT, config=config)
+
+
+def broken_pairs(config: GeneratorConfig = MINI_CONFIG):
+    """Pairs whose ground truth is ``not_equivalent`` (witness-confirmed)."""
+    return synthesized_pairs(verdict=NOT_EQUIVALENT, config=config)

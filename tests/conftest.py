@@ -1,0 +1,21 @@
+"""Shared test configuration: deterministic Hypothesis profiles.
+
+Two profiles are registered for the property-based suites:
+
+* ``ci`` — derandomized (the example stream is a pure function of each
+  test's source) and deadline-free (shared CI runners have noisy clocks), so
+  a red CI run reproduces locally with the same examples;
+* ``dev`` — Hypothesis defaults: fresh random examples every run, which is
+  what finds new bugs during development.
+
+``dev`` is the default; CI selects the reproducible profile with
+``pytest --hypothesis-profile=ci``.  Shrunk failures land in the
+``.hypothesis/`` example database, which the CI workflow uploads as an
+artifact when the test job fails.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev")
+settings.load_profile("dev")

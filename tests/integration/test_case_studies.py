@@ -37,6 +37,7 @@ class TestRunnerRegistry:
             "IPv6 Extension Chain",
             "QinQ Double Tagging",
             "ARP/ICMP Control Plane",
+            "Synthetic Cascade",
             "Translation Validation",
         }
 

@@ -261,6 +261,64 @@ class TestAssumptions:
 
 
 # ---------------------------------------------------------------------------
+# Differential fuzzing: CdclSolver vs DpllSolver on random CNF under random
+# assumption sets (single solve, then the same solver object re-queried).
+# ---------------------------------------------------------------------------
+
+
+_assumption_sets = st.lists(
+    st.integers(1, _NUM_VARS).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    ),
+    max_size=5,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_cnf(), _assumption_sets)
+def test_cdcl_under_assumptions_agrees_with_dpll(cnf, assumptions):
+    """One assumption-based CDCL solve ≡ DPLL on clauses + assumption units."""
+    solver = CdclSolver(cnf)
+    sat, model = solver.solve(assumptions=assumptions)
+    reference = cnf_from_clauses(
+        _NUM_VARS, list(cnf.clauses) + [(literal,) for literal in assumptions]
+    )
+    expected, _ = dpll_solve(reference)
+    assert sat == expected
+    if sat:
+        assert check_model(reference, model)
+    else:
+        # The final conflict is a subset of the assumptions that is already
+        # contradictory with the clauses alone.
+        failed = solver.last_conflict
+        assert set(failed) <= set(assumptions)
+        conflict_cnf = cnf_from_clauses(
+            _NUM_VARS, list(cnf.clauses) + [(literal,) for literal in failed]
+        )
+        assert dpll_solve(conflict_cnf)[0] is False
+    # Assumptions must not leak: an unrestricted re-solve of the same solver
+    # object answers exactly what a fresh DPLL answers for the bare clauses.
+    unrestricted, _ = solver.solve()
+    assert unrestricted == dpll_solve(cnf)[0]
+
+
+@settings(max_examples=75, deadline=None)
+@given(random_cnf(), st.lists(_assumption_sets, min_size=2, max_size=4))
+def test_cdcl_survives_shifting_assumption_sets(cnf, assumption_sets):
+    """Re-querying one solver under shifting assumptions matches DPLL each
+    time (learned clauses must never change any answer)."""
+    solver = CdclSolver(cnf)
+    for assumptions in assumption_sets:
+        sat, model = solver.solve(assumptions=assumptions)
+        reference = cnf_from_clauses(
+            _NUM_VARS, list(cnf.clauses) + [(literal,) for literal in assumptions]
+        )
+        assert sat == dpll_solve(reference)[0], assumptions
+        if sat:
+            assert check_model(reference, model)
+
+
+# ---------------------------------------------------------------------------
 # Differential fuzzing: fresh CDCL vs incremental CDCL vs DPLL under
 # shifting assumption sets and growing clause sets.
 # ---------------------------------------------------------------------------

@@ -1,0 +1,83 @@
+"""Properties of the seeded automaton generator."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.p4a.semantics import accepts
+from repro.p4a.syntax import Extract, Goto, HeaderRef, Select
+from repro.p4a.typing import check_automaton
+from repro.synth import MINI_CONFIG, GeneratorConfig, generate_automaton, path_packets
+from repro.synth.strategies import automata, generator_configs, seeds
+
+
+@settings(max_examples=100, deadline=None)
+@given(automata())
+def test_generated_automata_are_well_typed(drawn):
+    automaton, start = drawn
+    check_automaton(automaton)
+    assert start in automaton.states
+
+
+@settings(max_examples=50, deadline=None)
+@given(automata())
+def test_generated_automata_accept_something(drawn):
+    """Every state reaches accept, so some control path must accept."""
+    automaton, start = drawn
+    packets = path_packets(automaton, start)
+    assert packets is not None, "generator output left the cascade shape"
+    assert any(accepts(automaton, start, packet) for packet in packets)
+
+
+@settings(max_examples=50, deadline=None)
+@given(generator_configs(), seeds)
+def test_same_seed_same_automaton(config, seed):
+    first = generate_automaton(random.Random(seed), config)
+    second = generate_automaton(random.Random(seed), config)
+    assert first == second
+
+
+@settings(max_examples=50, deadline=None)
+@given(generator_configs(), seeds)
+def test_width_budget_is_respected(config, seed):
+    automaton, _ = generate_automaton(random.Random(seed), config)
+    # The budget is soft: select headers may overshoot by their forced
+    # minimum width once the cap is reached, never by more.
+    slack = 3 * config.max_states
+    assert automaton.total_header_bits() <= config.max_total_bits + slack
+    assert config.min_states <= len(automaton.states) <= config.max_states
+
+
+@settings(max_examples=50, deadline=None)
+@given(automata())
+def test_selects_branch_on_their_own_extract(drawn):
+    """The cascade invariant the witness machinery relies on."""
+    automaton, _ = drawn
+    for state in automaton.states.values():
+        transition = state.transition
+        if isinstance(transition, Goto):
+            continue
+        assert isinstance(transition, Select)
+        assert len(transition.exprs) == 1
+        expr = transition.exprs[0]
+        assert isinstance(expr, HeaderRef)
+        extracted = [op.header for op in state.ops if isinstance(op, Extract)]
+        assert expr.name in extracted
+
+
+def test_state_count_bounds_are_validated():
+    import pytest
+
+    from repro.synth import SynthesisError
+
+    with pytest.raises(SynthesisError):
+        GeneratorConfig(min_states=0)
+    with pytest.raises(SynthesisError):
+        GeneratorConfig(min_states=3, max_states=2)
+    with pytest.raises(SynthesisError):
+        GeneratorConfig(min_header_bits=2, max_header_bits=1)
+
+
+def test_mini_config_checks_stay_small():
+    automaton, _ = generate_automaton(random.Random(0), MINI_CONFIG)
+    assert len(automaton.states) <= MINI_CONFIG.max_states

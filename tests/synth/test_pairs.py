@@ -1,0 +1,146 @@
+"""Synthesized pairs, their Hypothesis strategies, the registry rows and the
+``repro synth`` CLI."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cli import main
+from repro.p4a.semantics import accepts
+from repro.synth import (
+    EQUIVALENT,
+    NOT_EQUIVALENT,
+    SynthesisError,
+    synthesize_batch,
+    synthesize_pair,
+)
+from repro.synth.strategies import broken_pairs, synthesized_pairs
+
+SEED = 20220613
+
+
+class TestPairs:
+    def test_batches_are_deterministic_and_prefix_stable(self):
+        first = synthesize_batch(6, SEED)
+        second = synthesize_batch(6, SEED)
+        for a, b in zip(first, second):
+            assert a == b
+        # Growing the batch keeps the existing pairs.
+        longer = synthesize_batch(8, SEED)
+        assert longer[:6] == first
+
+    def test_batches_alternate_verdicts(self):
+        batch = synthesize_batch(6, SEED)
+        assert [pair.verdict for pair in batch] == [
+            EQUIVALENT, NOT_EQUIVALENT, EQUIVALENT,
+            NOT_EQUIVALENT, EQUIVALENT, NOT_EQUIVALENT,
+        ]
+
+    def test_broken_pairs_ship_replayable_witnesses(self):
+        for pair in synthesize_batch(6, SEED):
+            if pair.expected_equivalent:
+                assert pair.witness is None
+                assert not pair.replay_witness()
+            else:
+                assert pair.witness is not None
+                assert pair.replay_witness()
+                assert pair.transforms  # the mutation is recorded last
+
+    def test_as_dict_round_trips_through_json(self):
+        pair = synthesize_pair(SEED, verdict=NOT_EQUIVALENT)
+        record = json.loads(json.dumps(pair.as_dict()))
+        assert record["verdict"] == NOT_EQUIVALENT
+        assert record["witness"] == pair.witness.to_bitstring()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_batch(-1, SEED)
+
+    def test_unknown_verdict_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_pair(SEED, verdict="maybe")
+
+
+class TestStrategies:
+    @settings(max_examples=25, deadline=None)
+    @given(synthesized_pairs())
+    def test_labels_are_concretely_sound(self, pair):
+        """An equivalent pair never separates on its witness machinery; a
+        broken pair always does."""
+        if pair.expected_equivalent:
+            assert pair.witness is None
+        else:
+            assert accepts(pair.left, pair.left_start, pair.witness) != accepts(
+                pair.right, pair.right_start, pair.witness
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(broken_pairs())
+    def test_broken_strategy_pins_the_verdict(self, pair):
+        assert pair.verdict == NOT_EQUIVALENT
+
+
+class TestRegistryIntegration:
+    def test_synthetic_scenarios_registered_at_both_scales(self):
+        from repro.scenarios import get, names
+
+        for name in ("synthetic", "synthetic_broken",
+                     "mini_synthetic", "mini_synthetic_broken"):
+            assert name in names()
+            scenario = get(name)
+            assert scenario.family == "synthetic"
+            left, left_start, right, right_start = scenario.automata()
+            assert left_start in left.states
+            assert right_start in right.states
+
+    def test_synthetic_rows_are_deterministic(self):
+        from repro.scenarios import get
+
+        assert get("mini_synthetic").automata()[0] == get("mini_synthetic").automata()[0]
+
+    def test_broken_row_diverges_in_oracle_suite(self):
+        from repro.oracle.suite import run_differential_suite
+
+        [row] = run_differential_suite(
+            names=["mini_synthetic_broken"], packets=200, seed=SEED
+        )
+        assert row.ok and row.divergences > 0
+
+    def test_table2_gained_a_synthetic_row(self):
+        from repro.reporting import case_studies
+
+        assert "Synthetic Cascade" in case_studies()
+
+
+class TestCli:
+    def test_run_agrees_and_is_deterministic(self, capsys):
+        argv = ["synth", "run", "--count", "6", "--seed", str(SEED),
+                "--oracle-packets", "32"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "6/6 verdicts agree" in first
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_json_reports_every_pair(self, capsys):
+        assert main(["synth", "run", "--count", "4", "--seed", "9",
+                     "--json", "--oracle-packets", "16"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["agreeing"] == 4
+        assert len(payload["pairs"]) == 4
+        assert all(record["agree"] for record in payload["pairs"])
+
+    def test_emit_json_carries_surface_syntax(self, capsys):
+        assert main(["synth", "emit", "--count", "2", "--seed", "7",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["pairs"]) == 2
+        assert "extract(" in payload["pairs"][0]["left"]
+
+    def test_emit_pretty_prints_automata(self, capsys):
+        assert main(["synth", "emit", "--count", "1", "--seed", "7",
+                     "--pretty"]) == 0
+        out = capsys.readouterr().out
+        assert "1 pair(s) from seed 7" in out
+        assert "// left start" in out

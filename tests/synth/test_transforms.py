@@ -1,0 +1,130 @@
+"""Soundness of the transformation library.
+
+Equivalence-preserving rewrites are checked differentially (every control
+path of both sides replays identically) on Hypothesis-drawn automata, and
+symbolically (the checker proves the pair) on fixed seeds.  Verdict-breaking
+mutations are only ever returned with a confirmed witness, so the tests
+assert the witness separates the pair and that the checker refutes it.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.equivalence import check_language_equivalence
+from repro.p4a.semantics import accepts
+from repro.p4a.typing import check_automaton
+from repro.synth import (
+    BREAKING_MUTATIONS,
+    EQUIVALENCE_TRANSFORMS,
+    apply_breaking_mutation,
+    apply_equivalence_chain,
+    find_witness,
+    path_packets,
+)
+from repro.synth.strategies import automata, seeds
+
+
+def _assert_paths_agree(left, left_start, right, right_start):
+    """Both sides accept/reject identically on every control-path packet
+    of either side (plus one-bit length perturbations)."""
+    for aut, start in ((left, left_start), (right, right_start)):
+        packets = path_packets(aut, start)
+        assert packets is not None
+        for packet in packets:
+            for variant in (packet, packet.concat(packet.take(1)),
+                            packet.take(packet.width - 1)):
+                assert accepts(left, left_start, variant) == accepts(
+                    right, right_start, variant
+                ), variant
+
+
+@settings(max_examples=60, deadline=None)
+@given(automata(), seeds, st.sampled_from(sorted(EQUIVALENCE_TRANSFORMS)))
+def test_each_rewrite_preserves_the_language(drawn, seed, name):
+    automaton, start = drawn
+    rewritten = EQUIVALENCE_TRANSFORMS[name](automaton, start, random.Random(seed))
+    if rewritten is None:  # inapplicable on this draw
+        return
+    check_automaton(rewritten)
+    _assert_paths_agree(automaton, start, rewritten, start)
+
+
+@settings(max_examples=30, deadline=None)
+@given(automata(), seeds, st.integers(1, 4))
+def test_rewrite_chains_preserve_the_language(drawn, seed, length):
+    automaton, start = drawn
+    rewritten, rewritten_start, applied = apply_equivalence_chain(
+        automaton, start, random.Random(seed), length
+    )
+    assert rewritten_start == start
+    assert len(applied) <= length
+    _assert_paths_agree(automaton, start, rewritten, rewritten_start)
+
+
+@pytest.mark.parametrize("seed", (20220613, 3, 77))
+def test_rewrite_chains_prove_equivalent_symbolically(seed):
+    from repro.synth import synthesize_pair
+
+    pair = synthesize_pair(seed, verdict="equivalent")
+    result = check_language_equivalence(*pair.automata())
+    assert result.proved, pair.transforms
+
+
+@settings(max_examples=30, deadline=None)
+@given(automata(), seeds)
+def test_breaking_mutations_come_with_real_witnesses(drawn, seed):
+    automaton, start = drawn
+    broken = apply_breaking_mutation(
+        automaton, start, automaton, start, random.Random(seed)
+    )
+    if broken is None:  # no confirmable mutation on this draw (rare)
+        return
+    mutant, name, witness = broken
+    assert name in BREAKING_MUTATIONS
+    check_automaton(mutant)
+    assert accepts(automaton, start, witness) != accepts(mutant, start, witness)
+
+
+@pytest.mark.parametrize("seed", (20220614, 8, 1001))
+def test_confirmed_mutations_are_refuted_symbolically(seed):
+    from repro.synth import synthesize_pair
+
+    pair = synthesize_pair(seed, verdict="not_equivalent")
+    result = check_language_equivalence(*pair.automata())
+    assert result.refuted, pair.transforms
+    assert pair.replay_witness()
+
+
+def test_find_witness_on_equal_automata_is_none():
+    from repro.synth import generate_automaton
+
+    automaton, start = generate_automaton(random.Random(5))
+    assert find_witness(automaton, start, automaton, start,
+                        random.Random(5), fuzz_packets=32) is None
+
+
+def test_unknown_mutation_name_is_rejected():
+    from repro.synth import SynthesisError, generate_automaton
+
+    automaton, start = generate_automaton(random.Random(5))
+    with pytest.raises(SynthesisError, match="unknown mutations"):
+        apply_breaking_mutation(
+            automaton, start, automaton, start, random.Random(5),
+            mutations=("no-such-mutation",),
+        )
+
+
+def test_path_packets_rejects_non_cascade_shapes():
+    """A select over a header extracted in an *earlier* state is outside the
+    cascade fragment, and the walker must say so instead of guessing."""
+    from repro.p4a.builder import AutomatonBuilder
+
+    builder = AutomatonBuilder("non_cascade")
+    builder.header("a", 2).header("b", 2)
+    builder.state("q0").extract("a").goto("q1")
+    # Branches on `a`, which q1 does not extract.
+    builder.state("q1").extract("b").select("a", {"0b00": "accept"})
+    automaton = builder.build()
+    assert path_packets(automaton, "q0") is None
