@@ -1,0 +1,78 @@
+"""Verdict-store replay vs fresh solve: the daemon's headline speedup.
+
+The service's claim is that a store hit is served by *replaying* the stored
+certificate (or witness), which is strictly cheaper than re-running the
+proof search.  This benchmark runs a batch of mini scenario pairs cold
+(fresh store: every request solves and stores) and then warm (same store
+directory, fresh client: every request replays), asserts the warm pass is
+answered entirely from the store with identical output, and holds the
+replay speedup above a conservative floor.
+
+``LEAPFROG_SEED`` has no effect here — the checks are deterministic — but
+the batch goes through the same registry the daemon serves, so the numbers
+track the real workload.
+"""
+
+import time
+
+from repro.scenarios.registry import filter_scenarios
+from repro.service.client import InProcessClient
+from repro.service.core import ServiceConfig
+
+#: Replay must beat re-solving by at least this factor over the batch.  The
+#: measured ratio is ~5x on the pure-Python solver; 1.5x keeps the gate
+#: meaningful without being flaky on noisy shared runners.
+REPLAY_SPEEDUP_FLOOR = 1.5
+
+
+def _mini_pairs():
+    return [
+        scenario for scenario in filter_scenarios(size="mini")
+        if scenario.kind == "pair"
+    ]
+
+
+def _run_batch(store_dir: str):
+    """One pass over every mini pair through one client; returns outcomes."""
+    outcomes = []
+    with InProcessClient(ServiceConfig(workers=0, store_dir=store_dir)) as client:
+        for scenario in _mini_pairs():
+            left, left_start, right, right_start = scenario.automata()
+            outcomes.append(client.check(left, left_start, right, right_start))
+    return outcomes
+
+
+def test_store_replay_beats_fresh_solve(benchmark, tmp_path):
+    store_dir = str(tmp_path / "store")
+    pairs = _mini_pairs()
+    assert pairs, "the scenario registry has no mini pairs to benchmark"
+
+    cold_start = time.perf_counter()
+    cold = _run_batch(store_dir)
+    cold_elapsed = time.perf_counter() - cold_start
+
+    warm = benchmark.pedantic(
+        _run_batch, args=(store_dir,), iterations=1, rounds=1
+    )
+    warm_elapsed = sum(outcome.elapsed_seconds for outcome in warm)
+
+    # Correctness gates first: the warm pass is 100% store hits and its
+    # output is byte-identical to the cold pass.
+    assert all(outcome.source == "solve" for outcome in cold
+               if outcome.verdict is not None)
+    definitive = [
+        (before, after) for before, after in zip(cold, warm)
+        if before.verdict is not None
+    ]
+    assert definitive, "every mini pair came back unknown; nothing was stored"
+    assert all(after.source == "store" for _, after in definitive)
+    assert all(str(before) == str(after) for before, after in definitive)
+
+    # The headline number: replay time vs solve time over the same batch.
+    solve_elapsed = sum(outcome.elapsed_seconds for outcome in cold)
+    assert warm_elapsed > 0
+    speedup = solve_elapsed / warm_elapsed
+    assert speedup >= REPLAY_SPEEDUP_FLOOR, (
+        f"store replay is only {speedup:.2f}x faster than solving "
+        f"(floor {REPLAY_SPEEDUP_FLOOR}x); cold batch {cold_elapsed:.3f}s"
+    )

@@ -15,7 +15,13 @@
   ground-truth verdicts and (``run``) check that the engine agrees with
   every label;
 * ``dump-scenario NAME`` — print a parser-gen scenario as a P4 automaton (and
-  optionally its compiled hardware table).
+  optionally its compiled hardware table);
+* ``serve`` — run the persistent equivalence daemon (warm workers fronting a
+  content-addressed verdict store; see ``docs/service.md``).
+
+``check``, ``table``, ``scenarios run`` and ``synth run`` accept ``--server``
+(or honour ``LEAPFROG_SERVER``) and then become thin clients of a running
+daemon, with byte-identical output to the in-process path.
 """
 
 from __future__ import annotations
@@ -71,6 +77,22 @@ def _seed_argument(value: str) -> int:
     return parsed if parsed is not None else 0
 
 
+def _add_server_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server", metavar="ADDR",
+        help="send the work to a running `leapfrog-repro serve` daemon at "
+             "ADDR (a unix-socket path or http://host:port) instead of "
+             "checking in-process (default: LEAPFROG_SERVER or off)",
+    )
+
+
+def _server_setting(args: argparse.Namespace) -> Optional[str]:
+    """The daemon address from ``--server``, falling back to the environment."""
+    if getattr(args, "server", None):
+        return args.server
+    return envconfig.server_from_env()
+
+
 def _add_oracle_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--oracle-packets", type=_oracle_argument, default=None, metavar="N",
@@ -120,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report counterexamples as extracted, without greedy minimization",
     )
     _add_oracle_arguments(check)
+    _add_server_argument(check)
 
     table = sub.add_parser("table", help="run the Table 2 case studies")
     table.add_argument("--full", action="store_true", help="use paper-sized parsers")
@@ -145,6 +168,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the incremental solver session in every case's checker",
     )
     _add_oracle_arguments(table)
+    _add_server_argument(table)
 
     sub.add_parser("list", help="list the registered case studies")
 
@@ -194,6 +218,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "(--oracle-packets), and exits 2 otherwise",
     )
     _add_oracle_arguments(scenarios_run)
+    _add_server_argument(scenarios_run)
 
     oracle = sub.add_parser(
         "oracle",
@@ -275,10 +300,56 @@ def _build_parser() -> argparse.ArgumentParser:
              f"(default: LEAPFROG_ORACLE or {envconfig.DEFAULT_ORACLE_PACKETS}; "
              "0 disables)",
     )
+    _add_server_argument(synth_run)
 
     dump = sub.add_parser("dump-scenario", help="print a parser-gen scenario as a P4 automaton")
     dump.add_argument("name", help="scenario name (e.g. edge, datacenter, mini_edge)")
     dump.add_argument("--hardware", action="store_true", help="also print the compiled table")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent equivalence daemon (warm workers + "
+             "content-addressed verdict store)",
+    )
+    serve.add_argument(
+        "--socket", metavar="PATH", default="leapfrog.sock",
+        help="unix socket to listen on (default: ./leapfrog.sock; created "
+             "owner-only)",
+    )
+    serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="listen on http://127.0.0.1:PORT instead of a unix socket "
+             "(0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=_jobs_argument, default=None, metavar="N",
+        help="warm worker threads (default: LEAPFROG_JOBS or 1)",
+    )
+    serve.add_argument(
+        "--store-dir", metavar="DIR",
+        help="directory for the content-addressed verdict store; omitting it "
+             "disables the store (every request solves or dedupes)",
+    )
+    serve.add_argument(
+        "--max-store-entries", type=_count_argument, default=None, metavar="N",
+        help="evict least-recently-used verdicts beyond N entries "
+             "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent solver-query cache shared by the workers (default: "
+             "STORE_DIR/query-cache when --store-dir is set, else "
+             "LEAPFROG_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--max-pending", type=_count_argument, default=None, metavar="N",
+        help="queue bound before requests are rejected with `overloaded` "
+             "(default: 64)",
+    )
+    serve.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write the final statistics snapshot to PATH on shutdown",
+    )
     return parser
 
 
@@ -304,14 +375,28 @@ def _command_check(args: argparse.Namespace) -> int:
         oracle_seed=oracle_seed,
         minimize_counterexamples=not args.no_minimize,
     )
-    result = check_language_equivalence(
-        left,
-        args.left_start,
-        right,
-        args.right_start,
-        config=config,
-        find_counterexamples=not args.no_counterexample,
-    )
+    server = _server_setting(args)
+    if server is not None:
+        # Thin-client mode: the daemon solves (or replays from its verdict
+        # store); the display line below is rendered server-side from the
+        # real result, so the output is byte-identical to the local path.
+        from .service.client import ServiceClient, check_options_from_config
+
+        result = ServiceClient(server).check(
+            left, args.left_start, right, args.right_start,
+            options=check_options_from_config(
+                config, not args.no_counterexample
+            ),
+        )
+    else:
+        result = check_language_equivalence(
+            left,
+            args.left_start,
+            right,
+            args.right_start,
+            config=config,
+            find_counterexamples=not args.no_counterexample,
+        )
     print(result)
     if result.statistics.oracle:
         oracle = result.statistics.oracle
@@ -350,6 +435,7 @@ def _command_table(args: argparse.Namespace) -> int:
         use_incremental=use_incremental,
         oracle_packets=oracle_packets,
         oracle_seed=oracle_seed,
+        server=_server_setting(args),
     )
     renderer = render_markdown if args.markdown else render_text
     print(renderer(metrics, title="Table 2 reproduction"))
@@ -471,10 +557,21 @@ def _command_scenarios_run(args: argparse.Namespace, registry) -> int:
         oracle_packets=oracle_packets or 0,
         oracle_seed=oracle_seed,
     )
-    result = check_language_equivalence(
-        left, left_start, right, right_start, config=config,
-        find_counterexamples=not args.no_counterexample,
-    )
+    server = _server_setting(args)
+    if server is not None:
+        from .service.client import ServiceClient, check_options_from_config
+
+        result = ServiceClient(server).check(
+            left, left_start, right, right_start,
+            options=check_options_from_config(
+                config, not args.no_counterexample
+            ),
+        )
+    else:
+        result = check_language_equivalence(
+            left, left_start, right, right_start, config=config,
+            find_counterexamples=not args.no_counterexample,
+        )
     print(f"{info.name} [{info.family}/{info.size}] expected {info.verdict}")
     print(result)
     if result.verdict is None:
@@ -576,6 +673,7 @@ def _synth_run(args: argparse.Namespace, pairs, seed: int, json) -> int:
         jobs=jobs,
         oracle_packets=packets or None,
         oracle_seed=seed if packets else None,
+        server=_server_setting(args),
     )
     results = engine.run([
         EquivalenceJob(
@@ -658,6 +756,41 @@ def _command_dump_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .service.core import ServiceConfig
+    from .service.server import ServerStartupError, serve
+
+    workers = args.workers if args.workers is not None else envconfig.jobs_from_env()
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        if args.store_dir:
+            # Keep the query cache next to the verdict store so a warm store
+            # also means warm solver queries for the replay path.
+            cache_dir = os.path.join(args.store_dir, "query-cache")
+        else:
+            cache_dir = envconfig.cache_dir_from_env()
+    config = ServiceConfig(
+        workers=workers,
+        store_dir=args.store_dir,
+        max_store_entries=args.max_store_entries,
+        cache_dir=cache_dir,
+        max_pending=args.max_pending if args.max_pending is not None else 64,
+    )
+    try:
+        serve(
+            config=config,
+            socket_path=None if args.http is not None else args.socket,
+            http_port=args.http,
+            stats_json=args.stats_json,
+        )
+    except ServerStartupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -668,6 +801,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "oracle": _command_oracle,
         "synth": _command_synth,
         "dump-scenario": _command_dump_scenario,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)
@@ -677,6 +811,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ScenarioLookupError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except _service_error() as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _service_error():
+    """The client's error type, imported lazily like the client itself."""
+    from .service.client import ServiceError
+
+    return ServiceError
 
 
 if __name__ == "__main__":

@@ -25,6 +25,18 @@ no pool, no pickling — which is the baseline that parallel runs are required
 to reproduce exactly.  Workers can share solver work through the persistent
 query cache: pass ``cache_dir`` and every job's checker stacks a
 :class:`~repro.smt.cache.CachingBackend` over the same sqlite store.
+
+With ``server`` set (an address accepted by
+:func:`repro.service.client.parse_server_address`), jobs are not executed
+locally at all: each one becomes a request to a running ``repro serve``
+daemon, fanned out over ``jobs`` client threads.  The daemon dedupes
+identical requests and answers repeats from its content-addressed verdict
+store, so a batch re-run against a warm daemon does no solver work.
+Results keep their submission order and the same three-state
+:class:`JobResult` shape; equivalence jobs come back as
+:class:`~repro.service.client.CheckOutcome` (display-compatible with a
+local :class:`~repro.core.equivalence.EquivalenceResult`) and case jobs as
+:class:`~repro.reporting.runner.CaseOutcome` rebuilt from the wire metrics.
 """
 
 from __future__ import annotations
@@ -257,6 +269,7 @@ class EquivalenceEngine:
         use_incremental: Optional[bool] = None,
         oracle_packets: Optional[int] = None,
         oracle_seed: Optional[int] = None,
+        server: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"worker count must be >= 1, got {jobs}")
@@ -267,6 +280,7 @@ class EquivalenceEngine:
         self.use_incremental = use_incremental
         self.oracle_packets = oracle_packets
         self.oracle_seed = oracle_seed
+        self.server = server
         self.statistics = EngineStatistics()
 
     # ------------------------------------------------------------------
@@ -278,7 +292,12 @@ class EquivalenceEngine:
             raise EngineError("job labels must be unique; set job_id to disambiguate")
         start = time.perf_counter()
         self.statistics = EngineStatistics(jobs=len(jobs), workers=min(self.jobs, max(len(jobs), 1)))
-        if self.jobs == 1:
+        if self.server is not None:
+            # Remote jobs run on the daemon, which cannot be preempted from
+            # here; timeouts are applied to the observed wall-clock time
+            # after the fact, like inline mode.
+            results = self._run_remote(jobs)
+        elif self.jobs == 1:
             if any(self._job_limit(job) is not None for job in jobs):
                 warnings.warn(
                     "timeouts in inline mode (jobs=1) are enforced only after "
@@ -338,6 +357,65 @@ class EquivalenceEngine:
                   f"(inline job finished after {elapsed:.3f}s)",
             elapsed=elapsed,
         )
+
+    # ------------------------------------------------------------------
+    # Remote dispatch (jobs become requests to a `repro serve` daemon)
+
+    def _run_remote(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Fan the jobs out to the daemon over ``self.jobs`` client threads."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = min(self.jobs, max(len(jobs), 1))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self._run_remote_job, jobs))
+
+    def _run_remote_job(self, job: Job) -> JobResult:
+        from ..service.client import ServiceClient, ServiceError
+
+        start = time.perf_counter()
+        limit = self._job_limit(job)
+        try:
+            value = self._execute_remote(ServiceClient(self.server), job)
+        except ServiceError as exc:
+            elapsed = time.perf_counter() - start
+            return JobResult(
+                job.label, "error", error=f"service {exc.code}: {exc}",
+                elapsed=elapsed,
+            )
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
+            elapsed = time.perf_counter() - start
+            return JobResult(
+                job.label, "error", error=f"{type(exc).__name__}: {exc}",
+                elapsed=elapsed,
+            )
+        elapsed = time.perf_counter() - start
+        if limit is not None and elapsed > limit:
+            return self._inline_timeout(job, limit, elapsed)
+        return JobResult(job.label, "ok", value=value, elapsed=elapsed)
+
+    def _execute_remote(self, client, job: Job) -> object:
+        from ..service.client import check_options_from_config
+
+        config = _effective_config(job, None, self.use_incremental,
+                                   self.oracle_packets, self.oracle_seed)
+        if isinstance(job, CaseJob):
+            from ..reporting.metrics import CaseMetrics
+            from ..reporting.runner import CaseOutcome
+
+            options = {}
+            if config is not None:
+                if config.oracle_packets:
+                    options["oracle_packets"] = config.oracle_packets
+                if config.oracle_seed is not None:
+                    options["oracle_seed"] = config.oracle_seed
+            answer = client.case(job.case, full=job.full, options=options)
+            return CaseOutcome(CaseMetrics.from_dict(answer.metrics), answer.verdict)
+        if isinstance(job, EquivalenceJob):
+            return client.check(
+                job.left, job.left_start, job.right, job.right_start,
+                options=check_options_from_config(config, job.find_counterexamples),
+            )
+        raise EngineError(f"unknown job type {type(job).__name__}")
 
     def _run_pooled(self, jobs: Sequence[Job]) -> List[JobResult]:
         """One process per job, at most ``self.jobs`` alive at a time.

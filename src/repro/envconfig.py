@@ -28,6 +28,10 @@ INCREMENTAL_VAR = "LEAPFROG_INCREMENTAL"
 ORACLE_VAR = "LEAPFROG_ORACLE"
 #: Seed threaded through every random sampler (oracle, benchmarks, tests).
 SEED_VAR = "LEAPFROG_SEED"
+#: Address of a running ``repro serve`` daemon: a unix-socket path (bare or
+#: ``unix:`` prefixed) or ``http://host:port``.  When set, the CLI commands
+#: become thin clients of the daemon; unset = in-process checking.
+SERVER_VAR = "LEAPFROG_SERVER"
 
 #: Packet budget used when ``LEAPFROG_ORACLE`` is a bare "on"/"true".
 DEFAULT_ORACLE_PACKETS = 64
@@ -139,3 +143,12 @@ def seed_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[int]:
     """The ``LEAPFROG_SEED`` sampler seed, or ``None`` when unset."""
     environ = os.environ if environ is None else environ
     return parse_seed(environ.get(SEED_VAR), source=SEED_VAR)
+
+
+def server_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """The ``LEAPFROG_SERVER`` daemon address, or ``None`` when unset."""
+    environ = os.environ if environ is None else environ
+    value = environ.get(SERVER_VAR)
+    if value is None or value.strip() == "":
+        return None
+    return value.strip()

@@ -115,7 +115,12 @@ def tokenize(source: str) -> List[Token]:
             i += 2
             column += 2
             continue
-        if ch in _PUNCTUATION:
+        if ch in _PUNCTUATION and not (
+            ch == "_" and i + 1 < n and (source[i + 1].isalnum() or source[i + 1] == "_")
+        ):
+            # A lone `_` is the wildcard pattern; `_`-led names (`__dead0`,
+            # produced by the builders) are ordinary identifiers, so their
+            # pretty() rendering parses back.
             tokens.append(Token(_PUNCTUATION[ch], ch, line, column))
             i += 1
             column += 1

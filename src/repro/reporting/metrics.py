@@ -10,7 +10,7 @@ harness and ``EXPERIMENTS.md``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 from ..core.algorithm import CheckerStatistics
@@ -47,6 +47,14 @@ class CaseMetrics:
             "solver_queries": self.solver_queries,
             **self.extra,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CaseMetrics":
+        """Rebuild a row from :meth:`as_dict` output (service transport)."""
+        known = {f.name for f in fields(cls)} - {"extra"}
+        base = {key: value for key, value in payload.items() if key in known}
+        extra = {key: value for key, value in payload.items() if key not in known}
+        return cls(**base, extra=extra)
 
 
 def structural_metrics(name: str, left: P4Automaton, right: P4Automaton) -> CaseMetrics:

@@ -250,6 +250,7 @@ def run_cases(
     use_incremental: Optional[bool] = None,
     oracle_packets: Optional[int] = None,
     oracle_seed: Optional[int] = None,
+    server: Optional[str] = None,
 ) -> List[CaseMetrics]:
     """Run the selected case studies and return their metric rows.
 
@@ -262,6 +263,11 @@ def run_cases(
     ``oracle_packets``/``oracle_seed`` (when not ``None``) cross-check every
     verdict against that many seeded concrete packets.  Rows come back in
     registry order regardless of which worker finished first.
+
+    ``server`` (an address accepted by the service client) reroutes every
+    case to a running ``repro serve`` daemon instead of local workers;
+    ``jobs`` then sizes the client fan-out and the other execution knobs
+    stay daemon-side.
     """
     from ..core.engine import CaseJob, EquivalenceEngine
 
@@ -277,6 +283,7 @@ def run_cases(
         jobs=jobs, cache_dir=cache_dir, timeout=timeout,
         use_incremental=use_incremental,
         oracle_packets=oracle_packets, oracle_seed=oracle_seed,
+        server=server,
     )
     # --case is repeatable, so the same name may appear twice; suffix repeats
     # to keep engine job labels unique while preserving one row per request.

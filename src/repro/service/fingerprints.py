@@ -1,0 +1,84 @@
+"""Content addressing for check requests.
+
+A check request is a pure function of (a) the two automata with their start
+states and (b) the semantics-relevant checker options, so the pair of those
+two digests is a *content address* for its verdict: any two requests with
+the same address are guaranteed the same verdict, certificate and witness,
+and the second one can be served by replaying the first one's result.
+
+Automata are digested through their canonical surface rendering
+(:func:`repro.p4a.pretty.pretty`), which round-trips through the surface
+parser (see ``tests/p4a/test_builder_surface.py``) and is deterministic for
+a given automaton value.  Automaton *names* are included: they appear in
+certificate summaries, and byte-identical output on a store hit requires
+the stored certificate to carry the same names as a fresh solve would.
+
+Checker options that only change *how fast* an answer is found (query
+cache, incremental session, worker count) are deliberately excluded from
+the config digest — the ablation benchmarks assert verdict parity across
+them — while options that change *what* is reported (leaps, reachability,
+counterexample search and minimization, oracle budget and seed) are
+included.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from ..core.algorithm import CheckerConfig
+from ..p4a.pretty import pretty
+from ..p4a.syntax import P4Automaton
+
+#: Bumped whenever the serialization of pairs or configs changes, so a
+#: persistent verdict store keyed by old digests is never misread.
+PAIR_FINGERPRINT_VERSION = "1"
+
+
+def _digest(kind: str, payload: str) -> str:
+    blob = f"{kind}:v{PAIR_FINGERPRINT_VERSION}:{payload}".encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def automaton_fingerprint(aut: P4Automaton, start: str) -> str:
+    """A stable digest of one automaton plus its start state."""
+    return _digest("aut", f"{aut.name}\n{start}\n{pretty(aut)}")
+
+
+def pair_fingerprint(
+    left: P4Automaton, left_start: str, right: P4Automaton, right_start: str
+) -> str:
+    """A stable digest of an ordered automaton pair (the check's subject)."""
+    return _digest(
+        "pair",
+        automaton_fingerprint(left, left_start)
+        + automaton_fingerprint(right, right_start),
+    )
+
+
+def config_fingerprint(
+    config: Optional[CheckerConfig] = None,
+    find_counterexamples: bool = True,
+    counterexample_max_leaps: int = 24,
+) -> str:
+    """A digest of the checker options that can change the reported result."""
+    effective = config if config is not None else CheckerConfig()
+    fields = (
+        ("use_leaps", effective.use_leaps),
+        ("use_reachability", effective.use_reachability),
+        ("entailment_mode", effective.entailment_mode),
+        ("max_iterations", effective.max_iterations),
+        ("frontier_order", effective.frontier_order),
+        ("oracle_packets", effective.oracle_packets),
+        ("oracle_seed", effective.oracle_seed),
+        ("minimize_counterexamples", effective.minimize_counterexamples),
+        ("find_counterexamples", find_counterexamples),
+        ("counterexample_max_leaps", counterexample_max_leaps),
+    )
+    payload = ";".join(f"{name}={value!r}" for name, value in fields)
+    return _digest("config", payload)
+
+
+def store_key(pair_fp: str, config_fp: str) -> str:
+    """The verdict store's primary key: pair digest × config digest."""
+    return _digest("key", f"{pair_fp}/{config_fp}")

@@ -1,0 +1,292 @@
+"""The ``repro serve`` daemon: socket transports over a :class:`ServiceCore`.
+
+Two transports are provided, both thin: they parse the envelope, call
+:meth:`ServiceCore.handle` and serialize the answer.  All scheduling,
+deduplication, store and backpressure logic lives in the core.
+
+* **Unix socket (default)** — JSON-lines over ``SOCK_STREAM``: one request
+  per line, one response per line, pipelining allowed.  The socket file is
+  created with mode ``0600`` (owner-only), which is the service's entire
+  authentication story: anyone who can open the socket can submit work.  A
+  stale socket file left by a crashed daemon is detected (connect is
+  refused) and replaced; a *live* daemon on the same path is reported as an
+  error instead of being hijacked.
+* **HTTP (opt-in, ``--http PORT``)** — ``POST /v1/<endpoint>`` with the
+  params object as the body; the response body is the result object, and
+  errors map to their HTTP status (429 carries ``Retry-After``).  Binds
+  ``127.0.0.1`` only: the daemon is a local accelerator, not a network
+  service.
+
+Shutdown: the ``shutdown`` endpoint answers first, then the listener stops
+accepting, queued work is drained (or cancelled with ``drain: false``) and
+the workers are joined.  ``SIGTERM``/``SIGINT`` trigger the same path.  On
+exit the final statistics snapshot is written to ``--stats-json`` when
+given, so operators keep the counters of a finished run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from .core import ServiceConfig, ServiceCore, ServiceRequestError
+from .protocol import ERROR_STATUS
+
+
+class ServerStartupError(Exception):
+    """Raised when the daemon cannot bind its socket."""
+
+
+def _error_payload(exc: ServiceRequestError) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "code": exc.code,
+        "status": ERROR_STATUS.get(exc.code, 500),
+        "message": str(exc),
+    }
+    if exc.retry_after is not None:
+        payload["retry_after"] = exc.retry_after
+    return payload
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One connection: newline-delimited JSON requests in, responses out."""
+
+    def handle(self) -> None:
+        server: "ServiceServer" = self.server.service_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            response, after = server.dispatch_line(line)
+            self.wfile.write(json.dumps(response).encode() + b"\n")
+            self.wfile.flush()
+            if after is not None:
+                after()
+                return
+
+
+class _UnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = False
+
+
+class _HttpHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "leapfrog-repro"
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # the daemon's own logging is the stats endpoint; stay quiet
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        server: "ServiceServer" = self.server.service_server  # type: ignore[attr-defined]
+        if not self.path.startswith("/v1/"):
+            self._reply(404, {"code": "unknown_endpoint", "status": 404,
+                              "message": f"unknown path {self.path!r}; use /v1/<endpoint>"})
+            return
+        endpoint = self.path[len("/v1/"):]
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b"{}"
+        try:
+            params = json.loads(body.decode() or "{}")
+            if not isinstance(params, dict):
+                raise ValueError("body must be a JSON object")
+        except ValueError as exc:
+            self._reply(400, {"code": "bad_request", "status": 400,
+                              "message": f"request body is not valid JSON: {exc}"})
+            return
+        try:
+            result = server.core.handle(endpoint, params)
+        except ServiceRequestError as exc:
+            payload = _error_payload(exc)
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(exc.retry_after)
+            self._reply(int(payload["status"]), payload, headers)
+            return
+        self._reply(200, result)
+        if endpoint == "shutdown":
+            server.request_shutdown(drain=bool(params.get("drain", True)))
+
+    def _reply(self, status: int, payload: Dict[str, object],
+               headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class _HttpServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+
+def _remove_stale_socket(path: str) -> None:
+    """Unlink a dead daemon's socket; refuse to replace a live one."""
+    if not os.path.exists(path):
+        return
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.5)
+    try:
+        probe.connect(path)
+    except OSError:
+        os.unlink(path)  # nobody is listening: stale leftover
+    else:
+        probe.close()
+        raise ServerStartupError(
+            f"a daemon is already listening on {path!r}; stop it first or "
+            f"choose another --socket path"
+        )
+    finally:
+        probe.close()
+
+
+class ServiceServer:
+    """One running daemon: a core plus exactly one bound transport."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        socket_path: Optional[str] = None,
+        http_port: Optional[int] = None,
+        stats_json: Optional[str] = None,
+    ) -> None:
+        if (socket_path is None) == (http_port is None):
+            raise ServerStartupError(
+                "exactly one of socket_path / http_port must be given"
+            )
+        self.core = ServiceCore(config)
+        self.socket_path = socket_path
+        self.http_port = http_port
+        self.stats_json = stats_json
+        self._shutdown_drain = True
+        self._shutdown_started = threading.Event()
+        self.finished = threading.Event()
+        if socket_path is not None:
+            _remove_stale_socket(socket_path)
+            try:
+                self._server: socketserver.BaseServer = _UnixServer(
+                    socket_path, _LineHandler
+                )
+            except OSError as exc:
+                raise ServerStartupError(
+                    f"cannot bind unix socket {socket_path!r}: {exc}"
+                ) from None
+            # Owner-only: possession of socket access is the auth model.
+            os.chmod(socket_path, 0o600)
+            self.address = f"unix:{socket_path}"
+        else:
+            try:
+                self._server = _HttpServer(("127.0.0.1", http_port), _HttpHandler)
+            except OSError as exc:
+                raise ServerStartupError(
+                    f"cannot bind 127.0.0.1:{http_port}: {exc}"
+                ) from None
+            self.address = f"http://127.0.0.1:{self._server.server_address[1]}"
+        self._server.service_server = self  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+
+    def dispatch_line(self, line: bytes):
+        """Handle one JSON-lines request; returns ``(response, after)``.
+
+        ``after`` is a callable to run once the response has been flushed
+        (used by ``shutdown`` so the acknowledgement reaches the client
+        before the listener dies), or ``None``.
+        """
+        request_id = None
+        try:
+            envelope = json.loads(line.decode())
+            if not isinstance(envelope, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = envelope.get("id")
+            endpoint = envelope.get("endpoint")
+            if not isinstance(endpoint, str):
+                raise ValueError("request is missing the endpoint name")
+            params = envelope.get("params") or {}
+            if not isinstance(params, dict):
+                raise ValueError("params must be a JSON object")
+        except ValueError as exc:
+            error = ServiceRequestError("bad_request", f"malformed request: {exc}")
+            return {"id": request_id, "ok": False, "error": _error_payload(error)}, None
+        try:
+            result = self.core.handle(endpoint, params)
+        except ServiceRequestError as exc:
+            return {"id": request_id, "ok": False, "error": _error_payload(exc)}, None
+        after = None
+        if endpoint == "shutdown":
+            drain = bool(params.get("drain", True))
+            after = lambda: self.request_shutdown(drain=drain)  # noqa: E731
+        return {"id": request_id, "ok": True, "result": result}, after
+
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the daemon until a shutdown request (or signal) stops it."""
+        self.core.start()
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._teardown()
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Stop the listener from any thread; idempotent."""
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_drain = drain
+        self._shutdown_started.set()
+        # serve_forever() must be stopped from another thread.
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def _teardown(self) -> None:
+        self.core.shutdown(drain=self._shutdown_drain)
+        self._server.server_close()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        if self.stats_json:
+            snapshot = self.core.statistics_snapshot()
+            with open(self.stats_json, "w") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        self.finished.set()
+
+
+def serve(
+    config: Optional[ServiceConfig] = None,
+    socket_path: Optional[str] = None,
+    http_port: Optional[int] = None,
+    stats_json: Optional[str] = None,
+    install_signal_handlers: bool = True,
+    announce=print,
+) -> ServiceServer:
+    """Build a :class:`ServiceServer`, announce it and serve until stopped."""
+    import signal
+
+    server = ServiceServer(
+        config=config, socket_path=socket_path, http_port=http_port,
+        stats_json=stats_json,
+    )
+    if install_signal_handlers:
+        def _stop(signum, frame):  # noqa: ARG001
+            server.request_shutdown(drain=True)
+
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    announce(
+        f"leapfrog-repro serve: listening on {server.address} "
+        f"({server.core.config.workers} worker(s), store "
+        f"{server.core.config.store_dir or 'disabled'})"
+    )
+    server.serve_forever()
+    announce("leapfrog-repro serve: stopped")
+    return server

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -76,12 +77,26 @@ def _decode_model(payload: Optional[str]) -> Optional[Dict[str, Bits]]:
     return {name: Bits(bitstring) for name, bitstring in json.loads(payload).items()}
 
 
+#: Busy timeout applied to every cache connection, in milliseconds.  A
+#: writer that hits a locked database waits this long for the lock instead
+#: of failing with ``sqlite3.OperationalError: database is locked``, which
+#: matters under the service daemon's worker pool where several threads and
+#: processes share one cache directory.
+BUSY_TIMEOUT_MS = 30_000
+
+
 class PersistentQueryCache:
     """A sqlite-backed fingerprint → result store, safe for concurrent use.
 
-    sqlite serializes writers itself; every ``put`` is one short transaction,
-    so multiple engine workers can share a cache directory.  The schema is
-    versioned by the fingerprint format so stale entries are never misread.
+    Concurrency is handled at two levels: **across connections** (other
+    workers, other processes) sqlite serializes writers itself and the
+    explicit ``busy_timeout`` makes a contending writer wait for the lock
+    rather than error out; **within one handle** a lock serializes use of
+    the shared connection, because a single sqlite3 connection object is
+    not safe for unsynchronized multi-threaded use even with
+    ``check_same_thread=False``.  Every ``put`` is one short transaction.
+    The schema is versioned by the fingerprint format so stale entries are
+    never misread.
     """
 
     def __init__(self, directory: str) -> None:
@@ -89,19 +104,29 @@ class PersistentQueryCache:
         self.path = os.path.join(
             directory, f"query_cache_v{FINGERPRINT_VERSION}.sqlite"
         )
+        self._lock = threading.Lock()
         self._conn: Optional[sqlite3.Connection] = None
-        self._connection()  # create the schema eagerly so misconfiguration fails fast
+        with self._lock:
+            self._connection()  # create the schema eagerly so misconfiguration fails fast
 
     def _connection(self) -> sqlite3.Connection:
         # Reopens transparently after close(), so a cache handle stays usable
         # for a later run while still releasing its file handle in between.
+        # Callers must hold self._lock.
         if self._conn is None:
-            self._conn = sqlite3.connect(self.path, timeout=30.0, check_same_thread=False)
+            self._conn = sqlite3.connect(
+                self.path, timeout=BUSY_TIMEOUT_MS / 1000.0, check_same_thread=False
+            )
             # WAL + NORMAL avoids a journal fsync per stored query, which on
             # fsync-bound filesystems would rival the solver time for the
             # small fast queries the cache exists to absorb.
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
+            # The connect() timeout covers the same ground, but the PRAGMA is
+            # explicit, inspectable (PRAGMA busy_timeout) and immune to the
+            # float-seconds/milliseconds confusion that silently produced a
+            # zero timeout on some sqlite builds.
+            self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
             with self._conn:
                 self._conn.execute(
                     "CREATE TABLE IF NOT EXISTS results ("
@@ -112,29 +137,40 @@ class PersistentQueryCache:
         return self._conn
 
     def get(self, fingerprint: str) -> Optional[SatResult]:
-        row = self._connection().execute(
-            "SELECT status, model FROM results WHERE fingerprint = ?", (fingerprint,)
-        ).fetchone()
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT status, model FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
         if row is None:
             return None
         status, model_payload = row
         return SatResult(SatStatus(status), _decode_model(model_payload), 0.0)
 
     def put(self, fingerprint: str, result: SatResult) -> None:
-        conn = self._connection()
-        with conn:
-            conn.execute(
-                "INSERT OR REPLACE INTO results (fingerprint, status, model) VALUES (?, ?, ?)",
-                (fingerprint, result.status.value, _encode_model(result.model)),
-            )
+        with self._lock:
+            conn = self._connection()
+            with conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO results (fingerprint, status, model) VALUES (?, ?, ?)",
+                    (fingerprint, result.status.value, _encode_model(result.model)),
+                )
+
+    def busy_timeout_ms(self) -> int:
+        """The effective busy timeout of the live connection (for tests)."""
+        with self._lock:
+            return self._connection().execute("PRAGMA busy_timeout").fetchone()[0]
 
     def __len__(self) -> int:
-        return self._connection().execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        with self._lock:
+            return self._connection().execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
 
 class CachingBackend(SolverBackend):
@@ -211,6 +247,26 @@ class CachingBackend(SolverBackend):
         """Delegate to the wrapped backend (None when it has no session support)."""
         factory = getattr(self.inner, "incremental_session", None)
         return factory() if factory is not None else None
+
+    @property
+    def memory_entries(self) -> int:
+        """Entries currently held by the in-memory layer."""
+        return len(self._memory)
+
+    def trim_memory(self, max_entries: int) -> int:
+        """Drop the in-memory layer once it grows past ``max_entries``.
+
+        Long-lived holders (the service daemon's warm workers) call this
+        between requests so a backend that lives for days cannot grow its
+        memo without bound; the persistent layer, when configured, still
+        holds everything that was dropped.  Returns the number of entries
+        dropped (0 when under the limit).
+        """
+        if len(self._memory) <= max_entries:
+            return 0
+        dropped = len(self._memory)
+        self._memory.clear()
+        return dropped
 
     @staticmethod
     def _replay(cached: SatResult, start: float) -> SatResult:

@@ -1,0 +1,218 @@
+"""Tests for the content-addressed verdict store."""
+
+import os
+import threading
+
+import pytest
+
+from repro.core.equivalence import check_language_equivalence
+from repro.p4a.bitvec import Bits
+from repro.core.counterexample import Counterexample
+from repro.protocols import tiny
+from repro.service.store import (
+    VerdictStore,
+    decode_counterexample,
+    encode_counterexample,
+)
+
+
+def _witness(bits: str = "1") -> Counterexample:
+    return Counterexample(
+        packet=Bits(bits),
+        left_store={"h": Bits("0")},
+        right_store={"h": Bits("1")},
+        left_accepts=True,
+        right_accepts=False,
+        leap_widths=(len(bits),),
+        minimized_from=len(bits) + 3,
+    )
+
+
+def _certificate():
+    result = check_language_equivalence(
+        tiny.incremental_bits(), "Start", tiny.big_bits(), "Parse"
+    )
+    assert result.proved and result.certificate is not None
+    return result.certificate
+
+
+class TestWitnessCodec:
+    def test_round_trip(self):
+        cex = _witness("1011")
+        decoded = decode_counterexample(encode_counterexample(cex))
+        assert decoded == cex
+
+    def test_encoding_is_canonical(self):
+        assert encode_counterexample(_witness()) == encode_counterexample(_witness())
+
+
+class TestPutGet:
+    def test_refutation_round_trip(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"))
+        store.put("k1", "pair", "config", verdict=False,
+                  counterexample=_witness(), oracle={"packets": 3},
+                  solve_seconds=0.5)
+        entry = store.get("k1")
+        assert entry is not None
+        assert entry.verdict is False
+        assert entry.certificate is None
+        assert entry.counterexample == _witness()
+        assert entry.oracle == {"packets": 3}
+        assert entry.uses == 1
+        assert store.statistics.hits == 1 and store.statistics.stores == 1
+        store.close()
+
+    def test_proof_round_trips_through_blob(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"))
+        certificate = _certificate()
+        store.put("k1", "pair", "config", verdict=True, certificate=certificate)
+        entry = store.get("k1")
+        assert entry is not None and entry.verdict is True
+        assert entry.certificate is not None
+        assert entry.certificate.summary() == certificate.summary()
+        assert len(os.listdir(store.blob_dir)) == 1
+        store.close()
+
+    def test_miss_is_counted(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"))
+        assert store.get("absent") is None
+        assert store.statistics.misses == 1
+        store.close()
+
+    def test_identical_certificates_share_one_blob(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"))
+        certificate = _certificate()
+        store.put("k1", "p1", "c", verdict=True, certificate=certificate)
+        store.put("k2", "p2", "c", verdict=True, certificate=certificate)
+        assert len(store) == 2
+        assert len(os.listdir(store.blob_dir)) == 1
+        store.close()
+
+
+class TestEviction:
+    def test_lru_cap_evicts_least_recently_used(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"), max_entries=2)
+        store.put("a", "p", "c", verdict=False, counterexample=_witness("0"))
+        store.put("b", "p", "c", verdict=False, counterexample=_witness("1"))
+        assert store.get("a") is not None  # bump a's LRU position
+        store.put("c", "p", "c", verdict=False, counterexample=_witness("00"))
+        keys = set(store.keys())
+        assert keys == {"a", "c"}  # b was least recently used
+        assert store.statistics.evictions == 1
+        store.close()
+
+    def test_eviction_collects_unreferenced_blobs(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"), max_entries=1)
+        certificate = _certificate()
+        store.put("a", "p", "c", verdict=True, certificate=certificate)
+        assert len(os.listdir(store.blob_dir)) == 1
+        store.put("b", "p", "c", verdict=False, counterexample=_witness())
+        assert store.keys() == ["b"]
+        assert os.listdir(store.blob_dir) == []
+        store.close()
+
+    def test_shared_blob_survives_partial_eviction(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"))
+        certificate = _certificate()
+        store.put("a", "p", "c", verdict=True, certificate=certificate)
+        store.put("b", "p", "c", verdict=True, certificate=certificate)
+        store.discard("a")
+        assert len(os.listdir(store.blob_dir)) == 1  # b still references it
+        store.discard("b")
+        assert os.listdir(store.blob_dir) == []
+        store.close()
+
+    def test_discard_unknown_key_is_a_noop(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"))
+        store.discard("absent")
+        assert store.statistics.evictions == 0
+        store.close()
+
+    def test_max_entries_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            VerdictStore(str(tmp_path / "s"), max_entries=0)
+
+
+class TestCrashRecovery:
+    def test_entries_survive_reopen(self, tmp_path):
+        directory = str(tmp_path / "s")
+        writer = VerdictStore(directory)
+        certificate = _certificate()
+        writer.put("proof", "p", "c", verdict=True, certificate=certificate)
+        writer.put("refute", "p", "c", verdict=False, counterexample=_witness())
+        writer.close()  # simulates a daemon restart
+
+        reader = VerdictStore(directory)
+        proof = reader.get("proof")
+        refute = reader.get("refute")
+        assert proof is not None and proof.certificate is not None
+        assert proof.certificate.summary() == certificate.summary()
+        assert refute is not None and refute.counterexample == _witness()
+        reader.close()
+
+    def test_orphaned_index_row_is_dropped(self, tmp_path):
+        # A crash between blob GC and index delete can leave a row whose
+        # blob is gone; the store must treat it as a miss and self-heal.
+        store = VerdictStore(str(tmp_path / "s"))
+        store.put("k", "p", "c", verdict=True, certificate=_certificate())
+        for name in os.listdir(store.blob_dir):
+            os.unlink(os.path.join(store.blob_dir, name))
+        assert store.get("k") is None
+        assert store.keys() == []  # the orphan row was discarded
+        store.close()
+
+
+class TestConcurrency:
+    def test_concurrent_writers_and_readers(self, tmp_path):
+        directory = str(tmp_path / "s")
+        store = VerdictStore(directory)
+        errors = []
+
+        def work(index: int) -> None:
+            try:
+                key = f"k{index}"
+                store.put(key, "p", "c", verdict=False,
+                          counterexample=_witness(format(index, "05b")))
+                entry = store.get(key)
+                assert entry is not None and entry.verdict is False
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(store) == 16
+        assert store.statistics.stores == 16 and store.statistics.hits == 16
+        store.close()
+
+    def test_two_handles_on_one_directory(self, tmp_path):
+        # Several processes (daemon + CLI fallback) may share a store
+        # directory; WAL mode plus the busy timeout must keep both live.
+        directory = str(tmp_path / "s")
+        first = VerdictStore(directory)
+        second = VerdictStore(directory)
+        first.put("from-first", "p", "c", verdict=False,
+                  counterexample=_witness("0"))
+        second.put("from-second", "p", "c", verdict=False,
+                   counterexample=_witness("1"))
+        assert first.get("from-second") is not None
+        assert second.get("from-first") is not None
+        first.close()
+        second.close()
+
+
+class TestStatistics:
+    def test_snapshot_refreshes_gauges(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"))
+        store.put("k", "p", "c", verdict=True, certificate=_certificate())
+        snapshot = store.snapshot_statistics()
+        assert snapshot["entries"] == 1
+        assert snapshot["blob_bytes"] > 0
+        assert set(snapshot) == {
+            "hits", "misses", "stores", "replays", "replay_failures",
+            "evictions", "entries", "blob_bytes",
+        }
+        store.close()

@@ -161,6 +161,79 @@ class TestCachingBackend:
         persistent = make_backend(use_cache=True, cache_dir=str(tmp_path))
         assert persistent.persistent_path is not None
 
+    def test_concurrent_writers_share_one_persistent_backend(self, tmp_path):
+        # Regression test for the daemon's worker pool: several threads
+        # share one CachingBackend over one sqlite cache.  Before the store
+        # gained its lock, busy timeout and check_same_thread=False, this
+        # raised ProgrammingError ("objects created in a thread...") or
+        # OperationalError ("database is locked") under contention.
+        import threading
+
+        cache_dir = str(tmp_path / "cache")
+        backend = CachingBackend(InternalBackend(), cache_dir=cache_dir)
+        formulas = [
+            BEq(BVVar(f"v{index}", 5), BVConst(Bits(format(index, "05b"))))
+            for index in range(16)
+        ]
+        errors = []
+
+        def work(formula):
+            try:
+                assert backend.check_sat(formula).status is SatStatus.SAT
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(f,)) for f in formulas]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert backend.cache_statistics.stores == 16
+        backend.close()
+
+        # Every concurrently written entry is readable from a fresh handle
+        # without touching the solver.
+        reader = CachingBackend(InternalBackend(), cache_dir=cache_dir)
+        for formula in formulas:
+            assert reader.check_sat(formula).status is SatStatus.SAT
+        assert reader.statistics.queries == 0
+        assert reader.cache_statistics.disk_hits == 16
+        reader.close()
+
+    def test_concurrent_handles_on_one_cache_directory(self, tmp_path):
+        # Two independent handles (e.g. daemon workers in separate stacks,
+        # or daemon plus CLI fallback) interleave writes to the same file.
+        import threading
+
+        cache_dir = str(tmp_path / "cache")
+        handles = [PersistentQueryCache(cache_dir) for _ in range(2)]
+        for handle in handles:
+            assert handle.busy_timeout_ms() == 30_000
+        result = InternalBackend().check_sat(_sat_formula())
+        errors = []
+
+        def work(handle, base):
+            try:
+                for index in range(8):
+                    handle.put(f"fp-{base}-{index}", result)
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(handle, base))
+            for base, handle in enumerate(handles)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(handles[0]) == 16
+        assert handles[1].get("fp-0-0") is not None
+        for handle in handles:
+            handle.close()
+
     def test_make_backend_opt_out_beats_cache_dir(self, tmp_path):
         # An explicit use_cache=False wins even when a directory is supplied.
         backend = make_backend(use_cache=False, cache_dir=str(tmp_path / "c"))
