@@ -54,6 +54,14 @@ _INCREMENTAL_CONFIGS = {
     "one-shot solving": CheckerConfig(use_query_cache=False, use_incremental=False),
 }
 
+# The AIG-pipeline ablation: simplifying AIG lowering (with the graph-level
+# UNSAT short-circuit) versus the interning-only pipeline.  The lowering layer
+# must be invisible to the algorithm above it.
+_AIG_CONFIGS = {
+    "aig pipeline": CheckerConfig(use_query_cache=False, use_aig=True),
+    "no aig": CheckerConfig(use_query_cache=False, use_aig=False),
+}
+
 
 @pytest.mark.parametrize("variant", list(_CONFIGS))
 def test_optimization_ablation(benchmark, record_case, engine, variant):
@@ -108,6 +116,49 @@ def test_incremental_ablation_verdict_parity(benchmark, record_case):
     assert (incremental.statistics.reachable_pairs
             == one_shot.statistics.reachable_pairs)
     for variant, result in zip(_INCREMENTAL_CONFIGS, (incremental, one_shot)):
+        metrics = structural_metrics(f"Speculative loop [{variant}]", left, right)
+        attach_run_statistics(metrics, result.statistics, result.verdict)
+        record_case(metrics)
+
+
+def test_aig_ablation_verdict_parity(benchmark, record_case):
+    """AIG on/off: identical verdicts, relation sizes and reachable pairs.
+
+    A local engine without the LEAPFROG_AIG override, since this benchmark
+    *is* the on-vs-off comparison.  Both rows report the pipeline counters
+    (the off mode still lowers through the interning-only graph), but only
+    the simplifying mode saves clauses and answers queries on the graph.
+    """
+    from repro import envconfig
+    from repro.core.engine import EquivalenceEngine
+
+    left, left_start, right, right_start = _parsers()
+    engine = EquivalenceEngine(jobs=envconfig.jobs_from_env())
+
+    def run():
+        jobs = [
+            EquivalenceJob(
+                left, left_start, right, right_start,
+                config=config, find_counterexamples=False, job_id=variant,
+            )
+            for variant, config in _AIG_CONFIGS.items()
+        ]
+        results = engine.run(jobs)
+        for result in results:
+            assert result.ok, result.error
+        return [result.value for result in results]
+
+    with_aig, without_aig = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert with_aig.verdict is True and without_aig.verdict is True
+    assert with_aig.verdict == without_aig.verdict
+    assert (with_aig.statistics.relation_size
+            == without_aig.statistics.relation_size)
+    assert (with_aig.statistics.reachable_pairs
+            == without_aig.statistics.reachable_pairs)
+    assert int(with_aig.statistics.entailment.get("aig_nodes", 0)) > 0
+    assert int(with_aig.statistics.entailment.get("aig_clauses_saved", 0)) > 0
+    assert int(without_aig.statistics.entailment.get("aig_shortcuts", 0)) == 0
+    for variant, result in zip(_AIG_CONFIGS, (with_aig, without_aig)):
         metrics = structural_metrics(f"Speculative loop [{variant}]", left, right)
         attach_run_statistics(metrics, result.statistics, result.verdict)
         record_case(metrics)

@@ -197,3 +197,94 @@ def test_incremental_session_speedup(benchmark, record_case):
         f"incremental session speedup {speedup:.2f}x below the 1.5x floor "
         f"(baseline {baseline_seconds:.3f}s, incremental {incremental_seconds:.3f}s)"
     )
+
+
+# ---------------------------------------------------------------------------
+# AIG lowering pipeline: entailed-sweep workload
+# ---------------------------------------------------------------------------
+
+
+def _entailed_sweep_workload(use_aig, sweeps=4):
+    """Algorithm 1's dominant query profile, distilled: entailed checks.
+
+    Most solver queries in a successful verification are *entailed* ones —
+    the skip checks that prune already-covered template pairs and the final
+    done-step sweep.  This workload pushes all slice-equality premises over a
+    pair of 128-bit headers, then repeatedly re-proves every prefix goal
+    against the full relation (goals swap the LEFT/RIGHT operand order so the
+    checker's syntactic premise==goal test never fires).  With the AIG
+    pipeline on, each such query collapses to FALSE on the graph — constant
+    propagation and complement folding answer it with zero CDCL work; with it
+    off, every query is a fresh assumption-based CDCL solve.
+    """
+    checker = EntailmentChecker(
+        InternalBackend(use_aig=use_aig), use_incremental=True
+    )
+    verdicts = []
+    premises = []
+    start = time.perf_counter()
+    for i in range(_WIDTH // _SLICE):
+        lo, hi = i * _SLICE, (i + 1) * _SLICE - 1
+        premises.append(mk_eq(CSlice(CHdr(LEFT, "h", _WIDTH), lo, hi),
+                              CSlice(CHdr(RIGHT, "h", _WIDTH), lo, hi)))
+        goal = mk_eq(CSlice(CHdr(RIGHT, "h", _WIDTH), 0, hi),
+                     CSlice(CHdr(LEFT, "h", _WIDTH), 0, hi))
+        verdicts.append(bool(checker.check(premises, goal)))
+    for _ in range(sweeps):
+        for i in range(_WIDTH // _SLICE):
+            hi = (i + 1) * _SLICE - 1
+            goal = mk_eq(CSlice(CHdr(RIGHT, "h", _WIDTH), 0, hi),
+                         CSlice(CHdr(LEFT, "h", _WIDTH), 0, hi))
+            verdicts.append(bool(checker.check(premises, goal)))
+    return time.perf_counter() - start, verdicts, checker
+
+
+def test_aig_speedup(benchmark, record_case):
+    """The AIG pipeline is ≥1.5× faster on entailed-query workloads.
+
+    Both sides run cold — fresh backends, no query cache, incremental
+    sessions on — so the comparison isolates the lowering layer: simplifying
+    AIG construction with the graph-level UNSAT short-circuit versus the
+    interning-only pipeline that hands every query to CDCL.  The verdict
+    sequences must agree exactly, and every query in the workload must be
+    answered on the graph (the shortcut counter covers the whole run).
+    """
+    # Warm-up outside the timed region (imports, first-touch allocations).
+    _entailed_sweep_workload(True)
+    _entailed_sweep_workload(False)
+
+    baseline_seconds, baseline_verdicts, _ = min(
+        (_entailed_sweep_workload(False) for _ in range(3)),
+        key=lambda run: run[0],
+    )
+    aig_runs = [_entailed_sweep_workload(True) for _ in range(2)]
+    aig_runs.append(
+        benchmark.pedantic(lambda: _entailed_sweep_workload(True),
+                           iterations=1, rounds=1)
+    )
+    aig_seconds, aig_verdicts, checker = min(aig_runs, key=lambda run: run[0])
+
+    assert aig_verdicts == baseline_verdicts
+    assert all(aig_verdicts), "every sweep query should be entailed"
+    stats = checker.statistics
+    assert stats.aig_shortcuts == len(aig_verdicts), (
+        "every entailed query should be answered by the graph short-circuit"
+    )
+    assert stats.aig_clauses_saved > 0
+
+    speedup = baseline_seconds / aig_seconds
+    metrics = structural_metrics(
+        "Entailed-sweep entailment [AIG pipeline]",
+        mpls.reference_parser(), mpls.vectorized_parser(),
+    )
+    metrics.extra["baseline_seconds"] = round(baseline_seconds, 4)
+    metrics.extra["aig_seconds"] = round(aig_seconds, 4)
+    metrics.extra["speedup"] = round(speedup, 2)
+    metrics.extra["aig_nodes"] = stats.aig_nodes
+    metrics.extra["aig_saved"] = stats.aig_clauses_saved
+    metrics.extra["aig_shortcuts"] = stats.aig_shortcuts
+    record_case(metrics)
+    assert speedup >= 1.5, (
+        f"AIG pipeline speedup {speedup:.2f}x below the 1.5x floor "
+        f"(baseline {baseline_seconds:.3f}s, AIG {aig_seconds:.3f}s)"
+    )

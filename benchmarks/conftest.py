@@ -30,7 +30,8 @@ def engine() -> EquivalenceEngine:
     ``LEAPFROG_JOBS`` selects the worker count (default 1, the sequential
     baseline), ``LEAPFROG_CACHE_DIR`` enables the persistent solver-query
     cache, ``LEAPFROG_INCREMENTAL=0/1`` pins the incremental solver session
-    on or off, and ``LEAPFROG_ORACLE``/``LEAPFROG_SEED`` cross-check every
+    on or off, ``LEAPFROG_AIG=0/1`` pins the simplifying AIG lowering
+    pipeline, and ``LEAPFROG_ORACLE``/``LEAPFROG_SEED`` cross-check every
     verdict against that many seeded concrete packets, so the same benchmark
     files measure sequential, parallel, cold, warm, ablation and oracle
     configurations without edits.  All variables go through
@@ -41,6 +42,7 @@ def engine() -> EquivalenceEngine:
         jobs=envconfig.jobs_from_env(),
         cache_dir=envconfig.cache_dir_from_env(),
         use_incremental=envconfig.incremental_from_env(),
+        use_aig=envconfig.aig_from_env(),
         oracle_packets=envconfig.oracle_packets_from_env(),
         oracle_seed=envconfig.seed_from_env(),
     )

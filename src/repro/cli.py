@@ -138,6 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the incremental solver session (one-shot query per check)",
     )
     check.add_argument(
+        "--no-aig", action="store_true",
+        help="disable AIG simplification in the solver's lowering pipeline",
+    )
+    check.add_argument(
         "--no-minimize", action="store_true",
         help="report counterexamples as extracted, without greedy minimization",
     )
@@ -166,6 +170,10 @@ def _build_parser() -> argparse.ArgumentParser:
     table.add_argument(
         "--no-incremental", action="store_true",
         help="disable the incremental solver session in every case's checker",
+    )
+    table.add_argument(
+        "--no-aig", action="store_true",
+        help="disable AIG simplification in every case's solver pipeline",
     )
     _add_oracle_arguments(table)
     _add_server_argument(table)
@@ -364,6 +372,11 @@ def _command_check(args: argparse.Namespace) -> int:
     else:
         env_incremental = envconfig.incremental_from_env()
         use_incremental = True if env_incremental is None else env_incremental
+    if args.no_aig:
+        use_aig = False
+    else:
+        env_aig = envconfig.aig_from_env()
+        use_aig = True if env_aig is None else env_aig
     oracle_packets, oracle_seed = _oracle_settings(args)
     config = CheckerConfig(
         use_leaps=not args.no_leaps,
@@ -371,6 +384,7 @@ def _command_check(args: argparse.Namespace) -> int:
         use_query_cache=not args.no_cache,
         cache_dir=cache_dir,
         use_incremental=use_incremental,
+        use_aig=use_aig,
         oracle_packets=oracle_packets or 0,
         oracle_seed=oracle_seed,
         minimize_counterexamples=not args.no_minimize,
@@ -425,6 +439,7 @@ def _command_table(args: argparse.Namespace) -> int:
     jobs = args.jobs if args.jobs is not None else envconfig.jobs_from_env()
     cache_dir = args.cache_dir if args.cache_dir is not None else envconfig.cache_dir_from_env()
     use_incremental = False if args.no_incremental else envconfig.incremental_from_env()
+    use_aig = False if args.no_aig else envconfig.aig_from_env()
     oracle_packets, oracle_seed = _oracle_settings(args)
     metrics = run_cases(
         names=names,
@@ -433,6 +448,7 @@ def _command_table(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         timeout=args.timeout,
         use_incremental=use_incremental,
+        use_aig=use_aig,
         oracle_packets=oracle_packets,
         oracle_seed=oracle_seed,
         server=_server_setting(args),

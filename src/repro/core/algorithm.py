@@ -60,6 +60,12 @@ class CheckerConfig:
     clauses retained) instead of a fresh bit-blast + SAT run per query; it is
     on by default and exists as a switch for the ablation benchmarks.
 
+    ``use_aig`` enables simplification (constant propagation, structural
+    rewriting, subsumption and graph-level query collapse) in the shared AIG
+    lowering pipeline of the internal solver; off, the same pipeline runs in
+    pure interning mode, matching the legacy encoder clause for clause.  Like
+    ``use_incremental`` it exists for the ablation benchmarks.
+
     ``oracle_packets`` enables the differential concrete oracle: after a
     language-equivalence verdict, that many seeded random packets are run
     through both parsers concretely — an ``equivalent`` verdict contradicted
@@ -80,6 +86,7 @@ class CheckerConfig:
     use_query_cache: bool = True
     cache_dir: Optional[str] = None
     use_incremental: bool = True
+    use_aig: bool = True
     oracle_packets: int = 0
     oracle_seed: Optional[int] = None
     minimize_counterexamples: bool = True
@@ -167,7 +174,9 @@ class PreBisimulationChecker:
         self.config = config or CheckerConfig()
         self._owns_backend = backend is None
         self.backend = backend if backend is not None else make_backend(
-            use_cache=self.config.use_query_cache, cache_dir=self.config.cache_dir
+            use_cache=self.config.use_query_cache,
+            cache_dir=self.config.cache_dir,
+            use_aig=self.config.use_aig,
         )
         self.entailment = EntailmentChecker(
             self.backend,

@@ -158,11 +158,13 @@ def _effective_config(
     use_incremental: Optional[bool] = None,
     oracle_packets: Optional[int] = None,
     oracle_seed: Optional[int] = None,
+    use_aig: Optional[bool] = None,
 ) -> Optional[CheckerConfig]:
     config = job.config
     if (
         cache_dir is None and use_incremental is None
         and oracle_packets is None and oracle_seed is None
+        and use_aig is None
     ):
         return config
     if config is None:
@@ -171,6 +173,8 @@ def _effective_config(
         config = dataclasses.replace(config, cache_dir=cache_dir)
     if use_incremental is not None and config.use_incremental != use_incremental:
         config = dataclasses.replace(config, use_incremental=use_incremental)
+    if use_aig is not None and config.use_aig != use_aig:
+        config = dataclasses.replace(config, use_aig=use_aig)
     if oracle_packets is not None and config.oracle_packets == 0:
         config = dataclasses.replace(config, oracle_packets=oracle_packets)
     if oracle_seed is not None and config.oracle_seed is None:
@@ -184,8 +188,10 @@ def _execute_job(
     use_incremental: Optional[bool] = None,
     oracle_packets: Optional[int] = None,
     oracle_seed: Optional[int] = None,
+    use_aig: Optional[bool] = None,
 ) -> object:
-    config = _effective_config(job, cache_dir, use_incremental, oracle_packets, oracle_seed)
+    config = _effective_config(job, cache_dir, use_incremental, oracle_packets,
+                               oracle_seed, use_aig)
     if isinstance(job, CaseJob):
         from ..reporting.runner import case_studies
 
@@ -216,11 +222,12 @@ def _pooled_worker(
     use_incremental: Optional[bool],
     oracle_packets: Optional[int] = None,
     oracle_seed: Optional[int] = None,
+    use_aig: Optional[bool] = None,
 ) -> None:
     """Child-process entry point: run one job, ship the outcome over a pipe."""
     try:
         payload = ("ok", _execute_job(job, cache_dir, use_incremental,
-                                      oracle_packets, oracle_seed))
+                                      oracle_packets, oracle_seed, use_aig))
     except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
         payload = ("error", f"{type(exc).__name__}: {exc}")
     try:
@@ -253,7 +260,8 @@ class EquivalenceEngine:
     second), so limits should comfortably exceed that.  ``cache_dir`` threads
     a shared persistent query cache into every job's checker configuration;
     ``use_incremental`` (when not ``None``) overrides the incremental-session
-    toggle of every job's configuration.  ``oracle_packets``/``oracle_seed``
+    toggle of every job's configuration, and ``use_aig`` likewise overrides
+    the AIG-simplification toggle.  ``oracle_packets``/``oracle_seed``
     (when not ``None``) switch on the differential concrete oracle for every
     job that does not already configure it — each verdict is cross-checked
     against that many seeded random packets (see
@@ -270,6 +278,7 @@ class EquivalenceEngine:
         oracle_packets: Optional[int] = None,
         oracle_seed: Optional[int] = None,
         server: Optional[str] = None,
+        use_aig: Optional[bool] = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"worker count must be >= 1, got {jobs}")
@@ -278,6 +287,7 @@ class EquivalenceEngine:
         self.timeout = timeout
         self.mp_context = mp_context
         self.use_incremental = use_incremental
+        self.use_aig = use_aig
         self.oracle_packets = oracle_packets
         self.oracle_seed = oracle_seed
         self.server = server
@@ -331,7 +341,8 @@ class EquivalenceEngine:
         limit = self._job_limit(job)
         try:
             value = _execute_job(job, self.cache_dir, self.use_incremental,
-                                 self.oracle_packets, self.oracle_seed)
+                                 self.oracle_packets, self.oracle_seed,
+                                 self.use_aig)
         except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
             elapsed = time.perf_counter() - start
             if limit is not None and elapsed > limit:
@@ -397,7 +408,8 @@ class EquivalenceEngine:
         from ..service.client import check_options_from_config
 
         config = _effective_config(job, None, self.use_incremental,
-                                   self.oracle_packets, self.oracle_seed)
+                                   self.oracle_packets, self.oracle_seed,
+                                   self.use_aig)
         if isinstance(job, CaseJob):
             from ..reporting.metrics import CaseMetrics
             from ..reporting.runner import CaseOutcome
@@ -437,7 +449,8 @@ class EquivalenceEngine:
                     process = context.Process(
                         target=_pooled_worker,
                         args=(sender, job, self.cache_dir, self.use_incremental,
-                              self.oracle_packets, self.oracle_seed),
+                              self.oracle_packets, self.oracle_seed,
+                              self.use_aig),
                         daemon=True,
                     )
                     process.start()

@@ -79,6 +79,12 @@ class EntailmentStatistics:
     #: Refutation models that fail concrete re-evaluation against the query —
     #: a soundness red flag for the solver stack (or a stale cache entry).
     model_divergences: int = 0
+    #: AIG lowering-pipeline effectiveness, mirrored from the solver ledger:
+    #: graph nodes built, clauses avoided by rewriting (an estimate), and
+    #: queries answered by graph-level collapse without CDCL work.
+    aig_nodes: int = 0
+    aig_clauses_saved: int = 0
+    aig_shortcuts: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -93,6 +99,9 @@ class EntailmentStatistics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "model_divergences": self.model_divergences,
+            "aig_nodes": self.aig_nodes,
+            "aig_clauses_saved": self.aig_clauses_saved,
+            "aig_shortcuts": self.aig_shortcuts,
         }
 
 
@@ -142,7 +151,26 @@ class EntailmentChecker:
         self._canonical_memo[id(formula)] = (formula, canonical)
         return canonical
 
+    def _sync_aig_statistics(self) -> None:
+        """Mirror the solver ledger's AIG counters into this checker's stats.
+
+        The backend is (in the standard stack) owned by one checker, so the
+        mirrored values are per-run; they surface in the Table 2 report.
+        """
+        solver_stats = self.backend.statistics
+        self.statistics.aig_nodes = getattr(solver_stats, "aig_nodes", 0)
+        self.statistics.aig_clauses_saved = getattr(
+            solver_stats, "aig_clauses_saved", 0
+        )
+        self.statistics.aig_shortcuts = getattr(solver_stats, "aig_shortcuts", 0)
+
     def check(self, premises: Sequence[Formula], goal: Formula) -> EntailmentOutcome:
+        try:
+            return self._check(premises, goal)
+        finally:
+            self._sync_aig_statistics()
+
+    def _check(self, premises: Sequence[Formula], goal: Formula) -> EntailmentOutcome:
         self.statistics.checks += 1
         goal_simplified = simplify_formula(goal)
         if isinstance(goal_simplified, FTrue):

@@ -126,7 +126,7 @@ def _run(
     if find_counterexamples and require_equal_acceptance:
         search = CounterexampleSearch(
             left_aut, left_start, right_aut, right_start,
-            backend=InternalBackend(),
+            backend=InternalBackend(use_aig=effective.use_aig),
             use_incremental=effective.use_incremental,
             statistics=search_stats,
         )

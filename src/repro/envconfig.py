@@ -23,6 +23,9 @@ JOBS_VAR = "LEAPFROG_JOBS"
 CACHE_DIR_VAR = "LEAPFROG_CACHE_DIR"
 #: Ablation toggle for the incremental solver session (unset = per-config default).
 INCREMENTAL_VAR = "LEAPFROG_INCREMENTAL"
+#: Ablation toggle for AIG simplification in the lowering pipeline
+#: (unset = per-config default, which is on).
+AIG_VAR = "LEAPFROG_AIG"
 #: Differential-oracle packet count per verdict; also accepts on/off
 #: (on = the default packet budget).  Unset/0/off disables the oracle.
 ORACLE_VAR = "LEAPFROG_ORACLE"
@@ -93,6 +96,12 @@ def incremental_from_env(
     """The ``LEAPFROG_INCREMENTAL`` toggle: True/False, or ``None`` when unset."""
     environ = os.environ if environ is None else environ
     return parse_flag(environ.get(INCREMENTAL_VAR), source=INCREMENTAL_VAR)
+
+
+def aig_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[bool]:
+    """The ``LEAPFROG_AIG`` toggle: True/False, or ``None`` when unset."""
+    environ = os.environ if environ is None else environ
+    return parse_flag(environ.get(AIG_VAR), source=AIG_VAR)
 
 
 def parse_oracle_packets(raw: Optional[str], source: str = ORACLE_VAR) -> Optional[int]:

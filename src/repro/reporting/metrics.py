@@ -88,6 +88,18 @@ def attach_run_statistics(metrics: CaseMetrics, statistics: CheckerStatistics,
         )
         metrics.extra["cache_hits"] = int(statistics.cache.get("hits", 0))
         metrics.extra["cache_misses"] = int(statistics.cache.get("misses", 0))
+    if statistics.entailment:
+        # AIG lowering-pipeline effectiveness: "nodes/saved (+N collapsed)".
+        # Rendered only when the run reports the counters, so older payloads
+        # (and ablation rows from pre-AIG configs) show "-".
+        if "aig_nodes" in statistics.entailment:
+            metrics.extra["aig_nodes"] = int(statistics.entailment["aig_nodes"])
+            metrics.extra["aig_saved"] = int(
+                statistics.entailment.get("aig_clauses_saved", 0)
+            )
+            metrics.extra["aig_shortcuts"] = int(
+                statistics.entailment.get("aig_shortcuts", 0)
+            )
     oracle_divergences = int(statistics.oracle.get("divergences", 0)) if statistics.oracle else 0
     if statistics.oracle or statistics.replay_divergences:
         # Model-vs-replay mismatches plus concrete oracle disagreements; 0 is

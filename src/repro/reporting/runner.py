@@ -251,6 +251,7 @@ def run_cases(
     oracle_packets: Optional[int] = None,
     oracle_seed: Optional[int] = None,
     server: Optional[str] = None,
+    use_aig: Optional[bool] = None,
 ) -> List[CaseMetrics]:
     """Run the selected case studies and return their metric rows.
 
@@ -259,7 +260,8 @@ def run_cases(
     baseline), ``cache_dir`` shares a persistent solver-query cache between
     workers and across invocations, ``timeout`` bounds each case's wall-clock
     time, ``use_incremental`` (when not ``None``) overrides the incremental
-    solver-session toggle of every case's configuration, and
+    solver-session toggle of every case's configuration (``use_aig``
+    likewise overrides the AIG-simplification toggle), and
     ``oracle_packets``/``oracle_seed`` (when not ``None``) cross-check every
     verdict against that many seeded concrete packets.  Rows come back in
     registry order regardless of which worker finished first.
@@ -283,7 +285,7 @@ def run_cases(
         jobs=jobs, cache_dir=cache_dir, timeout=timeout,
         use_incremental=use_incremental,
         oracle_packets=oracle_packets, oracle_seed=oracle_seed,
-        server=server,
+        server=server, use_aig=use_aig,
     )
     # --case is repeatable, so the same name may appear twice; suffix repeats
     # to keep engine job labels unique while preserving one row per request.

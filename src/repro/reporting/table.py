@@ -26,6 +26,7 @@ _COLUMNS = (
     ("Relation", "relation_size"),
     ("SMT queries", "solver_queries"),
     ("Cache hit %", "cache_hit_percent"),
+    ("AIG saved", "aig_saved"),
     ("Divergences", "divergences"),
 )
 

@@ -1,5 +1,6 @@
-"""SMT substrate: bit-blasting, SAT solving, CEGIS and solver backends."""
+"""SMT substrate: AIG lowering, bit-blasting, SAT solving, CEGIS and backends."""
 
+from .aig import Aig, AigError, AigToCnf, FolbvToAig, aig_to_cnf
 from .backend import (
     ExternalBackend,
     InternalBackend,
@@ -13,6 +14,11 @@ from .cache import CacheStatistics, CachingBackend, PersistentQueryCache, make_b
 from .cegis import ExistsForallResult, solve_exists_forall, substitute
 
 __all__ = [
+    "Aig",
+    "AigError",
+    "AigToCnf",
+    "FolbvToAig",
+    "aig_to_cnf",
     "Bitblaster",
     "BitblastResult",
     "CacheStatistics",

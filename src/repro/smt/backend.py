@@ -49,8 +49,15 @@ class InternalBackend(SolverBackend):
 
     name = "internal"
 
-    def __init__(self, engine: str = "cdcl", validate_models: bool = True) -> None:
-        self._solver = InternalBVSolver(engine=engine, validate_models=validate_models)
+    def __init__(
+        self,
+        engine: str = "cdcl",
+        validate_models: bool = True,
+        use_aig: bool = True,
+    ) -> None:
+        self._solver = InternalBVSolver(
+            engine=engine, validate_models=validate_models, use_aig=use_aig
+        )
 
     def check_sat(self, formula: BFormula) -> SatResult:
         return self._solver.check_sat(formula)

@@ -1,11 +1,12 @@
-"""Bit-blasting FOL(BV) formulas to CNF.
+"""Bit-blasting FOL(BV) formulas to CNF (one-shot path).
 
 The P4 automaton fragment of the bitvector theory contains no arithmetic —
 terms are built from variables, constants, extraction and concatenation only —
-so every term denotes a fixed-width vector of *bit atoms*, each of which is
-either a boolean constant or a single SAT literal.  Equalities become
-conjunctions of bit-level equivalences and the boolean structure is lowered
-with Tseitin gates.
+so every term denotes a fixed-width vector of bit atoms.  All lowering happens
+in the shared AIG pipeline (:mod:`repro.smt.aig`): formulas lower to graph
+nodes, the graph simplifies, and a single Tseitin emitter produces clauses.
+This module is the thin one-shot consumer of that pipeline; the incremental
+consumer is :class:`repro.smt.incremental.IncrementalSession`.
 """
 
 from __future__ import annotations
@@ -14,22 +15,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple, Union
 
 from ..logic import folbv
-from ..logic.folbv import (
-    BAnd,
-    BEq,
-    BFalse,
-    BFormula,
-    BImplies,
-    BNot,
-    BOr,
-    BTrue,
-    BVConcatT,
-    BVConst,
-    BVExtract,
-    BVVar,
-    Term,
-)
+from ..logic.folbv import BFormula, Term
 from ..p4a.bitvec import Bits
+from .aig import Aig, AigError, AigToCnf, FolbvToAig
 from .sat.cnf import Cnf, CnfBuilder
 
 # A bit atom is either a concrete boolean or a SAT literal.
@@ -54,114 +42,72 @@ class BitblastResult:
     root_literal: int
 
     def decode_model(self, model: Dict[int, bool]) -> Dict[str, Bits]:
-        """Translate a SAT model back into bitvector values."""
+        """Translate a SAT model back into bitvector values.
+
+        Every encoded bit must be present in the model; a missing variable
+        means the solver was handed a CNF that does not cover the variable's
+        cone, which is an encoder bug that silently defaulting to ``0``
+        would mask.
+        """
         values: Dict[str, Bits] = {}
         for name, bit_vars in self.variable_bits.items():
-            values[name] = Bits("".join("1" if model.get(var, False) else "0" for var in bit_vars))
+            bits = []
+            for var in bit_vars:
+                value = model.get(var)
+                if value is None:
+                    raise BitblastError(
+                        f"SAT model is missing variable {var} "
+                        f"(a bit of {name!r}); the encoding cone was not solved"
+                    )
+                bits.append("1" if value else "0")
+            values[name] = Bits("".join(bits))
         return values
 
 
 class Bitblaster:
-    """Stateful bit-blaster; reusable across several formulas sharing variables.
+    """Stateful one-shot bit-blaster; reusable across formulas sharing variables.
 
-    NOTE: :class:`repro.smt.incremental._SessionBlaster` mirrors these
-    encoding rules case for case (with fingerprint-keyed caches and cone
-    tracking); a change to how any term or formula shape is blasted must be
-    applied to both.
+    A thin wrapper over the shared lowering pipeline: an :class:`Aig` (with
+    simplification controlled by ``use_aig``), the :class:`FolbvToAig`
+    lowerer and the :class:`AigToCnf` emitter, over one :class:`CnfBuilder`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_aig: bool = True) -> None:
+        self.aig = Aig(simplify=use_aig)
         self.builder = CnfBuilder()
-        self._variable_bits: Dict[str, List[int]] = {}
-        self._term_cache: Dict[Term, Tuple[BitAtom, ...]] = {}
-        self._formula_cache: Dict[BFormula, int] = {}
+        self._lowerer = FolbvToAig(self.aig)
+        self._emitter = AigToCnf(self.aig, self.builder)
+        self._widths: Dict[str, int] = {}
 
     # -- variables -------------------------------------------------------------
 
     def variable_bits(self, name: str, width: int) -> List[int]:
-        bits = self._variable_bits.get(name)
-        if bits is None:
-            bits = [self.builder.new_var() for _ in range(width)]
-            self._variable_bits[name] = bits
-        elif len(bits) != width:
+        """The SAT variables of ``name``'s bits (allocated eagerly)."""
+        known = self._widths.get(name)
+        if known is not None and known != width:
             raise BitblastError(
-                f"variable {name!r} used at widths {len(bits)} and {width}"
+                f"variable {name!r} used at widths {known} and {width}"
             )
-        return bits
+        self._widths[name] = width
+        refs = self._lowerer.variable_bits(name, width)
+        return [self._emitter.literal(ref) for ref in refs]
 
-    # -- terms -----------------------------------------------------------------
+    # -- terms and formulas ------------------------------------------------------
 
-    def blast_term(self, term: Term) -> Tuple[BitAtom, ...]:
-        cached = self._term_cache.get(term)
-        if cached is not None:
-            return cached
-        if isinstance(term, BVVar):
-            atoms: Tuple[BitAtom, ...] = tuple(self.variable_bits(term.name, term.var_width))
-        elif isinstance(term, BVConst):
-            atoms = tuple(bit == 1 for bit in term.value)
-        elif isinstance(term, BVExtract):
-            inner = self.blast_term(term.term)
-            atoms = inner[term.lo : term.hi + 1]
-        elif isinstance(term, BVConcatT):
-            atoms = self.blast_term(term.left) + self.blast_term(term.right)
-        else:
-            raise BitblastError(f"cannot bit-blast term {term!r}")
-        if len(atoms) != term.width:
-            raise BitblastError(
-                f"term {term} blasted to {len(atoms)} bits, expected {term.width}"
-            )
-        self._term_cache[term] = atoms
-        return atoms
-
-    # -- formulas ----------------------------------------------------------------
-
-    def _atom_literal(self, atom: BitAtom) -> int:
-        if isinstance(atom, bool):
-            return self.builder.constant(atom)
-        return atom
-
-    def _bit_equal(self, a: BitAtom, b: BitAtom) -> int:
-        if isinstance(a, bool) and isinstance(b, bool):
-            return self.builder.constant(a == b)
-        if isinstance(a, bool):
-            return self._atom_literal(b) if a else -self._atom_literal(b)
-        if isinstance(b, bool):
-            return a if b else -a
-        if a == b:
-            return self.builder.constant(True)
-        if a == -b:
-            return self.builder.constant(False)
-        return self.builder.gate_iff(a, b)
+    def blast_term(self, term: Term) -> Tuple[int, ...]:
+        """Lower a term; returns one AIG reference per bit."""
+        try:
+            return self._lowerer.lower_term(term)
+        except AigError as error:
+            raise BitblastError(str(error)) from None
 
     def blast_formula(self, formula: BFormula) -> int:
-        """Return a literal equivalent to ``formula``."""
-        cached = self._formula_cache.get(formula)
-        if cached is not None:
-            return cached
-        if isinstance(formula, BTrue):
-            literal = self.builder.constant(True)
-        elif isinstance(formula, BFalse):
-            literal = self.builder.constant(False)
-        elif isinstance(formula, BEq):
-            left = self.blast_term(formula.left)
-            right = self.blast_term(formula.right)
-            literal = self.builder.gate_and(
-                [self._bit_equal(a, b) for a, b in zip(left, right)]
-            )
-        elif isinstance(formula, BNot):
-            literal = -self.blast_formula(formula.operand)
-        elif isinstance(formula, BAnd):
-            literal = self.builder.gate_and([self.blast_formula(op) for op in formula.operands])
-        elif isinstance(formula, BOr):
-            literal = self.builder.gate_or([self.blast_formula(op) for op in formula.operands])
-        elif isinstance(formula, BImplies):
-            literal = self.builder.gate_implies(
-                self.blast_formula(formula.premise), self.blast_formula(formula.conclusion)
-            )
-        else:
-            raise BitblastError(f"cannot bit-blast formula {formula!r}")
-        self._formula_cache[formula] = literal
-        return literal
+        """Return a SAT literal equivalent to ``formula``."""
+        try:
+            ref = self._lowerer.lower_formula(formula)
+        except AigError as error:
+            raise BitblastError(str(error)) from None
+        return self._emitter.literal(ref)
 
     def assert_formula(self, formula: BFormula) -> int:
         literal = self.blast_formula(formula)
@@ -169,14 +115,16 @@ class Bitblaster:
         return literal
 
     def result(self, root_literal: int) -> BitblastResult:
-        # Also allocate bits for variables that simplification may have removed
-        # from the CNF but that the caller expects in the model.
-        return BitblastResult(self.builder.cnf, dict(self._variable_bits), root_literal)
+        variable_bits = {
+            name: self.variable_bits(name, width)
+            for name, width in self._widths.items()
+        }
+        return BitblastResult(self.builder.cnf, variable_bits, root_literal)
 
 
-def bitblast(formula: BFormula) -> BitblastResult:
+def bitblast(formula: BFormula, use_aig: bool = True) -> BitblastResult:
     """Bit-blast a single formula into a CNF whose satisfiability matches it."""
-    blaster = Bitblaster()
+    blaster = Bitblaster(use_aig=use_aig)
     # Pre-allocate every free variable so models always mention them.
     for name, width in folbv.free_variables(formula).items():
         blaster.variable_bits(name, width)

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 from ..logic import folbv
 from ..logic.folbv import BFormula
 from ..p4a.bitvec import Bits
-from .bitblast import bitblast
+from .bitblast import Bitblaster
 from .sat.dpll import dpll_solve
 from .sat.solver import cdcl_solve
 
@@ -58,6 +58,12 @@ class SolverStatistics:
     max_time: float = 0.0
     total_clauses: int = 0
     query_times: List[float] = field(default_factory=list)
+    #: AIG pipeline effectiveness (cumulative over all queries): graph nodes
+    #: built, CNF clauses the graph rewrites avoided (an estimate), and
+    #: queries answered by graph-level collapse without any CDCL work.
+    aig_nodes: int = 0
+    aig_clauses_saved: int = 0
+    aig_shortcuts: int = 0
 
     def record(self, result: SatResult) -> None:
         self.queries += 1
@@ -84,16 +90,27 @@ class SolverStatistics:
 class InternalBVSolver:
     """Bit-blasting QF_BV solver with model validation and statistics."""
 
-    def __init__(self, engine: str = "cdcl", validate_models: bool = True) -> None:
+    def __init__(
+        self,
+        engine: str = "cdcl",
+        validate_models: bool = True,
+        use_aig: bool = True,
+    ) -> None:
         if engine not in ("cdcl", "dpll"):
             raise ValueError(f"unknown SAT engine {engine!r}")
         self._engine = engine
         self._validate_models = validate_models
+        self.use_aig = use_aig
         self.statistics = SolverStatistics()
 
     def check_sat(self, formula: BFormula, max_conflicts: Optional[int] = None) -> SatResult:
         start = time.perf_counter()
-        blasted = bitblast(formula)
+        blaster = Bitblaster(use_aig=self.use_aig)
+        for name, width in folbv.free_variables(formula).items():
+            blaster.variable_bits(name, width)
+        blasted = blaster.result(blaster.assert_formula(formula))
+        self.statistics.aig_nodes += blaster.aig.num_nodes
+        self.statistics.aig_clauses_saved += blaster.aig.clauses_saved
         if self._engine == "dpll":
             sat, sat_model = dpll_solve(blasted.cnf)
         else:
@@ -137,7 +154,9 @@ class InternalBVSolver:
         from .incremental import IncrementalSession
 
         return IncrementalSession(
-            validate_models=self._validate_models, statistics=self.statistics
+            validate_models=self._validate_models,
+            statistics=self.statistics,
+            use_aig=self.use_aig,
         )
 
 

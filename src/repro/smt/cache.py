@@ -300,13 +300,16 @@ def make_backend(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     inner: Optional[SolverBackend] = None,
+    use_aig: bool = True,
 ) -> SolverBackend:
     """Build the standard backend stack: internal solver, optionally cached.
 
     ``use_cache=False`` wins: it disables both cache layers even when a
     ``cache_dir`` is supplied, so an explicit opt-out is never overridden.
+    ``use_aig`` selects AIG simplification in the internal solver's lowering
+    pipeline (ignored when an explicit ``inner`` backend is supplied).
     """
-    backend = inner if inner is not None else InternalBackend()
+    backend = inner if inner is not None else InternalBackend(use_aig=use_aig)
     if use_cache:
         return CachingBackend(backend, cache_dir=cache_dir)
     return backend

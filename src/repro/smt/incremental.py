@@ -4,29 +4,37 @@ Algorithm 1 asks thousands of entailment queries ``⋀R ⊨ ψ`` against a
 relation ``R`` that only ever grows.  A fresh :func:`~repro.smt.bitblast.bitblast`
 plus a fresh :class:`~repro.smt.sat.solver.CdclSolver` per query re-encodes
 the whole premise conjunction every time; this module keeps **one** live CNF
-and **one** CDCL solver per checker run instead:
+and **one** CDCL solver per checker run instead, lowered through the shared
+AIG pipeline (:mod:`repro.smt.aig`):
 
-* every bit-blasted subterm and subformula is memoized by its structural
+* every lowered subterm and subformula is memoized by its structural
   fingerprint (:mod:`repro.logic.fingerprint`), so structure shared between
-  ``ψ`` and the growing ``⋀R`` — or between successive queries — is Tseitin
-  encoded exactly once;
+  ``ψ`` and the growing ``⋀R`` — or between successive queries — becomes one
+  graph node and is Tseitin encoded at most once;
 * each premise is guarded behind an **activation literal** ``a`` with the
   clause ``¬a ∨ root(premise)``; the monotone relation is pushed into the CNF
   once and every later query merely assumes the activation literals of the
   premises it needs;
-* per-query goals (``¬ψ``, CEGIS verification checks, …) are blasted once per
+* per-query goals (``¬ψ``, CEGIS verification checks, …) are lowered once per
   distinct formula and their root literal passed as a further assumption — the
   Tseitin gates encode full equivalences, so assuming the root literal asserts
   the formula without polluting the clause database;
+* with ``use_aig`` on, the conjunction of every query's activated formulas
+  (plus its goal) is rebuilt as a graph AND first: when simplification
+  collapses it to constant false — e.g. the goal's cone is structurally
+  subsumed by the premises — the query is answered **unsat with zero solver
+  work**, which is where most of the AIG speedup on Algorithm 1's workload
+  comes from;
 * the underlying :class:`CdclSolver` keeps its learned clauses, activities and
   saved phases across queries, so conflicts refuted once stay refuted.
 
-Soundness: gate clauses are definitions (satisfiable under every assignment of
-the original variables), activation clauses only constrain when assumed, and
-an unsat answer under assumptions therefore implies the conjunction of the
-activated formulas is unsatisfiable.  Sat answers are decoded back to
-bitvector models and — like the one-shot solver — validated against the
-original formula when ``validate_models`` is on.
+Soundness: graph rewrites are equivalence preserving, gate clauses are
+definitions (satisfiable under every assignment of the original variables),
+activation clauses only constrain when assumed, and an unsat answer under
+assumptions therefore implies the conjunction of the activated formulas is
+unsatisfiable.  Sat answers are decoded back to bitvector models and — like
+the one-shot solver — validated against the original formula when
+``validate_models`` is on.
 
 Variables are keyed by ``(name, width)``: distinct queries may reuse a
 canonical variable name (``x0``…) at different widths, and each such pairing
@@ -40,148 +48,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..logic import folbv
 from ..logic.fingerprint import folbv_fingerprint
-from ..logic.folbv import BFormula, Term
+from ..logic.folbv import BFormula
 from ..p4a.bitvec import Bits
-from .bitblast import BitAtom, BitblastError
+from .aig import FALSE_REF, Aig, AigToCnf, FolbvToAig
 from .bvsolver import SatResult, SatStatus, SolverStatistics, complete_model
 from .sat.cnf import CnfBuilder
 from .sat.solver import CdclSolver
-
-
-class _SessionBlaster:
-    """A bit-blaster over a shared :class:`CnfBuilder`, memoized by fingerprint.
-
-    Unlike :class:`~repro.smt.bitblast.Bitblaster` (whose caches key on the
-    recursively-hashed formula objects of a single query), this blaster keys
-    every term tuple and formula literal on the structural fingerprint, so
-    formulas rebuilt by later queries — equal in structure but not identity —
-    reuse the existing encoding.  Variables key on ``(name, width)``.
-
-    NOTE: the per-node encoding rules here mirror ``bitblast.Bitblaster``
-    case for case (only cache keys, variable keys and cone tracking differ);
-    a change to how any term or formula shape is blasted must be applied to
-    both, or the one-shot and incremental paths drift apart — the ablation
-    parity benchmark exists to catch exactly that.
-    """
-
-    def __init__(self) -> None:
-        self.builder = CnfBuilder()
-        self._variable_bits: Dict[Tuple[str, int], List[int]] = {}
-        self._term_cache: Dict[str, Tuple[BitAtom, ...]] = {}
-        # fingerprint -> (root literal, cone): the cone is the set of SAT
-        # variables occurring in the formula's encoding (bit variables plus
-        # every Tseitin gate output).  Restricted solves decide exactly the
-        # union of the active formulas' cones, so a query never has to assign
-        # the structure of formulas it does not mention.
-        self._formula_cache: Dict[str, Tuple[int, frozenset]] = {}
-
-    # -- variables -------------------------------------------------------------
-
-    def variable_bits(self, name: str, width: int) -> List[int]:
-        key = (name, width)
-        bits = self._variable_bits.get(key)
-        if bits is None:
-            bits = [self.builder.new_var() for _ in range(width)]
-            self._variable_bits[key] = bits
-        return bits
-
-    # -- terms -----------------------------------------------------------------
-
-    def blast_term(self, term: Term) -> Tuple[BitAtom, ...]:
-        fingerprint = folbv_fingerprint(term)
-        cached = self._term_cache.get(fingerprint)
-        if cached is not None:
-            return cached
-        if isinstance(term, folbv.BVVar):
-            atoms: Tuple[BitAtom, ...] = tuple(
-                self.variable_bits(term.name, term.var_width)
-            )
-        elif isinstance(term, folbv.BVConst):
-            atoms = tuple(bit == 1 for bit in term.value)
-        elif isinstance(term, folbv.BVExtract):
-            inner = self.blast_term(term.term)
-            atoms = inner[term.lo : term.hi + 1]
-        elif isinstance(term, folbv.BVConcatT):
-            atoms = self.blast_term(term.left) + self.blast_term(term.right)
-        else:
-            raise BitblastError(f"cannot bit-blast term {term!r}")
-        if len(atoms) != term.width:
-            raise BitblastError(
-                f"term {term} blasted to {len(atoms)} bits, expected {term.width}"
-            )
-        self._term_cache[fingerprint] = atoms
-        return atoms
-
-    # -- formulas ----------------------------------------------------------------
-
-    def _atom_literal(self, atom: BitAtom) -> int:
-        if isinstance(atom, bool):
-            return self.builder.constant(atom)
-        return atom
-
-    def _bit_equal(self, a: BitAtom, b: BitAtom) -> int:
-        if isinstance(a, bool) and isinstance(b, bool):
-            return self.builder.constant(a == b)
-        if isinstance(a, bool):
-            return self._atom_literal(b) if a else -self._atom_literal(b)
-        if isinstance(b, bool):
-            return a if b else -a
-        if a == b:
-            return self.builder.constant(True)
-        if a == -b:
-            return self.builder.constant(False)
-        return self.builder.gate_iff(a, b)
-
-    def blast_formula(self, formula: BFormula) -> Tuple[int, frozenset]:
-        """Return ``(literal, cone)`` for ``formula`` (gates shared by fingerprint)."""
-        fingerprint = folbv_fingerprint(formula)
-        cached = self._formula_cache.get(fingerprint)
-        if cached is not None:
-            return cached
-        if isinstance(formula, folbv.BTrue):
-            literal = self.builder.constant(True)
-            cone = frozenset((abs(literal),))
-        elif isinstance(formula, folbv.BFalse):
-            literal = self.builder.constant(False)
-            cone = frozenset((abs(literal),))
-        elif isinstance(formula, folbv.BEq):
-            left = self.blast_term(formula.left)
-            right = self.blast_term(formula.right)
-            bit_literals = [self._bit_equal(a, b) for a, b in zip(left, right)]
-            literal = self.builder.gate_and(bit_literals)
-            cone = frozenset(
-                abs(atom)
-                for atoms in (left, right)
-                for atom in atoms
-                if not isinstance(atom, bool)
-            )
-            cone |= frozenset(abs(b) for b in bit_literals)
-            cone |= frozenset((abs(literal),))
-        elif isinstance(formula, folbv.BNot):
-            inner, cone = self.blast_formula(formula.operand)
-            literal = -inner
-        elif isinstance(formula, (folbv.BAnd, folbv.BOr)):
-            literals: List[int] = []
-            cone = frozenset()
-            for operand in formula.operands:
-                operand_literal, operand_cone = self.blast_formula(operand)
-                literals.append(operand_literal)
-                cone |= operand_cone
-            if isinstance(formula, folbv.BAnd):
-                literal = self.builder.gate_and(literals)
-            else:
-                literal = self.builder.gate_or(literals)
-            cone |= frozenset((abs(literal),))
-        elif isinstance(formula, folbv.BImplies):
-            premise_literal, premise_cone = self.blast_formula(formula.premise)
-            conclusion_literal, conclusion_cone = self.blast_formula(formula.conclusion)
-            literal = self.builder.gate_implies(premise_literal, conclusion_literal)
-            cone = premise_cone | conclusion_cone | frozenset((abs(literal),))
-        else:
-            raise BitblastError(f"cannot bit-blast formula {formula!r}")
-        result = (literal, cone)
-        self._formula_cache[fingerprint] = result
-        return result
 
 
 class IncrementalSession:
@@ -197,51 +69,88 @@ class IncrementalSession:
         self,
         validate_models: bool = True,
         statistics: Optional[SolverStatistics] = None,
+        use_aig: bool = True,
     ) -> None:
-        self._blaster = _SessionBlaster()
+        self._aig = Aig(simplify=use_aig)
+        self._lowerer = FolbvToAig(self._aig)
+        self._builder = CnfBuilder()
+        self._emitter = AigToCnf(self._aig, self._builder)
         self._solver = CdclSolver()
-        # fingerprint -> (activation literal, encoding cone of the formula)
-        self._activations: Dict[str, Tuple[int, frozenset]] = {}
-        # activation literal -> cone, for assumption lists handed back to check()
-        self._activation_cones: Dict[int, frozenset] = {}
+        self._use_aig = use_aig
+        # fingerprint -> (activation literal, graph ref, encoding cone)
+        self._activations: Dict[str, Tuple[int, int, frozenset]] = {}
+        # activation literal -> (graph ref, cone), for check() assumption lists
+        self._activation_info: Dict[int, Tuple[int, frozenset]] = {}
+        # fingerprint -> (graph ref, root literal, cone) for per-query goals
+        self._goal_cache: Dict[str, Tuple[int, int, frozenset]] = {}
         self._clauses_fed = 0
         self._validate_models = validate_models
+        # Assumptions of the last graph-collapsed unsat answer; the CDCL
+        # final-conflict set is stale after such a query.
+        self._shortcut_assumptions: Optional[List[int]] = None
+        # Watermarks for publishing cumulative AIG counters as deltas into
+        # the (possibly shared) statistics ledger.
+        self._published_nodes = 0
+        self._published_saved = 0
         #: Statistics sink; pass the owning solver's object to keep one ledger.
         self.statistics = statistics if statistics is not None else SolverStatistics()
         #: Number of queries answered by this session.
         self.queries = 0
+        #: Queries answered by graph-level collapse, without touching CDCL.
+        self.aig_shortcuts = 0
 
     # ------------------------------------------------------------------
 
     @property
     def num_vars(self) -> int:
-        return self._blaster.builder.num_vars
+        return self._builder.num_vars
 
     @property
     def num_clauses(self) -> int:
-        return len(self._blaster.builder.clauses)
+        return len(self._builder.clauses)
+
+    def _lower(self, formula: BFormula) -> Tuple[int, int, frozenset]:
+        """Lower a formula; returns ``(graph ref, root literal, cone)``."""
+        ref = self._lowerer.lower_formula(formula)
+        literal = self._emitter.literal(ref)
+        return ref, literal, self._emitter.cone(ref)
 
     def activation(self, formula: BFormula) -> int:
         """Encode ``formula`` (once) behind an activation literal and return it."""
         fingerprint = folbv_fingerprint(formula)
         entry = self._activations.get(fingerprint)
         if entry is None:
-            root, cone = self._blaster.blast_formula(formula)
-            literal = self._blaster.builder.new_var()
-            self._blaster.builder.add_clause([-literal, root])
-            entry = (literal, cone)
+            ref, root, cone = self._lower(formula)
+            literal = self._builder.new_var()
+            self._builder.add_clause([-literal, root])
+            entry = (literal, ref, cone)
             self._activations[fingerprint] = entry
-            self._activation_cones[literal] = cone
+            self._activation_info[literal] = (ref, cone)
         return entry[0]
 
     def _sync_solver(self) -> None:
         """Feed clauses produced since the last query into the live solver."""
-        builder = self._blaster.builder
+        builder = self._builder
         self._solver.ensure_num_vars(builder.num_vars)
         clauses = builder.clauses
         for index in range(self._clauses_fed, len(clauses)):
             self._solver.add_clause(clauses[index])
         self._clauses_fed = len(clauses)
+
+    def _publish_aig_statistics(self) -> None:
+        """Push cumulative graph counters into the shared ledger as deltas.
+
+        Several sessions may share one :class:`SolverStatistics` (the
+        entailment checker's session and the CEGIS counterexample sessions
+        feed the same owning solver), so absolute counters cannot simply be
+        overwritten.
+        """
+        nodes = self._aig.num_nodes
+        saved = self._aig.clauses_saved
+        self.statistics.aig_nodes += nodes - self._published_nodes
+        self.statistics.aig_clauses_saved += saved - self._published_saved
+        self._published_nodes = nodes
+        self._published_saved = saved
 
     # ------------------------------------------------------------------
 
@@ -264,12 +173,39 @@ class IncrementalSession:
         start = time.perf_counter()
         assumed = list(assumptions)
         decision_vars = set()
+        refs: List[int] = []
         for literal in assumptions:
-            decision_vars |= self._activation_cones[literal]
+            ref, cone = self._activation_info[literal]
+            decision_vars |= cone
+            refs.append(ref)
         if goal is not None:
-            goal_literal, goal_cone = self._blaster.blast_formula(goal)
+            fingerprint = folbv_fingerprint(goal)
+            entry = self._goal_cache.get(fingerprint)
+            if entry is None:
+                entry = self._lower(goal)
+                self._goal_cache[fingerprint] = entry
+            goal_ref, goal_literal, goal_cone = entry
             assumed.append(goal_literal)
             decision_vars |= goal_cone
+            refs.append(goal_ref)
+        if self._use_aig and refs:
+            # Graph-level short-circuit: rebuild the query conjunction as one
+            # AND node; when rewriting collapses it to false the query is
+            # unsat with no CDCL work at all.  (A collapse to true still runs
+            # the solver, because sat answers need a model.)
+            if self._aig.and_(refs) == FALSE_REF:
+                self.aig_shortcuts += 1
+                self.statistics.aig_shortcuts += 1
+                self._shortcut_assumptions = assumed
+                elapsed = time.perf_counter() - start
+                result = SatResult(
+                    SatStatus.UNSAT, None, elapsed, self.num_clauses, self.num_vars
+                )
+                self.queries += 1
+                self.statistics.record(result)
+                self._publish_aig_statistics()
+                return result
+        self._shortcut_assumptions = None
         self._sync_solver()
         sat, sat_values = self._solver.solve_values(
             max_conflicts=max_conflicts,
@@ -301,6 +237,7 @@ class IncrementalSession:
             result = SatResult(SatStatus.UNSAT, None, elapsed, num_clauses, num_vars)
         self.queries += 1
         self.statistics.record(result)
+        self._publish_aig_statistics()
         return result
 
     def _decode_model(
@@ -308,17 +245,28 @@ class IncrementalSession:
     ) -> Dict[str, Bits]:
         values: Dict[str, Bits] = {}
         for name, width in variables.items():
-            bits = self._blaster._variable_bits.get((name, width))
-            if bits is None:
+            refs = self._lowerer._variable_bits.get((name, width))
+            if refs is None:
                 values[name] = Bits.zeros(width)
             else:
-                values[name] = Bits(
-                    "".join("1" if sat_values[var] == 1 else "0" for var in bits)
-                )
+                bits = []
+                for ref in refs:
+                    # Bits whose whole cone folded away were never emitted;
+                    # they are unconstrained, so zero is a valid choice (the
+                    # validation formula re-check backstops this).
+                    var = self._emitter.var_of(ref)
+                    bits.append("1" if var is not None and sat_values[var] == 1 else "0")
+                values[name] = Bits("".join(bits))
         return values
 
     # ------------------------------------------------------------------
 
     def failed_assumptions(self) -> List[int]:
-        """After an unsat :meth:`check`: the responsible assumption subset."""
+        """After an unsat :meth:`check`: the responsible assumption subset.
+
+        For a graph-collapsed answer there is no CDCL final conflict; the
+        full assumption list of that query is returned instead.
+        """
+        if self._shortcut_assumptions is not None:
+            return list(self._shortcut_assumptions)
         return list(self._solver.last_conflict)

@@ -77,6 +77,32 @@ class CnfBuilder:
     def constant(self, value: bool) -> int:
         return self.true_literal() if value else self.false_literal()
 
+    # -- primitive gate emitters ------------------------------------------------
+    #
+    # These write the Tseitin clauses for a gate whose output variable the
+    # caller has already allocated; no caching, no simplification.  They are
+    # the single source of gate clause shapes, shared by the cached ``gate_*``
+    # encoders below and by the AIG emitter (:mod:`repro.smt.aig`).
+
+    def emit_and(self, output: int, literals: Sequence[int]) -> None:
+        """Clauses for ``output ↔ ⋀ literals``."""
+        for literal in literals:
+            self.add_clause([-output, literal])
+        self.add_clause([output] + [-l for l in literals])
+
+    def emit_or(self, output: int, literals: Sequence[int]) -> None:
+        """Clauses for ``output ↔ ⋁ literals``."""
+        for literal in literals:
+            self.add_clause([output, -literal])
+        self.add_clause([-output] + list(literals))
+
+    def emit_iff(self, output: int, a: int, b: int) -> None:
+        """Clauses for ``output ↔ (a ↔ b)``."""
+        self.add_clause([-output, -a, b])
+        self.add_clause([-output, a, -b])
+        self.add_clause([output, a, b])
+        self.add_clause([output, -a, -b])
+
     # -- gates -----------------------------------------------------------------
 
     def gate_not(self, literal: int) -> int:
@@ -92,9 +118,7 @@ class CnfBuilder:
         if cached is not None:
             return cached
         output = self.new_var()
-        for literal in literals:
-            self.add_clause([-output, literal])
-        self.add_clause([output] + [-l for l in literals])
+        self.emit_and(output, literals)
         self._and_cache[literals] = output
         return output
 
@@ -108,9 +132,7 @@ class CnfBuilder:
         if cached is not None:
             return cached
         output = self.new_var()
-        for literal in literals:
-            self.add_clause([output, -literal])
-        self.add_clause([-output] + list(literals))
+        self.emit_or(output, literals)
         self._or_cache[literals] = output
         return output
 
@@ -123,10 +145,7 @@ class CnfBuilder:
         if cached is not None:
             return cached
         output = self.new_var()
-        self.add_clause([-output, -a, b])
-        self.add_clause([-output, a, -b])
-        self.add_clause([output, a, b])
-        self.add_clause([output, -a, -b])
+        self.emit_iff(output, a, b)
         self._iff_cache[key] = output
         return output
 
