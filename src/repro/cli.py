@@ -88,9 +88,48 @@ def _add_server_argument(parser: argparse.ArgumentParser) -> None:
 
 def _server_setting(args: argparse.Namespace) -> Optional[str]:
     """The daemon address from ``--server``, falling back to the environment."""
-    if getattr(args, "server", None):
+    if vars(args).get("server"):
         return args.server
     return envconfig.server_from_env()
+
+
+def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--solver", choices=envconfig.SOLVER_CHOICES, default=None,
+        help="solver backend for entailment queries; external choices "
+             "(z3, cvc5, cvc4, boolector) must be on PATH "
+             "(default: LEAPFROG_SOLVER or the internal CDCL solver)",
+    )
+    parser.add_argument(
+        "--portfolio", action="store_true",
+        help="race the internal solver against every external solver found "
+             "on PATH, first definitive answer wins (default: "
+             "LEAPFROG_PORTFOLIO or off; excludes an external --solver)",
+    )
+
+
+def _solver_settings(args: argparse.Namespace):
+    """(solver, portfolio) from flags, falling back to the environment.
+
+    External solver choices are validated against PATH here, before any
+    work (or worker process) starts, so a missing binary is a clean exit 2
+    instead of a per-job error deep inside a pool.
+    """
+    from .smt.backend import BackendError, EXTERNAL_SOLVER_COMMANDS
+
+    solver = args.solver if args.solver is not None else envconfig.solver_from_env()
+    portfolio = args.portfolio or bool(envconfig.portfolio_from_env())
+    if portfolio and solver not in (None, "", "internal", "cdcl"):
+        raise BackendError(
+            "--portfolio already races every available solver; "
+            f"it cannot be combined with --solver {solver}"
+        )
+    if solver in EXTERNAL_SOLVER_COMMANDS:
+        import shutil
+
+        if not shutil.which(EXTERNAL_SOLVER_COMMANDS[solver][0]):
+            raise BackendError(f"external solver {solver!r} is not on PATH")
+    return solver, portfolio
 
 
 def _add_oracle_arguments(parser: argparse.ArgumentParser) -> None:
@@ -145,6 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-minimize", action="store_true",
         help="report counterexamples as extracted, without greedy minimization",
     )
+    _add_solver_arguments(check)
     _add_oracle_arguments(check)
     _add_server_argument(check)
 
@@ -175,6 +215,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-aig", action="store_true",
         help="disable AIG simplification in every case's solver pipeline",
     )
+    table.add_argument(
+        "--share-clauses", action="store_true",
+        help="let workers exchange short learned clauses through a channel "
+             "in --cache-dir (requires --cache-dir or LEAPFROG_CACHE_DIR)",
+    )
+    _add_solver_arguments(table)
     _add_oracle_arguments(table)
     _add_server_argument(table)
 
@@ -378,6 +424,7 @@ def _command_check(args: argparse.Namespace) -> int:
         env_aig = envconfig.aig_from_env()
         use_aig = True if env_aig is None else env_aig
     oracle_packets, oracle_seed = _oracle_settings(args)
+    solver, portfolio = _solver_settings(args)
     config = CheckerConfig(
         use_leaps=not args.no_leaps,
         use_reachability=not args.no_reachability,
@@ -388,6 +435,8 @@ def _command_check(args: argparse.Namespace) -> int:
         oracle_packets=oracle_packets or 0,
         oracle_seed=oracle_seed,
         minimize_counterexamples=not args.no_minimize,
+        solver=solver,
+        portfolio=portfolio,
     )
     server = _server_setting(args)
     if server is not None:
@@ -441,6 +490,14 @@ def _command_table(args: argparse.Namespace) -> int:
     use_incremental = False if args.no_incremental else envconfig.incremental_from_env()
     use_aig = False if args.no_aig else envconfig.aig_from_env()
     oracle_packets, oracle_seed = _oracle_settings(args)
+    solver, portfolio = _solver_settings(args)
+    if args.share_clauses and cache_dir is None:
+        print(
+            "error: --share-clauses needs a shared directory; pass "
+            "--cache-dir or set LEAPFROG_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
     metrics = run_cases(
         names=names,
         full=args.full,
@@ -452,6 +509,9 @@ def _command_table(args: argparse.Namespace) -> int:
         oracle_packets=oracle_packets,
         oracle_seed=oracle_seed,
         server=_server_setting(args),
+        solver=solver,
+        portfolio=portfolio or None,
+        share_clauses=args.share_clauses or None,
     )
     renderer = render_markdown if args.markdown else render_text
     print(renderer(metrics, title="Table 2 reproduction"))
@@ -827,6 +887,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ScenarioLookupError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except _backend_error() as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except _service_error() as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -837,6 +900,13 @@ def _service_error():
     from .service.client import ServiceError
 
     return ServiceError
+
+
+def _backend_error():
+    """The solver stack's error type (bad --solver/--portfolio combinations)."""
+    from .smt.backend import BackendError
+
+    return BackendError
 
 
 if __name__ == "__main__":

@@ -75,6 +75,17 @@ class CheckerConfig:
     (``LEAPFROG_SEED``); ``minimize_counterexamples`` shrinks every extracted
     witness by greedy leap/bit drops plus bounded symbolic re-solves before
     it is reported.
+
+    ``solver`` selects which solver backend answers entailment queries (one
+    of :data:`repro.envconfig.SOLVER_CHOICES`; ``None`` means the internal
+    CDCL solver, honouring ``LEAPFROG_SOLVER`` only through the CLI layer).
+    ``portfolio`` instead races the internal solver against every external
+    solver found on PATH, first definitive answer wins; it cannot be
+    combined with an explicit external ``solver``.  ``share_clauses``
+    exports short learned clauses keyed by structural AIG fingerprints to a
+    channel in ``cache_dir`` so concurrent engine workers warm each other's
+    solvers; it requires ``cache_dir``.  All three only apply when the
+    checker builds its own backend.
     """
 
     use_leaps: bool = True
@@ -90,6 +101,9 @@ class CheckerConfig:
     oracle_packets: int = 0
     oracle_seed: Optional[int] = None
     minimize_counterexamples: bool = True
+    solver: Optional[str] = None
+    portfolio: bool = False
+    share_clauses: bool = False
 
 
 @dataclass
@@ -173,10 +187,15 @@ class PreBisimulationChecker:
         self.right_start = right_start
         self.config = config or CheckerConfig()
         self._owns_backend = backend is None
+        if self.config.share_clauses and self.config.cache_dir is None:
+            raise CheckerError("share_clauses requires cache_dir (the clause channel lives there)")
         self.backend = backend if backend is not None else make_backend(
             use_cache=self.config.use_query_cache,
             cache_dir=self.config.cache_dir,
             use_aig=self.config.use_aig,
+            solver=self.config.solver,
+            portfolio=self.config.portfolio,
+            share_dir=self.config.cache_dir if self.config.share_clauses else None,
         )
         self.entailment = EntailmentChecker(
             self.backend,
@@ -211,7 +230,8 @@ class PreBisimulationChecker:
     def run(self) -> PreBisimResult:
         statistics = CheckerStatistics()
         start_time = time.perf_counter()
-        cache_stats = getattr(self.backend, "cache_statistics", None)
+        caching = self.backend.capabilities.caching
+        cache_stats = self.backend.cache_statistics if caching else None
         cache_before = cache_stats.as_dict() if cache_stats is not None else None
         tracking_memory = False
         if self.config.track_memory and not tracemalloc.is_tracing():
@@ -250,9 +270,7 @@ class PreBisimulationChecker:
             if self._owns_backend:
                 # Release the persistent cache's file handle deterministically
                 # (the store reopens transparently if this checker runs again).
-                close = getattr(self.backend, "close", None)
-                if close is not None:
-                    close()
+                self.backend.close()
         return result
 
     # ------------------------------------------------------------------

@@ -291,11 +291,9 @@ class _PathSolver:
 
     def __init__(self, backend: SolverBackend, use_incremental: bool = True) -> None:
         self.backend = backend
-        self._session = None
-        if use_incremental:
-            factory = getattr(backend, "incremental_session", None)
-            if factory is not None:
-                self._session = factory()
+        # None when the backend cannot run an assumption-based session
+        # (capabilities lack ``incremental``): every solve is one-shot then.
+        self._session = backend.incremental_session() if use_incremental else None
 
     @property
     def incremental(self) -> bool:

@@ -159,12 +159,16 @@ def _effective_config(
     oracle_packets: Optional[int] = None,
     oracle_seed: Optional[int] = None,
     use_aig: Optional[bool] = None,
+    solver: Optional[str] = None,
+    portfolio: Optional[bool] = None,
+    share_clauses: Optional[bool] = None,
 ) -> Optional[CheckerConfig]:
     config = job.config
     if (
         cache_dir is None and use_incremental is None
         and oracle_packets is None and oracle_seed is None
-        and use_aig is None
+        and use_aig is None and solver is None
+        and portfolio is None and share_clauses is None
     ):
         return config
     if config is None:
@@ -179,6 +183,12 @@ def _effective_config(
         config = dataclasses.replace(config, oracle_packets=oracle_packets)
     if oracle_seed is not None and config.oracle_seed is None:
         config = dataclasses.replace(config, oracle_seed=oracle_seed)
+    if solver is not None and config.solver is None:
+        config = dataclasses.replace(config, solver=solver)
+    if portfolio is not None and config.portfolio != portfolio:
+        config = dataclasses.replace(config, portfolio=portfolio)
+    if share_clauses is not None and config.share_clauses != share_clauses:
+        config = dataclasses.replace(config, share_clauses=share_clauses)
     return config
 
 
@@ -189,9 +199,13 @@ def _execute_job(
     oracle_packets: Optional[int] = None,
     oracle_seed: Optional[int] = None,
     use_aig: Optional[bool] = None,
+    solver: Optional[str] = None,
+    portfolio: Optional[bool] = None,
+    share_clauses: Optional[bool] = None,
 ) -> object:
     config = _effective_config(job, cache_dir, use_incremental, oracle_packets,
-                               oracle_seed, use_aig)
+                               oracle_seed, use_aig, solver, portfolio,
+                               share_clauses)
     if isinstance(job, CaseJob):
         from ..reporting.runner import case_studies
 
@@ -223,11 +237,15 @@ def _pooled_worker(
     oracle_packets: Optional[int] = None,
     oracle_seed: Optional[int] = None,
     use_aig: Optional[bool] = None,
+    solver: Optional[str] = None,
+    portfolio: Optional[bool] = None,
+    share_clauses: Optional[bool] = None,
 ) -> None:
     """Child-process entry point: run one job, ship the outcome over a pipe."""
     try:
         payload = ("ok", _execute_job(job, cache_dir, use_incremental,
-                                      oracle_packets, oracle_seed, use_aig))
+                                      oracle_packets, oracle_seed, use_aig,
+                                      solver, portfolio, share_clauses))
     except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
         payload = ("error", f"{type(exc).__name__}: {exc}")
     try:
@@ -266,6 +284,14 @@ class EquivalenceEngine:
     job that does not already configure it — each verdict is cross-checked
     against that many seeded random packets (see
     :mod:`repro.oracle.differential`).
+
+    ``solver``/``portfolio``/``share_clauses`` thread the solver-backend
+    selection of :class:`~repro.core.algorithm.CheckerConfig` into every job
+    that does not already configure it.  ``share_clauses`` combines with
+    ``cache_dir``: the clause channel lives next to the query cache, so
+    pooled workers pointed at the same directory trade learned clauses.
+    These are local execution knobs — remote (``server``) dispatch does not
+    forward them; the daemon picks its own backend.
     """
 
     def __init__(
@@ -279,6 +305,9 @@ class EquivalenceEngine:
         oracle_seed: Optional[int] = None,
         server: Optional[str] = None,
         use_aig: Optional[bool] = None,
+        solver: Optional[str] = None,
+        portfolio: Optional[bool] = None,
+        share_clauses: Optional[bool] = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"worker count must be >= 1, got {jobs}")
@@ -291,6 +320,9 @@ class EquivalenceEngine:
         self.oracle_packets = oracle_packets
         self.oracle_seed = oracle_seed
         self.server = server
+        self.solver = solver
+        self.portfolio = portfolio
+        self.share_clauses = share_clauses
         self.statistics = EngineStatistics()
 
     # ------------------------------------------------------------------
@@ -342,7 +374,8 @@ class EquivalenceEngine:
         try:
             value = _execute_job(job, self.cache_dir, self.use_incremental,
                                  self.oracle_packets, self.oracle_seed,
-                                 self.use_aig)
+                                 self.use_aig, self.solver, self.portfolio,
+                                 self.share_clauses)
         except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
             elapsed = time.perf_counter() - start
             if limit is not None and elapsed > limit:
@@ -450,7 +483,8 @@ class EquivalenceEngine:
                         target=_pooled_worker,
                         args=(sender, job, self.cache_dir, self.use_incremental,
                               self.oracle_packets, self.oracle_seed,
-                              self.use_aig),
+                              self.use_aig, self.solver, self.portfolio,
+                              self.share_clauses),
                         daemon=True,
                     )
                     process.start()

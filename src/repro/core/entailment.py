@@ -28,7 +28,7 @@ present.  The pure fast mode is kept for experiments on the trade-off.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..logic import folbv
@@ -85,9 +85,15 @@ class EntailmentStatistics:
     aig_nodes: int = 0
     aig_clauses_saved: int = 0
     aig_shortcuts: int = 0
+    #: Cross-worker learned-clause traffic, mirrored from the solver ledger.
+    clauses_exported: int = 0
+    clauses_imported: int = 0
+    #: Per-lane portfolio counters (wins/losses/cancelled/errors), mirrored
+    #: from the solver ledger; empty outside portfolio mode.
+    portfolio: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, int]:
-        return {
+        payload = {
             "checks": self.checks,
             "trivial": self.trivial,
             "syntactic": self.syntactic,
@@ -102,7 +108,14 @@ class EntailmentStatistics:
             "aig_nodes": self.aig_nodes,
             "aig_clauses_saved": self.aig_clauses_saved,
             "aig_shortcuts": self.aig_shortcuts,
+            "clauses_exported": self.clauses_exported,
+            "clauses_imported": self.clauses_imported,
         }
+        if self.portfolio:
+            payload["portfolio"] = {
+                lane: dict(counters) for lane, counters in self.portfolio.items()
+            }
+        return payload
 
 
 class EntailmentChecker:
@@ -122,13 +135,10 @@ class EntailmentChecker:
         self.cegis_rounds = cegis_rounds
         self.statistics = EntailmentStatistics()
         self.use_incremental = use_incremental
-        self._session = None
-        if use_incremental:
-            factory = getattr(self.backend, "incremental_session", None)
-            if factory is not None:
-                # May still be None (e.g. DPLL engine, external solver): then
-                # every query falls back to the one-shot path.
-                self._session = factory()
+        # May be None (DPLL engine, external solvers, portfolio — anything
+        # whose capabilities lack ``incremental``): then every query falls
+        # back to the one-shot path.
+        self._session = self.backend.incremental_session() if use_incremental else None
         self._lowered_premises: Dict[str, folbv.BFormula] = {}
         # The compiled FOL(BV) query of the most recent fast-path check; used
         # to re-validate refutation models by concrete evaluation (cached
@@ -158,11 +168,16 @@ class EntailmentChecker:
         mirrored values are per-run; they surface in the Table 2 report.
         """
         solver_stats = self.backend.statistics
-        self.statistics.aig_nodes = getattr(solver_stats, "aig_nodes", 0)
-        self.statistics.aig_clauses_saved = getattr(
-            solver_stats, "aig_clauses_saved", 0
-        )
-        self.statistics.aig_shortcuts = getattr(solver_stats, "aig_shortcuts", 0)
+        self.statistics.aig_nodes = solver_stats.aig_nodes
+        self.statistics.aig_clauses_saved = solver_stats.aig_clauses_saved
+        self.statistics.aig_shortcuts = solver_stats.aig_shortcuts
+        self.statistics.clauses_exported = solver_stats.clauses_exported
+        self.statistics.clauses_imported = solver_stats.clauses_imported
+        if solver_stats.portfolio_lanes:
+            self.statistics.portfolio = {
+                lane: dict(counters)
+                for lane, counters in solver_stats.portfolio_lanes.items()
+            }
 
     def check(self, premises: Sequence[Formula], goal: Formula) -> EntailmentOutcome:
         try:
@@ -195,7 +210,8 @@ class EntailmentChecker:
         else:
             query = compile_entailment(canonical_premises, canonical_goal)
             self._last_query = query.formula
-            cache_stats = getattr(self.backend, "cache_statistics", None)
+            caching = self.backend.capabilities.caching
+            cache_stats = self.backend.cache_statistics if caching else None
             hits_before = cache_stats.hits if cache_stats is not None else 0
             result = self.backend.check_sat(query.formula)
             if cache_stats is not None:
@@ -271,9 +287,8 @@ class EntailmentChecker:
         negated_goal = folbv.b_not(lowered_goal)
         combined = folbv.b_and(list(lowered_premises) + [negated_goal])
         self._last_query = combined
-        lookup = getattr(self.backend, "lookup", None)
-        if lookup is not None:
-            cached = lookup(combined)
+        if self.backend.capabilities.caching:
+            cached = self.backend.lookup(combined)
             if cached is not None:
                 self.statistics.cache_hits += 1
                 return cached
@@ -286,9 +301,7 @@ class EntailmentChecker:
             goal=negated_goal,
             validate_formula=combined,
         )
-        store = getattr(self.backend, "store", None)
-        if store is not None:
-            store(combined, result)
+        self.backend.store(combined, result)
         return result
 
     # ------------------------------------------------------------------
@@ -310,9 +323,10 @@ class EntailmentChecker:
             lowered_premises.append(lower_formula(renamed))
         lowered_goal = lower_formula(goal)
         matrix = folbv.b_and(lowered_premises + [folbv.b_not(lowered_goal)])
-        # Both InternalBackend and CachingBackend expose the underlying
-        # internal solver via .solver; other backends fall back to a fresh one.
-        internal_solver = getattr(self.backend, "solver", None)
+        # Backends whose stack bottoms out in the internal CDCL solver expose
+        # it via the protocol; external backends yield None and CEGIS builds
+        # a fresh one.
+        internal_solver = self.backend.internal_solver
         outcome = solve_exists_forall(
             matrix,
             universal_vars,

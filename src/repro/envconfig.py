@@ -35,6 +35,25 @@ SEED_VAR = "LEAPFROG_SEED"
 #: ``unix:`` prefixed) or ``http://host:port``.  When set, the CLI commands
 #: become thin clients of the daemon; unset = in-process checking.
 SERVER_VAR = "LEAPFROG_SERVER"
+#: Backend solver selection (unset = the internal CDCL stack).  Accepts the
+#: internal engines (``internal``/``cdcl``, ``dpll``/``internal-dpll``) and
+#: the external SMT solvers in :data:`EXTERNAL_SOLVERS`; anything else is a
+#: configuration error, never a silent fallback.
+SOLVER_VAR = "LEAPFROG_SOLVER"
+#: Portfolio-mode toggle: race the internal solver against every external
+#: solver found on PATH, first definitive answer wins (default off).
+PORTFOLIO_VAR = "LEAPFROG_PORTFOLIO"
+
+#: The external SMT solvers the backend layer knows how to drive, in
+#: preference order.  ``smt.backend.EXTERNAL_SOLVER_COMMANDS`` maps each name
+#: to its command line; a test pins the two in sync.
+EXTERNAL_SOLVERS = ("z3", "cvc5", "cvc4", "boolector")
+
+#: Spellings that select the internal solver stack.
+INTERNAL_SOLVERS = ("internal", "cdcl", "dpll", "internal-dpll")
+
+#: Every value :func:`parse_solver` accepts (the CLI ``--solver`` choices).
+SOLVER_CHOICES = INTERNAL_SOLVERS + EXTERNAL_SOLVERS
 
 #: Packet budget used when ``LEAPFROG_ORACLE`` is a bare "on"/"true".
 DEFAULT_ORACLE_PACKETS = 64
@@ -152,6 +171,36 @@ def seed_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[int]:
     """The ``LEAPFROG_SEED`` sampler seed, or ``None`` when unset."""
     environ = os.environ if environ is None else environ
     return parse_seed(environ.get(SEED_VAR), source=SEED_VAR)
+
+
+def parse_solver(raw: Optional[str], source: str = SOLVER_VAR) -> Optional[str]:
+    """Parse a solver selection; ``None``/empty means "not set".
+
+    Returns the normalised (lower-cased) solver name.  An unknown name — a
+    typo like ``z33`` — is an :class:`EnvConfigError`, not a silent fallback
+    to the internal solver: whether the named solver is actually installed is
+    checked later by the backend layer, but the *name* must be one we know.
+    """
+    if raw is None or raw.strip() == "":
+        return None
+    value = raw.strip().lower()
+    if value in SOLVER_CHOICES:
+        return value
+    raise EnvConfigError(
+        f"{source} must be one of {SOLVER_CHOICES}, got {raw!r}"
+    )
+
+
+def solver_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """The ``LEAPFROG_SOLVER`` selection, or ``None`` when unset."""
+    environ = os.environ if environ is None else environ
+    return parse_solver(environ.get(SOLVER_VAR), source=SOLVER_VAR)
+
+
+def portfolio_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[bool]:
+    """The ``LEAPFROG_PORTFOLIO`` toggle: True/False, or ``None`` when unset."""
+    environ = os.environ if environ is None else environ
+    return parse_flag(environ.get(PORTFOLIO_VAR), source=PORTFOLIO_VAR)
 
 
 def server_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:

@@ -100,6 +100,20 @@ def attach_run_statistics(metrics: CaseMetrics, statistics: CheckerStatistics,
             metrics.extra["aig_shortcuts"] = int(
                 statistics.entailment.get("aig_shortcuts", 0)
             )
+        # Cross-worker clause sharing: only rendered when traffic happened,
+        # so non-sharing runs keep their old column set.
+        exported = int(statistics.entailment.get("clauses_exported", 0))
+        imported = int(statistics.entailment.get("clauses_imported", 0))
+        if exported or imported:
+            metrics.extra["clauses_exported"] = exported
+            metrics.extra["clauses_imported"] = imported
+        # Portfolio lane outcomes, summarized as "lane:wins" pairs.
+        portfolio = statistics.entailment.get("portfolio")
+        if portfolio:
+            metrics.extra["portfolio_wins"] = " ".join(
+                f"{lane}:{counters.get('wins', 0)}"
+                for lane, counters in sorted(portfolio.items())
+            )
     oracle_divergences = int(statistics.oracle.get("divergences", 0)) if statistics.oracle else 0
     if statistics.oracle or statistics.replay_divergences:
         # Model-vs-replay mismatches plus concrete oracle disagreements; 0 is

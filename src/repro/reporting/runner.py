@@ -252,6 +252,9 @@ def run_cases(
     oracle_seed: Optional[int] = None,
     server: Optional[str] = None,
     use_aig: Optional[bool] = None,
+    solver: Optional[str] = None,
+    portfolio: Optional[bool] = None,
+    share_clauses: Optional[bool] = None,
 ) -> List[CaseMetrics]:
     """Run the selected case studies and return their metric rows.
 
@@ -270,6 +273,11 @@ def run_cases(
     case to a running ``repro serve`` daemon instead of local workers;
     ``jobs`` then sizes the client fan-out and the other execution knobs
     stay daemon-side.
+
+    ``solver``/``portfolio``/``share_clauses`` select the solver backend of
+    every case's checker (see :class:`~repro.core.algorithm.CheckerConfig`);
+    ``share_clauses`` additionally needs ``cache_dir``, where the shared
+    clause channel lives.
     """
     from ..core.engine import CaseJob, EquivalenceEngine
 
@@ -286,6 +294,7 @@ def run_cases(
         use_incremental=use_incremental,
         oracle_packets=oracle_packets, oracle_seed=oracle_seed,
         server=server, use_aig=use_aig,
+        solver=solver, portfolio=portfolio, share_clauses=share_clauses,
     )
     # --case is repeatable, so the same name may appear twice; suffix repeats
     # to keep engine job labels unique while preserving one row per request.

@@ -30,6 +30,14 @@ _COLUMNS = (
     ("Divergences", "divergences"),
 )
 
+#: Columns appended only when some row carries the key, so runs without
+#: clause sharing or portfolio mode keep the classic Table 2 layout.
+_OPTIONAL_COLUMNS = (
+    ("Clauses out", "clauses_exported"),
+    ("Clauses in", "clauses_imported"),
+    ("Portfolio wins", "portfolio_wins"),
+)
+
 
 def _format_value(value) -> str:
     if value is None:
@@ -41,12 +49,22 @@ def _format_value(value) -> str:
     return str(value)
 
 
-def _rows(cases: Sequence[CaseMetrics]) -> List[List[str]]:
-    rows = []
-    for case in cases:
-        record = case.as_dict()
-        rows.append([_format_value(record.get(key)) for _, key in _COLUMNS])
-    return rows
+def _columns(cases: Sequence[CaseMetrics]):
+    records = [case.as_dict() for case in cases]
+    columns = list(_COLUMNS)
+    columns.extend(
+        (label, key)
+        for label, key in _OPTIONAL_COLUMNS
+        if any(record.get(key) is not None for record in records)
+    )
+    return columns, records
+
+
+def _rows(records, columns) -> List[List[str]]:
+    return [
+        [_format_value(record.get(key)) for _, key in columns]
+        for record in records
+    ]
 
 
 def render_fixed_width(headers: Sequence[str], rows: Sequence[Sequence[str]],
@@ -72,19 +90,21 @@ def render_fixed_width(headers: Sequence[str], rows: Sequence[Sequence[str]],
 
 def render_text(cases: Sequence[CaseMetrics], title: Optional[str] = None) -> str:
     """Fixed-width text table (printed by the benchmark harness)."""
-    headers = [label for label, _ in _COLUMNS]
-    return render_fixed_width(headers, _rows(cases), title=title)
+    columns, records = _columns(cases)
+    headers = [label for label, _ in columns]
+    return render_fixed_width(headers, _rows(records, columns), title=title)
 
 
 def render_markdown(cases: Sequence[CaseMetrics], title: Optional[str] = None) -> str:
     """Markdown table (embedded in EXPERIMENTS.md)."""
-    headers = [label for label, _ in _COLUMNS]
+    columns, records = _columns(cases)
+    headers = [label for label, _ in columns]
     lines = []
     if title:
         lines.append(f"### {title}")
         lines.append("")
     lines.append("| " + " | ".join(headers) + " |")
     lines.append("|" + "|".join("---" for _ in headers) + "|")
-    for row in _rows(cases):
+    for row in _rows(records, columns):
         lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines)

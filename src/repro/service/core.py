@@ -54,8 +54,7 @@ from ..core.counterexample import Counterexample
 from ..core.equivalence import EquivalenceResult, check_language_equivalence
 from ..p4a.surface import parse_automaton
 from ..p4a.syntax import P4Automaton
-from ..smt.backend import InternalBackend
-from ..smt.cache import CachingBackend
+from ..smt.cache import make_backend
 from .fingerprints import config_fingerprint, pair_fingerprint, store_key
 from .protocol import ENDPOINTS, PROTOCOL_VERSION
 from .store import VerdictStore, encode_counterexample
@@ -162,7 +161,7 @@ class _WorkerState:
     def __init__(self, worker_id: int, cache_dir: Optional[str],
                  memory_cache_cap: int) -> None:
         self.worker_id = worker_id
-        self.backend = CachingBackend(InternalBackend(), cache_dir=cache_dir)
+        self.backend = make_backend(use_cache=True, cache_dir=cache_dir)
         self.memory_cache_cap = memory_cache_cap
         self.solves = 0
         self.replays = 0

@@ -2,37 +2,50 @@
 
 from .aig import Aig, AigError, AigToCnf, FolbvToAig, aig_to_cnf
 from .backend import (
+    BackendError,
+    BackendMiddleware,
     ExternalBackend,
     InternalBackend,
+    PortfolioBackend,
     SolverBackend,
+    SolverCapabilities,
     available_external_solvers,
+    backend_for_solver,
     default_backend,
 )
 from .bitblast import Bitblaster, BitblastResult, bitblast
 from .bvsolver import InternalBVSolver, SatResult, SatStatus, SolverStatistics
 from .cache import CacheStatistics, CachingBackend, PersistentQueryCache, make_backend
 from .cegis import ExistsForallResult, solve_exists_forall, substitute
+from .clauses import AigFingerprinter, ClauseChannel
 
 __all__ = [
     "Aig",
     "AigError",
+    "AigFingerprinter",
     "AigToCnf",
     "FolbvToAig",
     "aig_to_cnf",
+    "BackendError",
+    "BackendMiddleware",
     "Bitblaster",
     "BitblastResult",
     "CacheStatistics",
     "CachingBackend",
+    "ClauseChannel",
     "ExistsForallResult",
     "ExternalBackend",
     "InternalBackend",
     "InternalBVSolver",
     "PersistentQueryCache",
+    "PortfolioBackend",
     "SatResult",
     "SatStatus",
     "SolverBackend",
+    "SolverCapabilities",
     "SolverStatistics",
     "available_external_solvers",
+    "backend_for_solver",
     "bitblast",
     "default_backend",
     "make_backend",

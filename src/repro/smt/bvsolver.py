@@ -36,6 +36,11 @@ class SatResult:
     elapsed: float = 0.0
     num_clauses: int = 0
     num_variables: int = 0
+    #: Why an UNKNOWN is unknown: ``"timeout"``, ``"cancelled"``,
+    #: ``"parse-failure"`` or ``"error"`` (``None`` for definitive answers).
+    reason: Optional[str] = None
+    #: Free-form diagnostics (e.g. an external solver's stderr).
+    detail: Optional[str] = None
 
     @property
     def is_sat(self) -> bool:
@@ -64,6 +69,15 @@ class SolverStatistics:
     aig_nodes: int = 0
     aig_clauses_saved: int = 0
     aig_shortcuts: int = 0
+    #: External-lane failure modes (see ``ExternalBackend``): queries killed
+    #: at the deadline vs. queries whose output the SMT-LIB parser rejected.
+    external_timeouts: int = 0
+    parse_failures: int = 0
+    #: Cross-worker learned-clause traffic (see ``repro.smt.clauses``).
+    clauses_exported: int = 0
+    clauses_imported: int = 0
+    #: Per-lane win/loss/cancel/error counters, filled by PortfolioBackend.
+    portfolio_lanes: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record(self, result: SatResult) -> None:
         self.queries += 1
@@ -95,15 +109,22 @@ class InternalBVSolver:
         engine: str = "cdcl",
         validate_models: bool = True,
         use_aig: bool = True,
+        clause_channel=None,
     ) -> None:
         if engine not in ("cdcl", "dpll"):
             raise ValueError(f"unknown SAT engine {engine!r}")
         self._engine = engine
         self._validate_models = validate_models
         self.use_aig = use_aig
+        self.clause_channel = clause_channel
         self.statistics = SolverStatistics()
 
-    def check_sat(self, formula: BFormula, max_conflicts: Optional[int] = None) -> SatResult:
+    def check_sat(
+        self,
+        formula: BFormula,
+        max_conflicts: Optional[int] = None,
+        stop=None,
+    ) -> SatResult:
         start = time.perf_counter()
         blaster = Bitblaster(use_aig=self.use_aig)
         for name, width in folbv.free_variables(formula).items():
@@ -114,11 +135,12 @@ class InternalBVSolver:
         if self._engine == "dpll":
             sat, sat_model = dpll_solve(blasted.cnf)
         else:
-            sat, sat_model = cdcl_solve(blasted.cnf, max_conflicts=max_conflicts)
+            sat, sat_model = cdcl_solve(blasted.cnf, max_conflicts=max_conflicts, stop=stop)
         elapsed = time.perf_counter() - start
         if sat is None:
+            reason = "cancelled" if stop is not None and stop.is_set() else None
             result = SatResult(SatStatus.UNKNOWN, None, elapsed, len(blasted.cnf.clauses),
-                               blasted.cnf.num_vars)
+                               blasted.cnf.num_vars, reason=reason)
         elif sat:
             model = blasted.decode_model(sat_model)
             if self._validate_models and not folbv.eval_formula(formula, complete_model(formula, model)):
@@ -157,6 +179,7 @@ class InternalBVSolver:
             validate_models=self._validate_models,
             statistics=self.statistics,
             use_aig=self.use_aig,
+            clause_channel=self.clause_channel,
         )
 
 

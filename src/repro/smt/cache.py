@@ -26,14 +26,21 @@ import os
 import sqlite3
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from ..logic.fingerprint import FINGERPRINT_VERSION, folbv_fingerprint
 from ..logic.folbv import BFormula
 from ..p4a.bitvec import Bits
-from .backend import InternalBackend, SolverBackend
-from .bvsolver import InternalBVSolver, SatResult, SatStatus, SolverStatistics
+from .backend import (
+    BackendMiddleware,
+    InternalBackend,
+    PortfolioBackend,
+    SolverBackend,
+    SolverCapabilities,
+    backend_for_solver,
+)
+from .bvsolver import InternalBVSolver, SatResult, SatStatus
 
 
 @dataclass
@@ -173,28 +180,33 @@ class PersistentQueryCache:
                 self._conn = None
 
 
-class CachingBackend(SolverBackend):
-    """A solver backend that memoizes ``check_sat`` by query fingerprint."""
+class CachingBackend(BackendMiddleware):
+    """Middleware that memoizes ``check_sat`` by query fingerprint.
+
+    The canonical :class:`~repro.smt.backend.BackendMiddleware`: every other
+    protocol operation is delegated to the wrapped backend unchanged, and the
+    declared capabilities are the inner backend's plus ``caching``.
+    """
 
     def __init__(
         self,
         inner: Optional[SolverBackend] = None,
         cache_dir: Optional[str] = None,
     ) -> None:
-        self.inner = inner if inner is not None else InternalBackend()
+        super().__init__(inner if inner is not None else InternalBackend())
         self.name = f"cached+{self.inner.name}"
-        self.cache_statistics = CacheStatistics()
+        self._cache_statistics = CacheStatistics()
         self._memory: Dict[str, SatResult] = {}
         self._disk = PersistentQueryCache(cache_dir) if cache_dir else None
 
     # ------------------------------------------------------------------
 
-    def check_sat(self, formula: BFormula) -> SatResult:
+    def check_sat(self, formula: BFormula, stop=None) -> SatResult:
         fingerprint = folbv_fingerprint(formula)
         cached = self.lookup(formula, fingerprint=fingerprint)
         if cached is not None:
             return cached
-        result = self.inner.check_sat(formula)
+        result = self.inner.check_sat(formula, stop=stop)
         self.store(formula, result, fingerprint=fingerprint)
         return result
 
@@ -217,17 +229,17 @@ class CachingBackend(SolverBackend):
             fingerprint = folbv_fingerprint(formula)
         cached = self._memory.get(fingerprint)
         if cached is not None:
-            self.cache_statistics.hits += 1
-            self.cache_statistics.memory_hits += 1
+            self._cache_statistics.hits += 1
+            self._cache_statistics.memory_hits += 1
             return self._replay(cached, start)
         if self._disk is not None:
             cached = self._disk.get(fingerprint)
             if cached is not None:
                 self._memory[fingerprint] = cached
-                self.cache_statistics.hits += 1
-                self.cache_statistics.disk_hits += 1
+                self._cache_statistics.hits += 1
+                self._cache_statistics.disk_hits += 1
                 return self._replay(cached, start)
-        self.cache_statistics.misses += 1
+        self._cache_statistics.misses += 1
         return None
 
     def store(
@@ -241,12 +253,15 @@ class CachingBackend(SolverBackend):
         self._memory[fingerprint] = result
         if self._disk is not None:
             self._disk.put(fingerprint, result)
-        self.cache_statistics.stores += 1
+        self._cache_statistics.stores += 1
 
-    def incremental_session(self):
-        """Delegate to the wrapped backend (None when it has no session support)."""
-        factory = getattr(self.inner, "incremental_session", None)
-        return factory() if factory is not None else None
+    @property
+    def capabilities(self) -> SolverCapabilities:
+        return replace(self.inner.capabilities, caching=True)
+
+    @property
+    def cache_statistics(self) -> CacheStatistics:
+        return self._cache_statistics
 
     @property
     def memory_entries(self) -> int:
@@ -276,16 +291,9 @@ class CachingBackend(SolverBackend):
     # ------------------------------------------------------------------
 
     @property
-    def statistics(self) -> SolverStatistics:
-        """Statistics of the wrapped backend (actual solver work only)."""
-        return self.inner.statistics
-
-    @property
     def solver(self) -> Optional[InternalBVSolver]:
         """The underlying internal solver, when the wrapped backend has one."""
-        if isinstance(self.inner, InternalBackend):
-            return self.inner.solver
-        return None
+        return self.inner.internal_solver
 
     @property
     def persistent_path(self) -> Optional[str]:
@@ -294,6 +302,7 @@ class CachingBackend(SolverBackend):
     def close(self) -> None:
         if self._disk is not None:
             self._disk.close()
+        self.inner.close()
 
 
 def make_backend(
@@ -301,15 +310,46 @@ def make_backend(
     cache_dir: Optional[str] = None,
     inner: Optional[SolverBackend] = None,
     use_aig: bool = True,
+    solver: Optional[str] = None,
+    portfolio: bool = False,
+    share_dir: Optional[str] = None,
 ) -> SolverBackend:
-    """Build the standard backend stack: internal solver, optionally cached.
+    """Build the standard backend stack, innermost layer first.
 
-    ``use_cache=False`` wins: it disables both cache layers even when a
-    ``cache_dir`` is supplied, so an explicit opt-out is never overridden.
+    * the base lane comes from ``portfolio`` (a :class:`PortfolioBackend`
+      racing the internal solver against every external solver on PATH) or
+      ``solver`` (a validated ``--solver``/``LEAPFROG_SOLVER`` choice;
+      default the internal solver) — the two are mutually exclusive since a
+      portfolio already contains every lane;
+    * ``share_dir`` attaches a cross-worker learned-clause channel
+      (:mod:`repro.smt.clauses`) to the internal solver's incremental
+      sessions;
+    * ``use_cache`` wraps the lane in :class:`CachingBackend`.
+      ``use_cache=False`` wins: it disables both cache layers even when a
+      ``cache_dir`` is supplied, so an explicit opt-out is never overridden.
+
     ``use_aig`` selects AIG simplification in the internal solver's lowering
-    pipeline (ignored when an explicit ``inner`` backend is supplied).
+    pipeline.  All lane options are ignored when an explicit ``inner``
+    backend is supplied.
     """
-    backend = inner if inner is not None else InternalBackend(use_aig=use_aig)
+    if inner is not None:
+        backend = inner
+    elif portfolio:
+        if solver not in (None, "", "internal", "cdcl"):
+            from .backend import BackendError
+
+            raise BackendError(
+                "--portfolio already races every available solver; "
+                f"it cannot be combined with --solver {solver}"
+            )
+        backend = PortfolioBackend(use_aig=use_aig)
+    else:
+        channel = None
+        if share_dir is not None:
+            from .clauses import ClauseChannel
+
+            channel = ClauseChannel(share_dir)
+        backend = backend_for_solver(solver, use_aig=use_aig, clause_channel=channel)
     if use_cache:
         return CachingBackend(backend, cache_dir=cache_dir)
     return backend

@@ -1,0 +1,267 @@
+"""Cross-worker learned-clause sharing keyed by structural AIG fingerprints.
+
+The process-pool engine runs one solver per worker, so until now the only
+thing workers shared was final verdicts (through the query cache).  Learned
+clauses are the expensive by-product of CDCL search, and the hash-consed AIG
+gives every node a *stable cross-process name*: a fingerprint computed from
+the node's structure alone (input bit names and the gate tree below it).
+Two workers lowering the same sub-formulas build structurally identical
+cones, so a clause over fingerprinted nodes learned in one worker can be
+translated into another worker's local CNF numbering and added there.
+
+Soundness rests on three facts (see also ``sat/solver.py``'s module
+docstring):
+
+* conflict analysis never keeps level-0 literals, and an activation literal
+  can only be resolved *into* a clause (activation variables occur in one
+  clause, negatively) — so a learned clause containing no activation
+  variable is implied by the Tseitin gate clauses alone;
+* Tseitin gates are definitional, so a clause implied by one worker's gate
+  clauses over a cone is implied by any worker's gate clauses for a
+  structurally identical cone;
+* the exporter only publishes clauses whose every literal names a
+  fingerprintable AIG node, and the importer only accepts clauses whose
+  every fingerprint resolves to a locally *emitted* node (gates present).
+
+Two pieces:
+
+* :class:`AigFingerprinter` — node index → fingerprint and back, memoised,
+  computed iteratively so deep graphs cannot overflow the recursion limit.
+* :class:`ClauseChannel` — a bounded sqlite table of published clauses
+  (JSON lists of signed fingerprints) shared by every worker pointing at
+  the same directory; the same WAL/busy-timeout recipe as the query cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .aig import _INPUT, Aig, FolbvToAig
+
+#: Version tag in the channel filename: bump when the fingerprint scheme or
+#: the row format changes, so mixed-version workers never exchange clauses.
+CHANNEL_VERSION = 1
+
+#: How long a writer waits on a locked database before giving up (ms).
+BUSY_TIMEOUT_MS = 30_000
+
+#: Only clauses this short are shared: long clauses prune little and cost
+#: translation work in every importer.
+DEFAULT_MAX_CLAUSE_LEN = 8
+
+#: Bound on the number of clauses the channel retains (oldest evicted).
+DEFAULT_CAPACITY = 4096
+
+#: Negated fingerprints carry this prefix in the published clause encoding.
+_NEGATION = "!"
+
+
+def _digest(payload: str) -> str:
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class AigFingerprinter:
+    """Stable structural fingerprints for the nodes of one AIG.
+
+    An input bit is named by the variable it belongs to
+    (``name``/``width``/bit position, read from the lowerer's variable
+    table); a gate is named by its kind and the sorted signed fingerprints
+    of its operands.  Nodes whose cone contains an input that no variable
+    claims (none exist on the lowering path today, but the translation must
+    not guess) fingerprint to ``None`` and are excluded from sharing.
+    """
+
+    def __init__(self, aig: Aig, lowerer: FolbvToAig) -> None:
+        self._aig = aig
+        self._lowerer = lowerer
+        self._fps: Dict[int, Optional[str]] = {}
+        self._by_fp: Dict[str, int] = {}
+        self._input_names: Dict[int, str] = {}
+        self._scanned_variables = 0
+
+    def _refresh_input_names(self) -> None:
+        table = self._lowerer._variable_bits
+        if len(table) == self._scanned_variables:
+            return
+        for (name, width), refs in table.items():
+            for position, ref in enumerate(refs):
+                self._input_names.setdefault(abs(ref), f"v:{name}:{width}:{position}")
+        self._scanned_variables = len(table)
+
+    def fingerprint(self, index: int) -> Optional[str]:
+        """The fingerprint of positive node ``index`` (``None``: unshareable)."""
+        known = self._fps.get(index, _MISSING)
+        if known is not _MISSING:
+            return known
+        self._refresh_input_names()
+        aig = self._aig
+        stack = [index]
+        while stack:
+            node = stack[-1]
+            if self._fps.get(node, _MISSING) is not _MISSING:
+                stack.pop()
+                continue
+            kind = aig.kind(node)
+            if kind == _INPUT:
+                name = self._input_names.get(node)
+                self._record(node, None if name is None else _digest(name))
+                stack.pop()
+                continue
+            operands = aig.operands(node)
+            pending = [abs(ref) for ref in operands
+                       if self._fps.get(abs(ref), _MISSING) is _MISSING]
+            if pending:
+                stack.extend(pending)
+                continue
+            child_fps = []
+            failed = False
+            for ref in operands:
+                child = self._fps[abs(ref)]
+                if child is None:
+                    failed = True
+                    break
+                child_fps.append(_NEGATION + child if ref < 0 else child)
+            if failed:
+                self._record(node, None)
+            else:
+                # AND and IFF are both commutative and the graph
+                # canonicalises operand order, but sorting here makes the
+                # fingerprint independent of that canonicalisation too.
+                self._record(node, _digest(f"{kind}({','.join(sorted(child_fps))})"))
+            stack.pop()
+        return self._fps[index]
+
+    def _record(self, index: int, fingerprint: Optional[str]) -> None:
+        self._fps[index] = fingerprint
+        if fingerprint is not None:
+            self._by_fp.setdefault(fingerprint, index)
+
+    def node_for(self, fingerprint: str) -> Optional[int]:
+        """The local node index behind ``fingerprint``, or ``None``."""
+        return self._by_fp.get(fingerprint)
+
+
+_MISSING = object()
+
+
+def encode_literal(fingerprint: str, positive: bool) -> str:
+    return fingerprint if positive else _NEGATION + fingerprint
+
+
+def decode_literal(encoded: str) -> Tuple[str, bool]:
+    if encoded.startswith(_NEGATION):
+        return encoded[1:], False
+    return encoded, True
+
+
+class ClauseChannel:
+    """A bounded, shared store of published learned clauses.
+
+    One sqlite database per directory; every worker process (or session)
+    pointing at the same directory exchanges clauses through it.  Rows are
+    append-only with monotonically increasing ids, so a reader resumes from
+    the last id it saw; a bounded capacity evicts the oldest rows.  The
+    connection uses the same WAL + busy-timeout recipe as the persistent
+    query cache, and a lock serialises use of the shared connection across
+    threads.
+    """
+
+    FILENAME = f"shared_clauses_v{CHANNEL_VERSION}.sqlite"
+
+    def __init__(
+        self,
+        directory: str,
+        capacity: int = DEFAULT_CAPACITY,
+        max_len: int = DEFAULT_MAX_CLAUSE_LEN,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, self.FILENAME)
+        self.capacity = capacity
+        self.max_len = max_len
+        #: Distinguishes this publisher's rows so it never re-imports them.
+        self.worker_id = uuid.uuid4().hex
+        self._lock = threading.Lock()
+        self._connection: Optional[sqlite3.Connection] = None
+        with self._lock:
+            self._conn()
+
+    def _conn(self) -> sqlite3.Connection:
+        """The live connection, reopening transparently after :meth:`close`.
+
+        Caller holds ``self._lock``.
+        """
+        if self._connection is None:
+            connection = sqlite3.connect(self.path, check_same_thread=False)
+            connection.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+            connection.execute("PRAGMA journal_mode = WAL")
+            connection.execute("PRAGMA synchronous = NORMAL")
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS clauses ("
+                " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+                " worker TEXT NOT NULL,"
+                " clause TEXT NOT NULL)"
+            )
+            connection.commit()
+            self._connection = connection
+        return self._connection
+
+    def publish(self, clauses: Sequence[Sequence[str]]) -> int:
+        """Append signed-fingerprint clauses; returns how many were stored."""
+        rows = [
+            (self.worker_id, json.dumps(list(clause)))
+            for clause in clauses
+            if 0 < len(clause) <= self.max_len
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            connection = self._conn()
+            connection.executemany(
+                "INSERT INTO clauses (worker, clause) VALUES (?, ?)", rows
+            )
+            connection.execute(
+                "DELETE FROM clauses WHERE id <= ("
+                " SELECT COALESCE(MAX(id), 0) FROM clauses) - ?",
+                (self.capacity,),
+            )
+            connection.commit()
+        return len(rows)
+
+    def fetch(self, since: int) -> Tuple[int, List[List[str]]]:
+        """Clauses published by *other* workers after row id ``since``.
+
+        Returns ``(new_since, clauses)``; pass ``new_since`` to the next
+        call.  Own rows advance the cursor without being returned.
+        """
+        with self._lock:
+            rows = self._conn().execute(
+                "SELECT id, worker, clause FROM clauses WHERE id > ? ORDER BY id",
+                (since,),
+            ).fetchall()
+        if not rows:
+            return since, []
+        clauses = [
+            json.loads(clause)
+            for _, worker, clause in rows
+            if worker != self.worker_id
+        ]
+        return rows[-1][0], clauses
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn().execute(
+                "SELECT COUNT(*) FROM clauses"
+            ).fetchone()
+        return count
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None

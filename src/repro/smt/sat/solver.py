@@ -84,6 +84,10 @@ class CdclSolver:
         self._restricted: Optional[Tuple[set, List[Tuple[float, int]]]] = None
         self.stats = SolverStats()
         self._ok = True
+        #: Optional callback invoked with a copy of every learned clause
+        #: (including unit clauses) the moment it is learned.  The incremental
+        #: session uses it to export short clauses to other workers.
+        self.on_learn = None
         #: After an unsat :meth:`solve` under assumptions: a subset of the
         #: assumption literals whose conjunction is already contradictory.
         #: Empty when the clause database is unsat regardless of assumptions.
@@ -394,17 +398,21 @@ class CdclSolver:
         self,
         max_conflicts: Optional[int] = None,
         assumptions: Optional[Sequence[int]] = None,
+        stop=None,
     ) -> Tuple[Optional[bool], Optional[Dict[int, bool]]]:
         """Solve the current instance, optionally under ``assumptions``.
 
         Returns ``(True, model)``, ``(False, None)`` or ``(None, None)`` when
-        ``max_conflicts`` is exhausted.  Assumption literals are decided (in
-        order) before any free decision; on an unsat answer,
-        :attr:`last_conflict` names the responsible assumption subset.  The
-        solver object stays usable afterwards: more clauses may be added and
-        further solve calls reuse everything learned so far.
+        ``max_conflicts`` is exhausted or ``stop`` (a ``threading.Event``) is
+        set by another thread.  Assumption literals are decided (in order)
+        before any free decision; on an unsat answer, :attr:`last_conflict`
+        names the responsible assumption subset.  The solver object stays
+        usable afterwards: more clauses may be added and further solve calls
+        reuse everything learned so far.
         """
-        sat, values = self.solve_values(max_conflicts=max_conflicts, assumptions=assumptions)
+        sat, values = self.solve_values(
+            max_conflicts=max_conflicts, assumptions=assumptions, stop=stop
+        )
         if not sat:
             return sat, None
         model = {
@@ -418,6 +426,7 @@ class CdclSolver:
         max_conflicts: Optional[int] = None,
         assumptions: Optional[Sequence[int]] = None,
         decision_vars: Optional[Iterable[int]] = None,
+        stop=None,
     ) -> Tuple[Optional[bool], Optional[List[int]]]:
         """Like :meth:`solve`, but a sat answer returns the raw value array.
 
@@ -458,12 +467,12 @@ class CdclSolver:
             heapq.heapify(local_heap)
             self._restricted = (decision_set, local_heap)
         try:
-            return self._search(max_conflicts, assumptions)
+            return self._search(max_conflicts, assumptions, stop)
         finally:
             self._restricted = None
 
     def _search(
-        self, max_conflicts: Optional[int], assumptions: List[int]
+        self, max_conflicts: Optional[int], assumptions: List[int], stop=None
     ) -> Tuple[Optional[bool], Optional[List[int]]]:
         conflict = self._propagate()
         if conflict is not None:
@@ -476,6 +485,11 @@ class CdclSolver:
         total_conflicts = 0
 
         while True:
+            if stop is not None and stop.is_set():
+                # Cooperative cancellation (portfolio mode): abandon the
+                # search between propagations, keeping the solver reusable.
+                self._backjump(0)
+                return None, None
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
@@ -486,6 +500,10 @@ class CdclSolver:
                     return False, None
                 learned, backjump_level = self._analyze(conflict)
                 self._backjump(backjump_level)
+                if self.on_learn is not None:
+                    # Hand out a copy: watched-literal bookkeeping reorders
+                    # the stored clause in place as the search continues.
+                    self.on_learn(list(learned))
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
                         self._ok = False
@@ -537,6 +555,9 @@ def cdcl_solve(
     cnf: Cnf,
     max_conflicts: Optional[int] = None,
     assumptions: Optional[Sequence[int]] = None,
+    stop=None,
 ) -> Tuple[Optional[bool], Optional[Dict[int, bool]]]:
     """Convenience wrapper: build a solver and run it once."""
-    return CdclSolver(cnf).solve(max_conflicts=max_conflicts, assumptions=assumptions)
+    return CdclSolver(cnf).solve(
+        max_conflicts=max_conflicts, assumptions=assumptions, stop=stop
+    )

@@ -109,6 +109,52 @@ class TestSeed:
             envconfig.seed_from_env({"LEAPFROG_SEED": "lucky"})
 
 
+class TestSolver:
+    def test_unset_is_none(self):
+        assert envconfig.parse_solver(None) is None
+        assert envconfig.parse_solver("  ") is None
+        assert envconfig.solver_from_env({}) is None
+
+    @pytest.mark.parametrize("value", ["internal", "cdcl", "dpll", "z3", " CVC5 "])
+    def test_known_choices_normalised(self, value):
+        assert envconfig.parse_solver(value) == value.strip().lower()
+
+    def test_typo_rejected_with_choices(self):
+        # The classic "z33" typo must be an error, never a silent fallback
+        # to the internal solver.
+        with pytest.raises(EnvConfigError, match="LEAPFROG_SOLVER.*'z33'"):
+            envconfig.parse_solver("z33")
+        with pytest.raises(EnvConfigError, match="z3"):
+            envconfig.solver_from_env({"LEAPFROG_SOLVER": "yices"})
+
+    def test_source_names_the_flag(self):
+        with pytest.raises(EnvConfigError, match="--solver"):
+            envconfig.parse_solver("z33", source="--solver")
+
+    def test_vocabulary_is_internal_plus_external(self):
+        assert envconfig.SOLVER_CHOICES == (
+            envconfig.INTERNAL_SOLVERS + envconfig.EXTERNAL_SOLVERS
+        )
+
+
+class TestPortfolioFlag:
+    def test_unset_is_none(self):
+        assert envconfig.portfolio_from_env({}) is None
+        assert envconfig.portfolio_from_env({"LEAPFROG_PORTFOLIO": ""}) is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_truthy(self, value):
+        assert envconfig.portfolio_from_env({"LEAPFROG_PORTFOLIO": value}) is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "No", "OFF"])
+    def test_falsy(self, value):
+        assert envconfig.portfolio_from_env({"LEAPFROG_PORTFOLIO": value}) is False
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EnvConfigError, match="LEAPFROG_PORTFOLIO"):
+            envconfig.portfolio_from_env({"LEAPFROG_PORTFOLIO": "maybe"})
+
+
 class TestCliIntegration:
     def test_cli_reports_env_error_cleanly(self, capsys, monkeypatch):
         from repro.cli import main
@@ -125,3 +171,56 @@ class TestCliIntegration:
         with pytest.raises(SystemExit):
             main(["table", "--jobs", "0"])
         assert "--jobs" in capsys.readouterr().err
+
+    def test_cli_reports_solver_typo_cleanly(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("LEAPFROG_SOLVER", "z33")
+        code = main(["table", "--case", "Header initialization"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "LEAPFROG_SOLVER" in captured.err
+        assert "z33" in captured.err
+
+    def test_cli_rejects_unknown_solver_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["check", "x", "y", "--left-start", "a",
+                  "--right-start", "b", "--solver", "z33"])
+        assert "--solver" in capsys.readouterr().err
+
+    def test_cli_rejects_portfolio_with_external_solver(self, capsys, monkeypatch):
+        import shutil as _shutil
+
+        from repro.cli import main
+
+        monkeypatch.delenv("LEAPFROG_SOLVER", raising=False)
+        monkeypatch.setattr(_shutil, "which", lambda name: f"/usr/bin/{name}")
+        code = main(["table", "--case", "Header initialization",
+                     "--solver", "z3", "--portfolio"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot be combined" in captured.err
+
+    def test_cli_rejects_missing_external_solver(self, capsys, monkeypatch):
+        import shutil as _shutil
+
+        from repro.cli import main
+
+        monkeypatch.setattr(_shutil, "which", lambda name: None)
+        code = main(["table", "--case", "Header initialization",
+                     "--solver", "z3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not on PATH" in captured.err
+
+    def test_cli_rejects_share_clauses_without_cache_dir(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("LEAPFROG_CACHE_DIR", raising=False)
+        code = main(["table", "--case", "Header initialization",
+                     "--share-clauses"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--cache-dir" in captured.err

@@ -1,0 +1,88 @@
+"""Differential parity: every backend must agree with the internal solver.
+
+Each registry mini scenario runs through the internal backend, the portfolio
+backend and (when one is on PATH) an external SMT solver; the verdicts must
+agree pairwise, and every extracted counterexample must replay concretely —
+``accepts`` really diverging on the witness packet — whatever backend found
+it.  The portfolio rows double as the "portfolio never changes a verdict"
+acceptance gate.
+"""
+
+import pytest
+
+from repro.core.algorithm import CheckerConfig
+from repro.core.equivalence import check_language_equivalence
+from repro.p4a.semantics import accepts
+from repro.scenarios import get, mini_names
+from repro.smt.backend import available_external_solvers
+
+#: Quick configs: structural work dominates these scenarios, so memory
+#: tracking is noise and the oracle is unnecessary (replay is asserted here).
+def _config(**overrides):
+    return CheckerConfig(track_memory=False, **overrides)
+
+
+def _run(name, config):
+    left, left_start, right, right_start = get(name).automata()
+    return check_language_equivalence(
+        left, left_start, right, right_start,
+        config=config, find_counterexamples=True,
+    )
+
+
+def _assert_witness_replays(name, result):
+    if result.counterexample is None:
+        return
+    left, left_start, right, right_start = get(name).automata()
+    witness = result.counterexample
+    left_accepts = accepts(left, left_start, witness.packet, witness.left_store)
+    right_accepts = accepts(right, right_start, witness.packet, witness.right_store)
+    assert left_accepts == witness.left_accepts
+    assert right_accepts == witness.right_accepts
+    assert left_accepts != right_accepts, (
+        f"{name}: witness packet does not distinguish the parsers"
+    )
+
+
+def _assert_agreement(name, baseline, other, label):
+    assert other.verdict == baseline.verdict, (
+        f"{name}: {label} verdict {other.verdict} != internal {baseline.verdict}"
+    )
+    _assert_witness_replays(name, baseline)
+    _assert_witness_replays(name, other)
+
+
+@pytest.mark.parametrize("name", mini_names())
+def test_portfolio_matches_internal(name):
+    baseline = _run(name, _config())
+    raced = _run(name, _config(portfolio=True))
+    _assert_agreement(name, baseline, raced, "portfolio")
+    # The portfolio's lane counters must account for every query it answered.
+    lanes = raced.statistics.entailment.get("portfolio")
+    if lanes:
+        assert sum(counters["wins"] for counters in lanes.values()) > 0
+
+
+@pytest.mark.parametrize("name", mini_names())
+def test_external_solver_matches_internal(name):
+    external = available_external_solvers()
+    if not external:
+        pytest.skip("no external SMT solver on PATH")
+    baseline = _run(name, _config())
+    shelled = _run(name, _config(solver=external[0], use_incremental=False))
+    _assert_agreement(name, baseline, shelled, external[0])
+
+
+def test_clause_sharing_preserves_verdicts(tmp_path):
+    # Two sequential runs over the same shared directory: the second imports
+    # the first's clauses and must still agree with an unshared baseline.
+    for name in ("mini_qinq", "mini_qinq_broken"):
+        baseline = _run(name, _config())
+        shared_config = _config(
+            share_clauses=True, cache_dir=str(tmp_path / name), use_query_cache=False
+        )
+        first = _run(name, shared_config)
+        second = _run(name, shared_config)
+        assert first.verdict == baseline.verdict
+        assert second.verdict == baseline.verdict
+        _assert_witness_replays(name, second)

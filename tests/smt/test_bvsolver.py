@@ -3,12 +3,14 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import envconfig
 from repro.logic import folbv
 from repro.logic.folbv import BEq, BVConcatT, BVConst, BVExtract, BVVar, b_and, b_not, b_or
 from repro.p4a.bitvec import Bits
 from repro.smt.backend import (
     ExternalBackend,
     InternalBackend,
+    PortfolioBackend,
     available_external_solvers,
     BackendError,
     default_backend,
@@ -144,11 +146,28 @@ class TestBackends:
         monkeypatch.delenv("LEAPFROG_SOLVER", raising=False)
         assert isinstance(default_backend(), InternalBackend)
 
-    def test_default_backend_falls_back_when_solver_missing(self, monkeypatch):
+    def test_default_backend_refuses_missing_solver(self, monkeypatch):
+        # A requested-but-absent solver is an error, not a silent fallback to
+        # the internal solver: the user asked for z3 and must be told no.
         monkeypatch.setenv("LEAPFROG_SOLVER", "z3")
+        if "z3" in available_external_solvers():
+            assert isinstance(default_backend(), ExternalBackend)
+        else:
+            with pytest.raises(BackendError):
+                default_backend()
+
+    def test_default_backend_rejects_unknown_solver_name(self, monkeypatch):
+        # The classic typo ("z33") dies in env validation, exit-code-2 style,
+        # instead of silently running the internal solver.
+        monkeypatch.setenv("LEAPFROG_SOLVER", "z33")
+        with pytest.raises(envconfig.EnvConfigError):
+            default_backend()
+
+    def test_default_backend_honours_portfolio_env(self, monkeypatch):
+        monkeypatch.delenv("LEAPFROG_SOLVER", raising=False)
+        monkeypatch.setenv("LEAPFROG_PORTFOLIO", "1")
         backend = default_backend()
-        if "z3" not in available_external_solvers():
-            assert isinstance(backend, InternalBackend)
+        assert isinstance(backend, PortfolioBackend)
 
     def test_unknown_external_solver_rejected(self):
         with pytest.raises(BackendError):
