@@ -1,0 +1,44 @@
+"""Campaign-scale fuzzing of the equivalence engine.
+
+The subsystem behind ``repro campaign run``: sharded batches of self-labeled
+synthesized pairs (:mod:`repro.synth`, stretched past acyclic cascades by the
+campaign generator configs), every verdict cross-checked against its
+ground-truth label and — differentially — across backend stacks, with every
+disagreement delta-debugged, witness-minimized and serialized into the
+``distilled`` scenario family as a permanent regression test.
+
+* :mod:`repro.campaign.runner` — sharding, chunked engine execution,
+  resumable checkpoints, deterministic JSON reports;
+* :mod:`repro.campaign.distill` — transform-level delta debugging, witness
+  shrinking, scenario-module serialization.
+"""
+
+from .distill import (
+    delta_debug_chain,
+    minimize_pair_witness,
+    rebuild_pair,
+    render_scenario_module,
+    scenario_name_for,
+)
+from .runner import (
+    BACKEND_STACKS,
+    CampaignConfig,
+    CampaignError,
+    CampaignReport,
+    available_stacks,
+    run_campaign,
+)
+
+__all__ = [
+    "BACKEND_STACKS",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignReport",
+    "available_stacks",
+    "delta_debug_chain",
+    "minimize_pair_witness",
+    "rebuild_pair",
+    "render_scenario_module",
+    "run_campaign",
+    "scenario_name_for",
+]

@@ -1,0 +1,220 @@
+"""Disagreement distillation: minimize, serialize, auto-register.
+
+When a fuzz campaign catches the engine contradicting a pair's ground-truth
+label, the raw pair is a lousy regression test: its right-hand side is the
+product of several camouflage rewrites that have nothing to do with the bug,
+and its witness packet (if any) is as wide as the generator happened to draw.
+This module turns the catch into a permanent, reviewable tier-1 test in three
+steps:
+
+1. **transform-level delta debugging** (:func:`delta_debug_chain`): greedily
+   drop equivalence rewrites from the pair's recorded ``(name, step_seed)``
+   chain — the breaking mutation, when present, is never dropped — keeping a
+   candidate only when the reduced chain still replays, the ground-truth
+   label still holds (broken pairs must re-confirm a fresh concrete witness),
+   and the caller's predicate still observes the disagreement;
+2. **witness shrinking** (:func:`minimize_pair_witness`), reusing the greedy
+   bit-drop pass of :mod:`repro.oracle.minimize` under default stores;
+3. **serialization** (:func:`render_scenario_module`): the reduced pair is
+   rendered as a standalone Python module embedding both automata in concrete
+   surface syntax.  Importing the module re-parses them through
+   :func:`repro.p4a.surface.parse_automaton` (type-checked on the way in) and
+   registers the pair under the ``distilled`` scenario family, where the
+   registry test suite replays it forever after.
+
+Everything here is deterministic: replays are pinned by step seeds, witness
+confirmation re-derives its rng from the pair seed, and the rendered module
+contains no timestamps — re-distilling the same disagreement byte-for-byte
+reproduces the same file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Optional, Sequence
+
+from ..oracle.minimize import minimize_witness_packet
+from ..p4a.pretty import pretty
+from ..synth.pairs import NOT_EQUIVALENT, SynthesizedPair
+from ..synth.transforms import TransformStep, find_witness, replay_chain
+
+#: Decides whether a (reduced) pair still exhibits the disagreement under
+#: investigation.  Receives a fully rebuilt pair; returns ``True`` to accept
+#: the reduction.
+DisagreementPredicate = Callable[[SynthesizedPair], bool]
+
+
+def rebuild_pair(
+    pair: SynthesizedPair, steps: Sequence[TransformStep]
+) -> Optional[SynthesizedPair]:
+    """Re-derive a pair from its base automaton and a (reduced) chain.
+
+    Returns ``None`` when the chain no longer replays or, for broken pairs,
+    when no fresh concrete witness confirms the label against the reduced
+    right-hand side — a reduction that would make the label unsound.
+    """
+    replayed = replay_chain(pair.left, pair.left_start, steps)
+    if replayed is None:
+        return None
+    right, right_start = replayed
+    right.name = pair.right.name
+    witness = None
+    if pair.verdict == NOT_EQUIVALENT:
+        witness = find_witness(
+            pair.left, pair.left_start, right, right_start,
+            random.Random(pair.seed),
+        )
+        if witness is None:
+            return None
+    return dataclasses.replace(
+        pair,
+        right=right,
+        right_start=right_start,
+        transforms=tuple(name for name, _ in steps),
+        chain=tuple(steps),
+        witness=witness,
+    )
+
+
+def delta_debug_chain(
+    pair: SynthesizedPair, predicate: DisagreementPredicate
+) -> SynthesizedPair:
+    """Greedily drop chain steps while ``predicate`` still sees the bug.
+
+    One-at-a-time removal to fixpoint (ddmin's granularity-1 tail), walking
+    from the last camouflage step backwards; the final step of a broken
+    pair's chain is its mutation and is never considered for removal.  Every
+    surviving candidate went through :func:`rebuild_pair`, so the result is
+    replayable and its label re-confirmed.
+    """
+    steps = list(pair.chain)
+    protected = 1 if pair.verdict == NOT_EQUIVALENT and steps else 0
+    best = pair
+    changed = True
+    while changed and len(steps) > protected:
+        changed = False
+        for index in range(len(steps) - 1 - protected, -1, -1):
+            candidate_steps = steps[:index] + steps[index + 1:]
+            candidate = rebuild_pair(pair, candidate_steps)
+            if candidate is None or not predicate(candidate):
+                continue
+            steps = candidate_steps
+            best = candidate
+            changed = True
+            break
+    return best
+
+
+def minimize_pair_witness(pair: SynthesizedPair) -> SynthesizedPair:
+    """Shrink a broken pair's witness packet (no-op on equivalent pairs)."""
+    if pair.witness is None:
+        return pair
+    packet = minimize_witness_packet(
+        pair.left, pair.left_start, pair.right, pair.right_start, pair.witness
+    )
+    if packet.width < pair.witness.width:
+        return dataclasses.replace(pair, witness=packet)
+    return pair
+
+
+_MODULE_TEMPLATE = '''"""Distilled regression scenario ``{scenario_name}`` (auto-generated).
+
+Distilled by ``repro campaign run`` from campaign seed {campaign_seed}: on
+pair seed {pair_seed} (size {size}) the ``{stack}`` backend stack observed
+``{observed}`` where ground truth is ``{expected}``.  The transform chain was
+delta-debugged from {original_steps} to {reduced_steps} step(s).
+
+Importing this module re-parses both sides from surface syntax (type-checked
+on the way in) and registers the pair under the ``distilled`` family, making
+the catch a permanent tier-1 regression test.  Do not edit by hand —
+re-distill instead.
+"""
+
+from repro.p4a.surface import parse_automaton
+from repro.scenarios.registry import register
+
+NAME = {scenario_name!r}
+EXPECTED = {expected!r}
+
+#: Provenance: the originating campaign catch.
+CAMPAIGN_SEED = {campaign_seed}
+PAIR_SEED = {pair_seed}
+STACK = {stack!r}
+OBSERVED = {observed!r}
+#: The reduced replayable transform chain, ``(name, step_seed)`` per step.
+CHAIN = {chain!r}
+#: Minimized store-default witness bitstring (``None`` on equivalent pairs).
+WITNESS = {witness!r}
+
+LEFT_START = {left_start!r}
+RIGHT_START = {right_start!r}
+
+LEFT = """\\
+{left_source}"""
+
+RIGHT = """\\
+{right_source}"""
+
+
+@register(
+    name=NAME,
+    family="distilled",
+    size={size!r},
+    verdict=EXPECTED,
+    kind="pair",
+    description={description!r},
+)
+def _pair():
+    return (
+        parse_automaton(LEFT, name=NAME + "_left"), LEFT_START,
+        parse_automaton(RIGHT, name=NAME + "_right"), RIGHT_START,
+    )
+'''
+
+
+def scenario_name_for(pair: SynthesizedPair, size: str, stack: str) -> str:
+    """Deterministic registry/module name for one distilled disagreement."""
+    slug = stack.replace("-", "_")
+    return f"distilled_{size}_{pair.seed}_{slug}"
+
+
+def render_scenario_module(
+    pair: SynthesizedPair,
+    *,
+    size: str,
+    stack: str,
+    observed: str,
+    campaign_seed: int,
+    original_steps: int,
+) -> str:
+    """The source text of a self-registering distilled scenario module."""
+    scenario_name = scenario_name_for(pair, size, stack)
+    witness = pair.witness.to_bitstring() if pair.witness is not None else None
+    description = (
+        f"distilled campaign catch (seed {pair.seed}): {stack} stack said "
+        f"{observed}, ground truth {pair.verdict}"
+    )
+    left_source = pretty(pair.left)
+    right_source = pretty(pair.right)
+    for source in (left_source, right_source):
+        if '"""' in source:  # cannot happen with the surface grammar
+            raise ValueError("surface syntax not embeddable in a docstring")
+    return _MODULE_TEMPLATE.format(
+        scenario_name=scenario_name,
+        expected=pair.verdict,
+        campaign_seed=campaign_seed,
+        pair_seed=pair.seed,
+        size=size,
+        stack=stack,
+        observed=observed,
+        chain=tuple(pair.chain),
+        witness=witness,
+        left_start=pair.left_start,
+        right_start=pair.right_start,
+        left_source=left_source if left_source.endswith("\n") else left_source + "\n",
+        right_source=right_source if right_source.endswith("\n") else right_source + "\n",
+        original_steps=original_steps,
+        reduced_steps=len(pair.chain),
+        description=description,
+    )

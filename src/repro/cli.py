@@ -14,6 +14,9 @@
 * ``synth emit/run`` — synthesize seeded automaton pairs with known
   ground-truth verdicts and (``run``) check that the engine agrees with
   every label;
+* ``campaign run`` — sharded fuzz campaigns of self-labeled synthesized
+  pairs with resumable checkpoints, differential backend-stack
+  cross-checking and disagreement distillation (see ``docs/campaign.md``);
 * ``dump-scenario NAME`` — print a parser-gen scenario as a P4 automaton (and
   optionally its compiled hardware table);
 * ``serve`` — run the persistent equivalence daemon (warm workers fronting a
@@ -355,6 +358,90 @@ def _build_parser() -> argparse.ArgumentParser:
              "0 disables)",
     )
     _add_server_argument(synth_run)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run sharded fuzz campaigns of self-labeled synthesized pairs "
+             "and distill every engine/label disagreement into a regression "
+             "scenario",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="synthesize, check and cross-check PAIRS pairs across shards; "
+             "exit 0 when every verdict matches its label",
+    )
+    campaign_run.add_argument(
+        "--pairs", type=_count_argument, required=True, metavar="N",
+        help="total number of pairs in the campaign (split across shards)",
+    )
+    campaign_run.add_argument(
+        "--shards", type=_jobs_argument, default=None, metavar="K",
+        help="split the campaign into K interleaved shards "
+             "(default: LEAPFROG_SHARDS or 1)",
+    )
+    campaign_run.add_argument(
+        "--shard", type=int, default=None, metavar="K",
+        help="run only shard K of --shards (0-based; default: every shard "
+             "in sequence)",
+    )
+    campaign_run.add_argument(
+        "--seed", type=_seed_argument, default=None, metavar="S",
+        help="campaign base seed; pair i uses seed S+i "
+             "(default: LEAPFROG_SEED or 0)",
+    )
+    campaign_run.add_argument(
+        "--size", choices=("mini", "full"), default="mini",
+        help="campaign generator envelope (default: mini)",
+    )
+    campaign_run.add_argument(
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help="check pairs across N worker processes "
+             "(default: LEAPFROG_JOBS or 1, sequential)",
+    )
+    campaign_run.add_argument(
+        "--differential", action="store_true",
+        help="cross-check every pair across the backend stacks (internal, "
+             "AIG-off, and — when an external solver is on PATH — portfolio) "
+             "in addition to the ground-truth label",
+    )
+    campaign_run.add_argument(
+        "--oracle-packets", type=_oracle_argument, default=None, metavar="N",
+        help="also replay N seeded concrete packets per verdict "
+             "(default: LEAPFROG_ORACLE or off)",
+    )
+    campaign_run.add_argument(
+        "--chunk-size", type=_count_argument, default=None, metavar="N",
+        help="pairs synthesized and checked per engine batch; also the "
+             "checkpoint granularity (default: 32)",
+    )
+    campaign_run.add_argument(
+        "--state-dir", metavar="DIR",
+        help="directory for resumable per-shard checkpoints; rerunning with "
+             "the same parameters continues where the last run stopped",
+    )
+    campaign_run.add_argument(
+        "--distill-dir", metavar="DIR",
+        help="write every minimized disagreement into DIR as a deterministic "
+             "scenario module (point it at src/repro/scenarios/distilled to "
+             "register the catch as a tier-1 regression test)",
+    )
+    campaign_run.add_argument(
+        "--max-distilled", type=_count_argument, default=None, metavar="N",
+        help="distill at most N disagreements per campaign (default: 8)",
+    )
+    campaign_run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-pair solver budget (default: none)",
+    )
+    campaign_run.add_argument(
+        "--report", metavar="PATH",
+        help="write the deterministic JSON report to PATH",
+    )
+    campaign_run.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report to stdout instead of the human summary",
+    )
 
     dump = sub.add_parser("dump-scenario", help="print a parser-gen scenario as a P4 automaton")
     dump.add_argument("name", help="scenario name (e.g. edge, datacenter, mini_edge)")
@@ -813,6 +900,75 @@ def _synth_run(args: argparse.Namespace, pairs, seed: int, json) -> int:
     return 0
 
 
+def _command_campaign(args: argparse.Namespace) -> int:
+    """Run a sharded fuzz campaign (``campaign run``).
+
+    Exit codes follow the report: 0 when every verdict agrees with its
+    ground-truth label (and the stacks with each other), 1 on any
+    disagreement, 2 when a pair gets no verdict at all.
+    """
+    import json
+
+    from .campaign import CampaignConfig, CampaignError, run_campaign
+
+    shards = args.shards if args.shards is not None else envconfig.shards_from_env()
+    seed = args.seed if args.seed is not None else (envconfig.seed_from_env() or 0)
+    jobs = args.jobs if args.jobs is not None else envconfig.jobs_from_env()
+    packets = (
+        args.oracle_packets if args.oracle_packets is not None
+        else envconfig.oracle_packets_from_env()
+    )
+    try:
+        config = CampaignConfig(
+            pairs=args.pairs,
+            shards=shards,
+            seed=seed,
+            size=args.size,
+            jobs=jobs,
+            differential=args.differential,
+            oracle_packets=packets or 0,
+            timeout=args.timeout,
+            chunk_size=args.chunk_size if args.chunk_size is not None else 32,
+            shard=args.shard,
+            state_dir=args.state_dir,
+            distill_dir=args.distill_dir,
+            max_distilled=(
+                args.max_distilled if args.max_distilled is not None else 8
+            ),
+        )
+        # Progress goes to stderr so `--json > report.json` stays clean.
+        report = run_campaign(
+            config, log=lambda line: print(line, file=sys.stderr)
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    else:
+        totals = report.totals
+        print(
+            f"{totals['agreements']}/{totals['completed']} verdicts agree "
+            f"with ground truth (seed {seed}, size {args.size}, "
+            f"{shards} shard(s), stacks: {', '.join(report.config['stacks'])})"
+        )
+        print(
+            f"{totals['disagreements']} disagreement(s), "
+            f"{totals['cross_stack']} cross-stack split(s), "
+            f"{totals['failures']} failure(s); "
+            f"{len(report.distilled)} distilled; "
+            f"{report.pairs_per_second:.1f} pairs/s"
+        )
+        for entry in report.distilled:
+            print(f"  distilled {entry['scenario']} -> {entry['module']}")
+    return report.exit_code
+
+
 def _command_dump_scenario(args: argparse.Namespace) -> int:
     info = _scenario_registry().get(args.name)
     graph = info.graph()
@@ -876,6 +1032,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenarios": _command_scenarios,
         "oracle": _command_oracle,
         "synth": _command_synth,
+        "campaign": _command_campaign,
         "dump-scenario": _command_dump_scenario,
         "serve": _command_serve,
     }

@@ -48,7 +48,7 @@ import time
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..p4a.syntax import P4Automaton
 from .algorithm import CheckerConfig
@@ -327,8 +327,19 @@ class EquivalenceEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
-        """Run every job and return results in submission order."""
+    def run(
+        self,
+        jobs: Sequence[Job],
+        on_result: Optional[Callable[[JobResult], None]] = None,
+    ) -> List[JobResult]:
+        """Run every job and return results in submission order.
+
+        ``on_result`` (when given) is called once per job, **in submission
+        order**, as soon as that result and every earlier one are available —
+        a streaming view of the same ordered list the call returns.  The
+        campaign runner uses it for incremental progress and checkpointing;
+        a callback that raises aborts the run.
+        """
         labels = [job.label for job in jobs]
         if len(set(labels)) != len(labels):
             raise EngineError("job labels must be unique; set job_id to disambiguate")
@@ -338,7 +349,7 @@ class EquivalenceEngine:
             # Remote jobs run on the daemon, which cannot be preempted from
             # here; timeouts are applied to the observed wall-clock time
             # after the fact, like inline mode.
-            results = self._run_remote(jobs)
+            results = self._run_remote(jobs, on_result)
         elif self.jobs == 1:
             if any(self._job_limit(job) is not None for job in jobs):
                 warnings.warn(
@@ -348,10 +359,15 @@ class EquivalenceEngine:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            results = [self._run_inline(job) for job in jobs]
+            results = []
+            for job in jobs:
+                result = self._run_inline(job)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
         else:
             # Pooled even for a single job, so per-job timeouts stay enforced.
-            results = self._run_pooled(jobs)
+            results = self._run_pooled(jobs, on_result)
         self.statistics.wall_seconds = time.perf_counter() - start
         for result in results:
             self.statistics.by_job[result.job_id] = result.elapsed
@@ -405,13 +421,22 @@ class EquivalenceEngine:
     # ------------------------------------------------------------------
     # Remote dispatch (jobs become requests to a `repro serve` daemon)
 
-    def _run_remote(self, jobs: Sequence[Job]) -> List[JobResult]:
+    def _run_remote(
+        self,
+        jobs: Sequence[Job],
+        on_result: Optional[Callable[[JobResult], None]] = None,
+    ) -> List[JobResult]:
         """Fan the jobs out to the daemon over ``self.jobs`` client threads."""
         from concurrent.futures import ThreadPoolExecutor
 
         workers = min(self.jobs, max(len(jobs), 1))
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self._run_remote_job, jobs))
+            results = []
+            for result in pool.map(self._run_remote_job, jobs):
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            return results
 
     def _run_remote_job(self, job: Job) -> JobResult:
         from ..service.client import ServiceClient, ServiceError
@@ -462,16 +487,23 @@ class EquivalenceEngine:
             )
         raise EngineError(f"unknown job type {type(job).__name__}")
 
-    def _run_pooled(self, jobs: Sequence[Job]) -> List[JobResult]:
+    def _run_pooled(
+        self,
+        jobs: Sequence[Job],
+        on_result: Optional[Callable[[JobResult], None]] = None,
+    ) -> List[JobResult]:
         """One process per job, at most ``self.jobs`` alive at a time.
 
         A dedicated process (instead of an executor pool) is what makes the
         per-job timeout real: an expired job is ``terminate()``d, freeing its
         slot immediately instead of leaving a hung worker to starve the queue.
-        Elapsed times are measured from each job's own start.
+        Elapsed times are measured from each job's own start.  ``on_result``
+        streams the contiguous done-prefix in submission order, whatever
+        order the workers finish in.
         """
         context = multiprocessing.get_context(self.mp_context)
         results: List[Optional[JobResult]] = [None] * len(jobs)
+        delivered = 0
         pending = deque(enumerate(jobs))
         running: Dict[int, tuple] = {}  # index -> (process, pipe, started, limit, job)
         try:
@@ -527,6 +559,10 @@ class EquivalenceEngine:
                     receiver.close()
                     process.join()
                     del running[index]
+                if on_result is not None:
+                    while delivered < len(jobs) and results[delivered] is not None:
+                        on_result(results[delivered])
+                        delivered += 1
         finally:
             for process, receiver, _, _, _ in running.values():
                 process.terminate()

@@ -19,6 +19,8 @@ class EnvConfigError(ValueError):
 
 #: Worker count for the equivalence engine (≥ 1; default 1, sequential).
 JOBS_VAR = "LEAPFROG_JOBS"
+#: Default shard count for ``repro campaign run`` (≥ 1; default 1).
+SHARDS_VAR = "LEAPFROG_SHARDS"
 #: Directory for the persistent solver-query cache (unset = in-memory only).
 CACHE_DIR_VAR = "LEAPFROG_CACHE_DIR"
 #: Ablation toggle for the incremental solver session (unset = per-config default).
@@ -84,6 +86,16 @@ def jobs_from_env(environ: Optional[Mapping[str, str]] = None) -> int:
     """The engine worker count requested via ``LEAPFROG_JOBS`` (default 1)."""
     environ = os.environ if environ is None else environ
     return parse_jobs(environ.get(JOBS_VAR), source=JOBS_VAR)
+
+
+def shards_from_env(environ: Optional[Mapping[str, str]] = None) -> int:
+    """The campaign shard count from ``LEAPFROG_SHARDS`` (default 1).
+
+    Same grammar as ``LEAPFROG_JOBS`` — a positive integer — since a shard
+    count is a split factor, not a worker count.
+    """
+    environ = os.environ if environ is None else environ
+    return parse_jobs(environ.get(SHARDS_VAR), source=SHARDS_VAR)
 
 
 def cache_dir_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:

@@ -177,3 +177,33 @@ def minimize_counterexample(
         minimized_from=cex.packet.width if packet.width < cex.packet.width else None,
     )
     return result
+
+
+def minimize_witness_packet(
+    left_aut: P4Automaton,
+    left_start: str,
+    right_aut: P4Automaton,
+    right_start: str,
+    packet: Bits,
+    bit_drop_limit: int = 192,
+) -> Bits:
+    """Greedily shrink a store-default witness packet.
+
+    The campaign distiller's entry point: synthesized witnesses live under
+    all-zero initial stores and carry no leap structure, so this wraps the
+    packet into a :class:`Counterexample` and reuses the greedy bit-drop pass
+    of :func:`minimize_counterexample`.  Returns the packet unchanged when it
+    does not actually diverge (the caller decides what that means).
+    """
+    verdicts = _disagreement(
+        left_aut, left_start, right_aut, right_start, packet, None, None
+    )
+    if verdicts is None:
+        return packet
+    left_accepts, right_accepts = verdicts
+    cex = Counterexample(packet, None, None, left_accepts, right_accepts)
+    result = minimize_counterexample(
+        left_aut, left_start, right_aut, right_start, cex,
+        bit_drop_limit=bit_drop_limit,
+    )
+    return result.counterexample.packet

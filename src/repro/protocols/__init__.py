@@ -5,11 +5,13 @@ from . import (
     arp_icmp,
     ethernet_ip,
     ethernet_vlan,
+    geneve,
     ip_options,
     ip_tcp_udp,
     ipv6_ext,
     mpls,
     qinq,
+    srv6,
     tiny,
     vxlan_gre,
 )
@@ -18,11 +20,13 @@ __all__ = [
     "arp_icmp",
     "ethernet_ip",
     "ethernet_vlan",
+    "geneve",
     "ip_options",
     "ip_tcp_udp",
     "ipv6_ext",
     "mpls",
     "qinq",
+    "srv6",
     "tiny",
     "vxlan_gre",
 ]

@@ -1,0 +1,211 @@
+"""Geneve tunnel parsers (RFC 8926, UDP port 6081).
+
+A tunnel endpoint decapsulates Ethernet / IPv4 / UDP / Geneve, where the
+Geneve base header announces how many option words follow (bounded here at
+two) and which protocol the inner payload speaks:
+
+    eth ipv4 udp geneve opt{0,1,2} inner_eth
+
+Three parsers over that language:
+
+* :func:`reference_parser` — one state per layer and per option word; the
+  Geneve state validates the inner protocol (Trans-Ether-Bridging) and
+  routes on the option length;
+* :func:`fused_parser` — an equivalent variant that extracts UDP and the
+  Geneve base as one block, validating destination port, option length and
+  inner protocol with a single three-expression select (the one-cycle
+  decap lookup of a wide pipeline);
+* :func:`broken_parser` — a deliberately inequivalent variant with an
+  off-by-one length-miscount: the decap consumes ``optlen - 1`` option
+  words instead of ``optlen``, so every packet that actually carries
+  options has its inner frame read one option word too early.
+
+Lookup fields sit at fixed offsets: the ethertype and IP protocol at the
+trailing bits of their headers, the UDP destination port and the Geneve
+option-length/protocol fields at their RFC offsets (scaled down for the
+mini widths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..p4a.bitvec import Bits
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import P4Automaton, REJECT
+
+START = "ethernet"
+
+
+@dataclass(frozen=True)
+class Widths:
+    """Header widths, lookup-field positions and selector values."""
+
+    eth: int
+    ip: int
+    udp: int
+    gnv: int
+    opt: int
+    inner: int
+    ethertype: int     # width of the trailing ethertype field in ``eth``
+    eth_ipv4: int
+    ipproto: int       # width of the trailing protocol field in ``ip``
+    proto_udp: int
+    dport_lo: int      # destination-port field inside ``udp`` (inclusive)
+    dport_hi: int
+    dport_geneve: int
+    optlen_lo: int     # option-length field inside ``gnv`` (inclusive)
+    optlen_hi: int
+    proto_lo: int      # inner-protocol field inside ``gnv`` (inclusive)
+    proto_hi: int
+    proto_eth: int
+
+
+FULL = Widths(eth=112, ip=160, udp=64, gnv=64, opt=32, inner=112,
+              ethertype=16, eth_ipv4=0x0800, ipproto=8, proto_udp=17,
+              dport_lo=16, dport_hi=31, dport_geneve=6081,
+              optlen_lo=2, optlen_hi=7,
+              proto_lo=16, proto_hi=31, proto_eth=0x6558)
+
+MINI = Widths(eth=6, ip=6, udp=8, gnv=8, opt=6, inner=6,
+              ethertype=3, eth_ipv4=0b100, ipproto=3, proto_udp=0b110,
+              dport_lo=4, dport_hi=7, dport_geneve=0b1011,
+              optlen_lo=0, optlen_hi=1,
+              proto_lo=4, proto_hi=6, proto_eth=0b101)
+
+
+def _pat(value: int, width: int) -> Bits:
+    return Bits.from_int(value, width)
+
+
+def _outer_states(builder: AutomatonBuilder, w: Widths) -> None:
+    """Ethernet and IPv4: shared by all three variants."""
+    builder.header("eth", w.eth).header("ip", w.ip)
+    builder.state("ethernet").extract("eth").select(
+        f"eth[{w.eth - w.ethertype}:{w.eth - 1}]",
+        [(_pat(w.eth_ipv4, w.ethertype), "ipv4"), ("_", REJECT)],
+    )
+    builder.state("ipv4").extract("ip").select(
+        f"ip[{w.ip - w.ipproto}:{w.ip - 1}]",
+        [(_pat(w.proto_udp, w.ipproto), "udp"), ("_", REJECT)],
+    )
+
+
+def _option_states(builder: AutomatonBuilder, w: Widths) -> None:
+    builder.header("opt1", w.opt).header("opt2", w.opt)
+    builder.header("inner", w.inner)
+    builder.state("opt_pair").extract("opt1").goto("opt_last")
+    builder.state("opt_last").extract("opt2").goto("inner_eth")
+    builder.state("inner_eth").extract("inner").accept()
+
+
+def _geneve_fields(w: Widths):
+    optlen = f"gnv[{w.optlen_lo}:{w.optlen_hi}]"
+    proto = f"gnv[{w.proto_lo}:{w.proto_hi}]"
+    olw = w.optlen_hi - w.optlen_lo + 1
+    prw = w.proto_hi - w.proto_lo + 1
+    return optlen, proto, olw, prw
+
+
+def _geneve_cases(w: Widths, targets) -> list:
+    """The (optlen, proto) case table: 0/1/2 option words, bridged payload."""
+    _, _, olw, prw = _geneve_fields(w)
+    none_t, one_t, two_t = targets
+    return [
+        ((_pat(0, olw), _pat(w.proto_eth, prw)), none_t),
+        ((_pat(1, olw), _pat(w.proto_eth, prw)), one_t),
+        ((_pat(2, olw), _pat(w.proto_eth, prw)), two_t),
+        (("_", "_"), REJECT),
+    ]
+
+
+def reference_parser(w: Widths = FULL) -> P4Automaton:
+    """One state per layer and per option word."""
+    builder = AutomatonBuilder(f"geneve_reference_{w.opt}")
+    _outer_states(builder, w)
+    builder.header("udp_hdr", w.udp).header("gnv", w.gnv)
+    builder.state("udp").extract("udp_hdr").select(
+        f"udp_hdr[{w.dport_lo}:{w.dport_hi}]",
+        [(_pat(w.dport_geneve, w.dport_hi - w.dport_lo + 1), "geneve"),
+         ("_", REJECT)],
+    )
+    optlen, proto, _, _ = _geneve_fields(w)
+    builder.state("geneve").extract("gnv").select(
+        [optlen, proto],
+        _geneve_cases(w, ("inner_eth", "opt_last", "opt_pair")),
+    )
+    _option_states(builder, w)
+    return builder.build()
+
+
+def fused_parser(w: Widths = FULL) -> P4Automaton:
+    """Equivalent variant reading UDP and the Geneve base as one block.
+
+    Sound because the reference UDP state rejects everything except
+    destination port 6081: on every accepted packet the Geneve base
+    immediately follows the UDP header, so the fused block sees the same
+    bits and the three-expression select enforces the same constraints.
+    """
+    builder = AutomatonBuilder(f"geneve_fused_{w.opt}")
+    _outer_states(builder, w)
+    builder.header("udpgnv", w.udp + w.gnv)
+    dpw = w.dport_hi - w.dport_lo + 1
+    _, _, olw, prw = _geneve_fields(w)
+    cases = [
+        ((_pat(w.dport_geneve, dpw), _pat(0, olw), _pat(w.proto_eth, prw)),
+         "inner_eth"),
+        ((_pat(w.dport_geneve, dpw), _pat(1, olw), _pat(w.proto_eth, prw)),
+         "opt_last"),
+        ((_pat(w.dport_geneve, dpw), _pat(2, olw), _pat(w.proto_eth, prw)),
+         "opt_pair"),
+        (("_", "_", "_"), REJECT),
+    ]
+    builder.state("udp").extract("udpgnv").select(
+        [
+            f"udpgnv[{w.dport_lo}:{w.dport_hi}]",
+            f"udpgnv[{w.udp + w.optlen_lo}:{w.udp + w.optlen_hi}]",
+            f"udpgnv[{w.udp + w.proto_lo}:{w.udp + w.proto_hi}]",
+        ],
+        cases,
+    )
+    _option_states(builder, w)
+    return builder.build()
+
+
+def broken_parser(w: Widths = FULL) -> P4Automaton:
+    """Inequivalent variant: ``optlen - 1`` option words are consumed.
+
+    The classic off-by-one in a variable-length decap loop — whenever the
+    option-length field says N words the parser consumes N-1, so the inner
+    frame of every optioned packet is read one option word too early.
+    Packets the reference accepts with options are rejected (and the
+    correspondingly shifted shapes wrongly accepted).
+    """
+    builder = AutomatonBuilder(f"geneve_broken_{w.opt}")
+    _outer_states(builder, w)
+    builder.header("udp_hdr", w.udp).header("gnv", w.gnv)
+    builder.state("udp").extract("udp_hdr").select(
+        f"udp_hdr[{w.dport_lo}:{w.dport_hi}]",
+        [(_pat(w.dport_geneve, w.dport_hi - w.dport_lo + 1), "geneve"),
+         ("_", REJECT)],
+    )
+    optlen, proto, _, _ = _geneve_fields(w)
+    # Bug: every case routes one option state too shallow (N-1 words).
+    builder.state("geneve").extract("gnv").select(
+        [optlen, proto],
+        _geneve_cases(w, ("inner_eth", "inner_eth", "opt_last")),
+    )
+    _option_states(builder, w)
+    return builder.build()
+
+
+def mini_reference() -> P4Automaton:
+    return reference_parser(MINI)
+
+
+def mini_fused() -> P4Automaton:
+    return fused_parser(MINI)
+
+
+def mini_broken() -> P4Automaton:
+    return broken_parser(MINI)

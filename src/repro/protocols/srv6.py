@@ -1,0 +1,174 @@
+"""IPv6 Segment Routing (SRv6) parsers (service-provider core).
+
+An SR-capable core router parses Ethernet, IPv6, and — when the IPv6
+next-header announces routing extension 43 — a Segment Routing Header
+(RFC 8754): an 8-byte base carrying the routing type and the Last Entry
+index, followed by the segment list (one 128-bit IPv6 address per entry,
+bounded here at two entries):
+
+    eth ipv6 [srh seg{1,2}] upper
+
+Three parsers over that language:
+
+* :func:`reference_parser` — one state per segment-list entry; the SRH
+  state admits only routing type 4 (Segment Routing), as RFC 8754
+  requires, and routes on Last Entry to the right unroll depth;
+* :func:`fused_parser` — an equivalent variant that extracts the whole
+  segment list of a packet as one block sized by Last Entry (the one-cycle
+  lookup a wide parser pipeline performs for a known-length stack);
+* :func:`broken_parser` — a deliberately inequivalent variant that drops
+  the routing-type check: any routing extension header with a plausible
+  Last Entry is treated as an SRH, so e.g. legacy Type 0 source-routed
+  packets are wrongly accepted.
+
+Lookup fields sit at fixed offsets inside their headers (the ethertype and
+next-header fields at the trailing bits, the SRH fields at their RFC
+offsets scaled down for the mini widths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..p4a.bitvec import Bits
+from ..p4a.builder import AutomatonBuilder
+from ..p4a.syntax import P4Automaton, REJECT
+
+START = "ethernet"
+
+
+@dataclass(frozen=True)
+class Widths:
+    """Header widths, lookup-field positions and selector values."""
+
+    eth: int
+    ip: int
+    srh: int
+    seg: int
+    upper: int
+    ethertype: int    # width of the trailing ethertype field in ``eth``
+    eth_ipv6: int
+    nexthdr: int      # width of the trailing next-header field in ``ip``
+    nh_srh: int
+    rt_lo: int        # routing-type field inside ``srh`` (inclusive slice)
+    rt_hi: int
+    rt_srv6: int
+    le_lo: int        # Last Entry field inside ``srh`` (inclusive slice)
+    le_hi: int
+
+
+FULL = Widths(eth=112, ip=320, srh=64, seg=128, upper=32,
+              ethertype=16, eth_ipv6=0x86DD, nexthdr=8, nh_srh=43,
+              rt_lo=16, rt_hi=23, rt_srv6=4, le_lo=32, le_hi=39)
+
+MINI = Widths(eth=6, ip=8, srh=8, seg=10, upper=6,
+              ethertype=3, eth_ipv6=0b110, nexthdr=3, nh_srh=0b101,
+              rt_lo=2, rt_hi=3, rt_srv6=0b10, le_lo=4, le_hi=4)
+
+
+def _pat(value: int, width: int) -> Bits:
+    return Bits.from_int(value, width)
+
+
+def _outer_states(builder: AutomatonBuilder, w: Widths) -> None:
+    """Ethernet and IPv6: shared by all three variants."""
+    builder.header("eth", w.eth).header("ip", w.ip).header("upper", w.upper)
+    builder.state("ethernet").extract("eth").select(
+        f"eth[{w.eth - w.ethertype}:{w.eth - 1}]",
+        [(_pat(w.eth_ipv6, w.ethertype), "ipv6"), ("_", REJECT)],
+    )
+    # A non-routing next header skips the SRH and parses the upper layer.
+    builder.state("ipv6").extract("ip").select(
+        f"ip[{w.ip - w.nexthdr}:{w.ip - 1}]",
+        [(_pat(w.nh_srh, w.nexthdr), "srh"), ("_", "upper")],
+    )
+    builder.state("upper").extract("upper").accept()
+
+
+def _srh_slices(w: Widths):
+    rt = f"srh[{w.rt_lo}:{w.rt_hi}]"
+    le = f"srh[{w.le_lo}:{w.le_hi}]"
+    return rt, le, w.rt_hi - w.rt_lo + 1, w.le_hi - w.le_lo + 1
+
+
+def reference_parser(w: Widths = FULL) -> P4Automaton:
+    """One state per segment; only routing type 4 is admitted as an SRH."""
+    builder = AutomatonBuilder(f"srv6_reference_{w.seg}")
+    _outer_states(builder, w)
+    rt, le, rtw, lew = _srh_slices(w)
+    builder.header("srh", w.srh).header("seg1", w.seg).header("seg2", w.seg)
+    builder.state("srh").extract("srh").select(
+        [rt, le],
+        [
+            ((_pat(w.rt_srv6, rtw), _pat(0, lew)), "seg_last"),
+            ((_pat(w.rt_srv6, rtw), _pat(1, lew)), "seg_pair"),
+            (("_", "_"), REJECT),
+        ],
+    )
+    builder.state("seg_pair").extract("seg1").goto("seg_last")
+    builder.state("seg_last").extract("seg2").goto("upper")
+    return builder.build()
+
+
+def fused_parser(w: Widths = FULL) -> P4Automaton:
+    """Equivalent variant reading the whole segment list as one block.
+
+    Sound because the reference consumes exactly ``(Last Entry + 1)``
+    segment-sized extractions with no select in between: a single block of
+    the same total width sees the same bits and continues to the same
+    upper-layer state.
+    """
+    builder = AutomatonBuilder(f"srv6_fused_{w.seg}")
+    _outer_states(builder, w)
+    rt, le, rtw, lew = _srh_slices(w)
+    builder.header("srh", w.srh)
+    builder.header("segs1", w.seg).header("segs2", 2 * w.seg)
+    builder.state("srh").extract("srh").select(
+        [rt, le],
+        [
+            ((_pat(w.rt_srv6, rtw), _pat(0, lew)), "seg_block1"),
+            ((_pat(w.rt_srv6, rtw), _pat(1, lew)), "seg_block2"),
+            (("_", "_"), REJECT),
+        ],
+    )
+    builder.state("seg_block1").extract("segs1").goto("upper")
+    builder.state("seg_block2").extract("segs2").goto("upper")
+    return builder.build()
+
+
+def broken_parser(w: Widths = FULL) -> P4Automaton:
+    """Inequivalent variant: the routing-type check is gone.
+
+    RFC 8754 reserves routing type 4 for segment routing; this parser
+    routes on Last Entry alone, so any routing extension header — e.g. a
+    deprecated Type 0 source route — is parsed as if it were an SRH and
+    the packet wrongly accepted.
+    """
+    builder = AutomatonBuilder(f"srv6_broken_{w.seg}")
+    _outer_states(builder, w)
+    _, le, _, lew = _srh_slices(w)
+    builder.header("srh", w.srh).header("seg1", w.seg).header("seg2", w.seg)
+    # Bug: the select no longer inspects the routing-type field.
+    builder.state("srh").extract("srh").select(
+        le,
+        [
+            (_pat(0, lew), "seg_last"),
+            (_pat(1, lew), "seg_pair"),
+            ("_", REJECT),
+        ],
+    )
+    builder.state("seg_pair").extract("seg1").goto("seg_last")
+    builder.state("seg_last").extract("seg2").goto("upper")
+    return builder.build()
+
+
+def mini_reference() -> P4Automaton:
+    return reference_parser(MINI)
+
+
+def mini_fused() -> P4Automaton:
+    return fused_parser(MINI)
+
+
+def mini_broken() -> P4Automaton:
+    return broken_parser(MINI)

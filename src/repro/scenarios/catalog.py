@@ -4,7 +4,7 @@ Importing this module populates the registry with
 
 * the eight parser-gen deployment scenarios of Gibb et al. (full and mini),
   checked as self-comparisons and against their compiled hardware tables, and
-* four real-world protocol families, each contributing an *equivalent*
+* six real-world protocol families, each contributing an *equivalent*
   reference/refactoring pair and a deliberately *inequivalent* broken variant
   at both scales:
 
@@ -16,6 +16,12 @@ Importing this module populates the registry with
     first" rule);
   - ``qinq`` — 802.1ad QinQ double tagging (both tags fused into one
     extraction; the broken variant admits an S-tag without a C-tag);
+  - ``srv6`` — IPv6 segment-routing headers (the segment list extracted
+    as one Last-Entry-sized block; the broken variant drops the RFC 8754
+    routing-type check);
+  - ``geneve`` — Geneve tunnel options (UDP and the Geneve base fused
+    into one three-expression lookup; the broken variant consumes a
+    two-word option list as one word);
   - ``arp_icmp`` — ARP/ICMP control-plane punting (selector-first split
     extraction; the broken variant loses its opcode and unreachable-stub
     checks).
@@ -35,7 +41,7 @@ rendered straight from this registry.
 from __future__ import annotations
 
 from ..parsergen import scenarios as parsergen_scenarios
-from ..protocols import arp_icmp, ipv6_ext, qinq, vxlan_gre
+from ..protocols import arp_icmp, geneve, ipv6_ext, qinq, srv6, vxlan_gre
 from .registry import pair, register
 
 # ---------------------------------------------------------------------------
@@ -144,6 +150,30 @@ _register_family(
 )
 
 _register_family(
+    "srv6", "service-provider", srv6,
+    _sides(srv6.reference_parser, srv6.fused_parser),
+    _sides(srv6.reference_parser, srv6.broken_parser),
+    _sides(srv6.mini_reference, srv6.mini_fused),
+    _sides(srv6.mini_reference, srv6.mini_broken),
+    "SRv6 segment lists (RFC 8754): per-segment reference vs. the whole "
+    "list extracted as one Last-Entry-sized block.",
+    "Segment-routing parser that drops the routing-type check (any "
+    "routing extension header is parsed as an SRH).",
+)
+
+_register_family(
+    "geneve", "tunnel", geneve,
+    _sides(geneve.reference_parser, geneve.fused_parser),
+    _sides(geneve.reference_parser, geneve.broken_parser),
+    _sides(geneve.mini_reference, geneve.mini_fused),
+    _sides(geneve.mini_reference, geneve.mini_broken),
+    "Geneve tunnel options (RFC 8926): per-layer reference vs. UDP and "
+    "the Geneve base fused into one three-expression lookup.",
+    "Geneve decap that miscounts options (a two-word option list is "
+    "consumed as one, shifting the inner frame).",
+)
+
+_register_family(
     "arp_icmp", "enterprise", arp_icmp,
     _sides(arp_icmp.reference_parser, arp_icmp.split_parser),
     _sides(arp_icmp.reference_parser, arp_icmp.broken_parser),
@@ -189,3 +219,12 @@ for _size, _prefix in (("full", ""), ("mini", "mini_")):
         description=f"Seed {SYNTH_SEED}: generated select cascade vs. a "
                     "variant with one witness-confirmed breaking mutation.",
     )(_synthetic_builder(_size, "not_equivalent"))
+
+
+# ---------------------------------------------------------------------------
+# Distilled family (campaign-minimized engine/label disagreements)
+# ---------------------------------------------------------------------------
+
+# Each module in the package self-registers on import; see
+# repro/scenarios/distilled/__init__.py for the lifecycle.
+from . import distilled  # noqa: E402,F401

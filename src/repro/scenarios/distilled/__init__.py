@@ -1,0 +1,28 @@
+"""Distilled regression scenarios (campaign-generated).
+
+Every module in this package was serialized by the fuzz-campaign distiller
+(:mod:`repro.campaign.distill`) from a minimized engine/label disagreement:
+a synthesized pair whose ground-truth verdict some backend stack got wrong
+at the time of the catch.  Importing the package imports every module, and
+each module self-registers its pair under the ``distilled`` scenario family
+— which is how a campaign catch becomes a permanent tier-1 regression test
+(the registry suites type-check, oracle-smoke and equivalence-check every
+registered scenario).
+
+Lifecycle: ``repro campaign run --distill-dir src/repro/scenarios/distilled``
+writes new modules here; commit them with the engine fix.  Files are
+deterministic (no timestamps), so re-distilling an already-fixed catch is a
+no-op diff.  See ``docs/campaign.md``.
+"""
+
+from importlib import import_module as _import_module
+from pathlib import Path as _Path
+
+
+def _load() -> None:
+    for path in sorted(_Path(__file__).parent.glob("*.py")):
+        if path.stem != "__init__":
+            _import_module(f"{__name__}.{path.stem}")
+
+
+_load()

@@ -1,0 +1,90 @@
+"""Distilled regression scenario ``distilled_mini_20220618_internal`` (auto-generated).
+
+Distilled by ``repro campaign run`` from campaign seed 20220613: on
+pair seed 20220618 (size mini) the ``internal`` backend stack observed
+``equivalent`` where ground truth is ``not_equivalent``.  The transform chain was
+delta-debugged from 3 to 1 step(s).
+
+Importing this module re-parses both sides from surface syntax (type-checked
+on the way in) and registers the pair under the ``distilled`` family, making
+the catch a permanent tier-1 regression test.  Do not edit by hand —
+re-distill instead.
+"""
+
+from repro.p4a.surface import parse_automaton
+from repro.scenarios.registry import register
+
+NAME = 'distilled_mini_20220618_internal'
+EXPECTED = 'not_equivalent'
+
+#: Provenance: the originating campaign catch.
+CAMPAIGN_SEED = 20220613
+PAIR_SEED = 20220618
+STACK = 'internal'
+OBSERVED = 'equivalent'
+#: The reduced replayable transform chain, ``(name, step_seed)`` per step.
+CHAIN = (('flip-guard', 381932119),)
+#: Minimized store-default witness bitstring (``None`` on equivalent pairs).
+WITNESS = '0111101'
+
+LEFT_START = 'q0'
+RIGHT_START = 'q0'
+
+LEFT = """\
+header h0 : 4;
+header h1 : 3;
+
+q0 {
+  extract(h0);
+  select(h0) {
+    (0b1000) => q1
+    (0b0111) => q1
+    (_) => accept
+  }
+}
+
+q1 {
+  extract(h1);
+  select(h1) {
+    (0b100) => reject
+    (0b101) => accept
+  }
+}
+"""
+
+RIGHT = """\
+header h0 : 4;
+header h1 : 3;
+
+q0 {
+  extract(h0);
+  select(h0) {
+    (0b1000) => q1
+    (0b1111) => q1
+    (_) => accept
+  }
+}
+
+q1 {
+  extract(h1);
+  select(h1) {
+    (0b100) => reject
+    (0b101) => accept
+  }
+}
+"""
+
+
+@register(
+    name=NAME,
+    family="distilled",
+    size='mini',
+    verdict=EXPECTED,
+    kind="pair",
+    description='distilled campaign catch (seed 20220618): internal stack said equivalent, ground truth not_equivalent',
+)
+def _pair():
+    return (
+        parse_automaton(LEFT, name=NAME + "_left"), LEFT_START,
+        parse_automaton(RIGHT, name=NAME + "_right"), RIGHT_START,
+    )

@@ -34,7 +34,13 @@ from ..p4a.syntax import P4Automaton
 #: Deployment families a scenario may belong to.  ``synthetic`` is the
 #: parametric family: its members are drawn from the seeded mutation-based
 #: synthesizer (:mod:`repro.synth`) rather than written by hand.
-FAMILIES = ("edge", "datacenter", "enterprise", "service-provider", "tunnel", "synthetic")
+#: ``distilled`` is the regression family: each member is a minimized
+#: engine/label disagreement serialized by the fuzz-campaign distiller
+#: (:mod:`repro.campaign`) into :mod:`repro.scenarios.distilled`.
+FAMILIES = (
+    "edge", "datacenter", "enterprise", "service-provider", "tunnel",
+    "synthetic", "distilled",
+)
 #: Scenario scales.
 SIZES = ("mini", "full")
 #: Expected equivalence-check outcomes.

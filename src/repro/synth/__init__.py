@@ -19,6 +19,8 @@ suites, and ``benchmarks/bench_synth_churn.py``.
 """
 
 from .generator import (
+    CAMPAIGN_FULL_CONFIG,
+    CAMPAIGN_MINI_CONFIG,
     FULL_CONFIG,
     MINI_CONFIG,
     GeneratorConfig,
@@ -29,6 +31,7 @@ from .pairs import (
     EQUIVALENT,
     NOT_EQUIVALENT,
     SynthesizedPair,
+    campaign_config_for_size,
     config_for_size,
     synthesize_batch,
     synthesize_pair,
@@ -36,14 +39,18 @@ from .pairs import (
 from .transforms import (
     BREAKING_MUTATIONS,
     EQUIVALENCE_TRANSFORMS,
+    TransformStep,
     apply_breaking_mutation,
     apply_equivalence_chain,
     find_witness,
     path_packets,
+    replay_chain,
 )
 
 __all__ = [
     "BREAKING_MUTATIONS",
+    "CAMPAIGN_FULL_CONFIG",
+    "CAMPAIGN_MINI_CONFIG",
     "EQUIVALENCE_TRANSFORMS",
     "EQUIVALENT",
     "FULL_CONFIG",
@@ -52,12 +59,15 @@ __all__ = [
     "NOT_EQUIVALENT",
     "SynthesisError",
     "SynthesizedPair",
+    "TransformStep",
     "apply_breaking_mutation",
     "apply_equivalence_chain",
+    "campaign_config_for_size",
     "config_for_size",
     "find_witness",
     "generate_automaton",
     "path_packets",
+    "replay_chain",
     "synthesize_batch",
     "synthesize_pair",
 ]

@@ -21,12 +21,28 @@ and it buys three invariants the rest of :mod:`repro.synth` leans on:
 Every draw is driven by a caller-supplied :class:`random.Random`, so a seed
 fully determines the automaton; :class:`GeneratorConfig` bounds the number of
 states, the per-header widths and the total extracted bits.
+
+The campaign configurations (:data:`CAMPAIGN_MINI_CONFIG`,
+:data:`CAMPAIGN_FULL_CONFIG`) stretch the envelope past pure acyclic
+cascades: bounded self-loops (terminating by packet exhaustion, since every
+pass extracts at least one bit), slice-lookahead guards, and store-carried
+guards that branch on a header extracted in an earlier state.  Store guards
+draw only from headers **definitely assigned on every path** into the
+branching state (tracked by a forward dataflow over the in-construction
+graph, whose state-to-state edges all point forward): a guard on a
+maybe-uninitialized header would make acceptance depend on the initial
+store, which the concrete semantics zero-fills but the symbolic checker
+rightly treats as unconstrained — the label and the verdict would diverge
+on automata that are simply outside the paper's header-initialization
+discipline.  All three knobs are off by default and gated behind
+``probability > 0`` checks, so the rng draw sequence — and with it every
+pinned seed — is unchanged for the classic configurations.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Tuple
 
 from ..p4a.bitvec import Bits
@@ -36,6 +52,7 @@ from ..p4a.syntax import (
     Assign,
     BVLit,
     ExactPattern,
+    Expr,
     Extract,
     Goto,
     HeaderRef,
@@ -43,6 +60,7 @@ from ..p4a.syntax import (
     P4Automaton,
     Select,
     SelectCase,
+    Slice,
     State,
     Transition,
     WILDCARD,
@@ -76,6 +94,19 @@ class GeneratorConfig:
     second_extract_probability: float = 0.25
     assign_probability: float = 0.25
     goto_probability: float = 0.3
+    #: Probability that one surplus select case becomes a bounded self-loop
+    #: back to its own state (the loop body extracts >= 1 bit, so packet
+    #: exhaustion bounds every run).  The rng is only consulted when nonzero,
+    #: keeping the draw sequence — and therefore every existing seed —
+    #: bit-identical under the default configurations.
+    loop_probability: float = 0.0
+    #: Probability that a select examines only a slice of its header
+    #: (bounded lookahead on a sub-field instead of the whole value).
+    lookahead_probability: float = 0.0
+    #: Probability that a select branches on a header extracted by an
+    #: *earlier* state — a store-carried guard, the shape that breaks the
+    #: classic cascade's store-independence invariant.
+    store_guard_probability: float = 0.0
 
     def __post_init__(self) -> None:
         if self.min_states < 1 or self.max_states < self.min_states:
@@ -84,6 +115,10 @@ class GeneratorConfig:
             raise SynthesisError("invalid header-width bounds")
         if self.max_cases < 1:
             raise SynthesisError("max_cases must be >= 1")
+        for knob in ("loop_probability", "lookahead_probability",
+                     "store_guard_probability"):
+            if not 0.0 <= getattr(self, knob) <= 1.0:
+                raise SynthesisError(f"{knob} must be a probability")
 
 
 #: Default configuration: mini-sized automata (seconds with the pure-Python
@@ -98,6 +133,24 @@ FULL_CONFIG = GeneratorConfig(
     max_header_bits=6,
     max_total_bits=40,
     max_cases=4,
+)
+
+#: Campaign envelopes: the mini/full shape bounds plus the extended guard
+#: repertoire (bounded self-loops, slice lookahead, store-carried guards).
+#: Kept separate from :data:`MINI_CONFIG`/:data:`FULL_CONFIG` so the pinned
+#: synthetic scenarios never change shape under the same seed.
+CAMPAIGN_MINI_CONFIG = replace(
+    MINI_CONFIG,
+    loop_probability=0.2,
+    lookahead_probability=0.25,
+    store_guard_probability=0.15,
+)
+
+CAMPAIGN_FULL_CONFIG = replace(
+    FULL_CONFIG,
+    loop_probability=0.2,
+    lookahead_probability=0.25,
+    store_guard_probability=0.15,
 )
 
 
@@ -121,9 +174,14 @@ def generate_automaton(
 
     Guarantees beyond well-typedness: state ``q0`` is the start, every state
     is reachable from it, every state can reach ``accept``, every ``select``
-    examines the header extracted last in its own state with pairwise
-    distinct exact patterns, and at most ``2**width - 2`` cases ever occupy a
-    ``width``-bit select (so a fresh non-matching value always exists).
+    has pairwise distinct exact patterns, and at most ``2**width - 2`` cases
+    ever occupy a ``width``-bit select (so a fresh non-matching value always
+    exists).  Under the default knobs every select examines the header
+    extracted last in its own state; the campaign knobs additionally draw
+    bounded self-loops, slice-lookahead guards and store-carried guards
+    (branching on a header extracted by an earlier state).  Every extension
+    still extracts at least one bit per state, so runs terminate by packet
+    exhaustion and :func:`repro.p4a.typing.check_automaton` passes.
     """
     num_states = rng.randint(config.min_states, config.max_states)
     state_names = [f"q{i}" for i in range(num_states)]
@@ -145,7 +203,15 @@ def generate_automaton(
         return header
 
     states: Dict[str, State] = {}
+    # Definite-assignment dataflow: ``incoming[j]`` is the intersection of
+    # (headers definitely assigned entering i) ∪ (headers assigned in i)
+    # over every recorded edge i -> j.  All state-to-state edges point
+    # forward in index order (self-loops only re-run assignments, so they
+    # cannot shrink the set), which lets the sets be completed for state i
+    # before state i is built.
+    incoming: Dict[int, set] = {}
     for i in range(num_states):
+        definite = incoming.get(i, set())
         required = [state_names[j] for j in children[i]]
         # Goto can carry at most one required child edge.
         use_goto = len(required) <= 1 and rng.random() < config.goto_probability
@@ -173,21 +239,57 @@ def generate_automaton(
             selected = declare("h", i, width)
             ops.append(Extract(selected))
 
+            # Extended guard shapes, all gated so the rng is untouched when
+            # the knobs sit at their 0.0 defaults.  A select needs at least
+            # ``num_cases + 2`` representable values (spare for guard flips
+            # plus the implicit reject), hence the minimum guard width.
+            minimum_guard = max(2, (num_cases + 1).bit_length())
+            guard_expr: Expr = HeaderRef(selected)
+            guard_width = width
+            if config.store_guard_probability > 0 and i > 0:
+                earlier = [
+                    h for h, w in headers.items()
+                    if h != selected and w >= minimum_guard and h in definite
+                ]
+                if earlier and rng.random() < config.store_guard_probability:
+                    guard_header = rng.choice(earlier)
+                    guard_expr = HeaderRef(guard_header)
+                    guard_width = headers[guard_header]
+            if (config.lookahead_probability > 0
+                    and guard_width > minimum_guard
+                    and rng.random() < config.lookahead_probability):
+                slice_width = rng.randint(minimum_guard, guard_width - 1)
+                lo = rng.randint(0, guard_width - slice_width)
+                guard_expr = Slice(guard_expr, lo, lo + slice_width - 1)
+                guard_width = slice_width
+
             # Distinct exact values; the width guarantees at least two values
             # stay unused (one for guard flips, one for the implicit reject).
-            values = rng.sample(range(1 << width), num_cases)
+            values = rng.sample(range(1 << guard_width), num_cases)
             pool = state_names[i + 1 :] + [ACCEPT, REJECT]
             targets = list(required)
             while len(targets) < num_cases:
                 targets.append(rng.choice(pool))
             rng.shuffle(targets)  # permutes, so required children stay present
             cases = [
-                SelectCase((ExactPattern(Bits.from_int(value, width)),), target)
+                SelectCase((ExactPattern(Bits.from_int(value, guard_width)),), target)
                 for value, target in zip(values, targets)
             ]
+            if (config.loop_probability > 0
+                    and rng.random() < config.loop_probability):
+                # A bounded self-loop: retarget one case that carries no
+                # required child edge back to this state.  Each pass through
+                # the loop extracts >= 1 fresh bit, so runs stay finite.
+                loopable = [
+                    k for k, case in enumerate(cases)
+                    if case.target not in required
+                ]
+                if loopable:
+                    k = rng.choice(loopable)
+                    cases[k] = SelectCase(cases[k].patterns, state_names[i])
             if rng.random() < config.wildcard_probability:
                 cases.append(SelectCase((WILDCARD,), rng.choice(pool)))
-            transition = Select((HeaderRef(selected),), tuple(cases))
+            transition = Select((guard_expr,), tuple(cases))
 
         # Optional scratch extract *before* the selected header so the select
         # still examines the last extracted header.  Optional assignment to a
@@ -208,6 +310,20 @@ def generate_automaton(
             ))
 
         states[state_names[i]] = State(state_names[i], tuple(ops), transition)
+
+        # Record this state's contribution to its successors' definite sets.
+        # (`_ensure_accept_reachable` below only retargets final edges, so
+        # the edge set used here is final for state-to-state flow.)
+        assigned = definite | {op.header for op in ops}
+        if isinstance(transition, Goto):
+            targets = [transition.target]
+        else:
+            targets = [case.target for case in transition.cases]
+        for target in targets:
+            if target in (ACCEPT, REJECT) or target == state_names[i]:
+                continue
+            j = state_names.index(target)
+            incoming[j] = assigned if j not in incoming else incoming[j] & assigned
 
     _ensure_accept_reachable(states, state_names)
 

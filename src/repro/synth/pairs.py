@@ -26,13 +26,19 @@ from ..p4a.bitvec import Bits
 from ..p4a.semantics import accepts
 from ..p4a.syntax import P4Automaton
 from .generator import (
+    CAMPAIGN_FULL_CONFIG,
+    CAMPAIGN_MINI_CONFIG,
     FULL_CONFIG,
     MINI_CONFIG,
     GeneratorConfig,
     SynthesisError,
     generate_automaton,
 )
-from .transforms import apply_breaking_mutation, apply_equivalence_chain
+from .transforms import (
+    TransformStep,
+    apply_breaking_mutation,
+    apply_equivalence_chain,
+)
 
 #: Verdict labels, matching the scenario registry's vocabulary.
 EQUIVALENT = "equivalent"
@@ -54,6 +60,11 @@ class SynthesizedPair:
     transforms: Tuple[str, ...]
     #: A packet accepted by exactly one side; ``None`` on equivalent pairs.
     witness: Optional[Bits]
+    #: The replayable ``(name, step_seed)`` chain behind ``transforms``:
+    #: :func:`repro.synth.transforms.replay_chain` applied to ``left`` from
+    #: ``left_start`` re-derives ``right`` exactly.  Default kept for
+    #: hand-built pairs in tests.
+    chain: Tuple[TransformStep, ...] = ()
 
     @property
     def expected_equivalent(self) -> bool:
@@ -125,8 +136,9 @@ def synthesize_pair(
                 left_start=start,
                 right=right,
                 right_start=right_start,
-                transforms=applied,
+                transforms=tuple(name for name, _ in applied),
                 witness=None,
+                chain=applied,
             )
         # Broken pair: a few camouflage rewrites, then one confirmed mutation.
         rewrites = rng.randint(0, max(0, max_rewrites - 2))
@@ -146,8 +158,9 @@ def synthesize_pair(
             left_start=start,
             right=mutant,
             right_start=staged_start,
-            transforms=applied + (mutation,),
+            transforms=tuple(name for name, _ in applied) + (mutation[0],),
             witness=witness,
+            chain=applied + (mutation,),
         )
     raise SynthesisError(
         f"seed {seed}: no confirmable breaking mutation in 32 generations"
@@ -183,4 +196,19 @@ def config_for_size(size: str) -> GeneratorConfig:
         return MINI_CONFIG
     if size == "full":
         return FULL_CONFIG
+    raise SynthesisError(f"unknown size {size!r}; known: mini, full")
+
+
+def campaign_config_for_size(size: str) -> GeneratorConfig:
+    """The extended-shape campaign configuration for a registry size tag.
+
+    Same state/width envelope as :func:`config_for_size`, plus bounded
+    self-loops, slice lookahead and store-carried guards.  Deliberately not
+    used by the pinned ``synthetic`` scenarios, whose shapes must stay
+    seed-stable.
+    """
+    if size == "mini":
+        return CAMPAIGN_MINI_CONFIG
+    if size == "full":
+        return CAMPAIGN_FULL_CONFIG
     raise SynthesisError(f"unknown size {size!r}; known: mini, full")

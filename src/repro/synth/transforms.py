@@ -128,68 +128,136 @@ def _fresh_name(taken: Iterable[str], stem: str) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _extract_spans(state: State, aut: P4Automaton) -> Dict[str, Tuple[int, int]]:
-    """``header -> (bit offset, width)`` within the state's consumed bits."""
-    spans: Dict[str, Tuple[int, int]] = {}
-    position = 0
-    for op in state.ops:
-        if isinstance(op, Extract):
-            width = aut.header_size(op.header)
-            spans[op.header] = (position, width)
-            position += width
-    return spans
+def _guard_span(expr: Expr) -> Optional[Tuple[str, Optional[Tuple[int, int]]]]:
+    """Decompose a packet-controllable guard into ``(header, sub_slice)``.
+
+    Supports plain ``HeaderRef`` guards and (nested) slices of one — the
+    lookahead shape the campaign generator draws.  Anything else (concats,
+    multi-header guards) is outside the controllable fragment.
+    """
+    lo, hi = None, None
+    while isinstance(expr, Slice):
+        if lo is None:
+            lo, hi = expr.lo, expr.hi
+        else:
+            lo, hi = lo + expr.lo, lo + expr.hi
+        expr = expr.expr
+    if not isinstance(expr, HeaderRef):
+        return None
+    return expr.name, (None if lo is None else (lo, hi))
 
 
-def _branch_bits(total: int, span: Tuple[int, int], value: int) -> Bits:
-    offset, width = span
-    bits = ["0"] * total
-    encoded = Bits.from_int(value, width).to_bitstring()
-    bits[offset : offset + width] = list(encoded)
-    return Bits("".join(bits))
+def _matching_target(
+    transition: Select, value: int, width: int
+) -> Optional[str]:
+    """First-match select semantics for a known guard value (``None`` means
+    the implicit reject fall-through)."""
+    encoded = Bits.from_int(value, width)
+    for case in transition.cases:
+        pattern = case.patterns[0]
+        if isinstance(pattern, ExactPattern):
+            if pattern.value == encoded:
+                return case.target
+        elif isinstance(pattern, WildcardPattern):
+            return case.target
+    return None
 
 
 def path_packets(
     aut: P4Automaton, start: str, limit: int = 2048
 ) -> Optional[List[Bits]]:
-    """One packet per control path of a select cascade (``None`` if the
-    automaton is not in cascade shape).
+    """One packet per control path (``None`` if the automaton is outside the
+    packet-controllable fragment).
 
-    A path's packet fixes the branched-on header bits to the pattern values
-    along the path and zeroes every other bit; paths ending in ``reject``
+    A path's packet fixes the branched-on bits to the pattern values along
+    the path and zeroes every other bit; paths ending in ``reject``
     (explicitly or by select fall-through) are included, so the result covers
     rejected prefixes too.  Enumeration is capped at ``limit`` packets.
+
+    Beyond the classic same-state cascade shape, the walk tracks the absolute
+    packet span of every header extracted along the path, which makes three
+    more guard shapes enumerable: **slice lookahead** (only the sliced bits
+    are fixed), **store-carried guards** (the earlier state's span is
+    rewritten, unless an earlier branch already pinned those bits — then the
+    guard value is determined and the single matching outcome is followed),
+    and **bounded self-loops** (each iteration consumes fresh bits; the depth
+    cap bounds unrolling).  A guard over a header never extracted on the path
+    reads the all-zero default store, so the zero outcome is followed; a
+    guard whose header was assigned after its extract is not packet-derived,
+    and the enumeration bails out.
     """
     packets: List[Bits] = []
+    depth_cap = 2 * len(aut.states) + 2
 
-    def walk(state_name: str, prefix: Bits, depth: int) -> bool:
-        """Returns False when the cascade invariant is violated."""
+    def walk(
+        state_name: str,
+        prefix: List[str],
+        spans: Dict[str, Tuple[int, int]],
+        dirty: frozenset,
+        pinned: frozenset,
+        depth: int,
+    ) -> bool:
+        """Returns False when the controllable-fragment invariant breaks."""
         if len(packets) >= limit:
             return True
-        if state_name in FINAL_STATES or depth > len(aut.states) + 1:
-            packets.append(prefix)
+        if state_name in FINAL_STATES or depth > depth_cap:
+            packets.append(Bits("".join(prefix)))
             return True
         state = aut.state(state_name)
-        total = aut.op_size(state_name)
+        base = len(prefix)
+        spans = dict(spans)
+        dirty_set = set(dirty)
+        position = 0
+        for op in state.ops:
+            if isinstance(op, Extract):
+                width = aut.header_size(op.header)
+                spans[op.header] = (base + position, width)
+                dirty_set.discard(op.header)
+                position += width
+            elif isinstance(op, Assign):
+                dirty_set.add(op.header)
+        dirty = frozenset(dirty_set)
+        block = prefix + ["0"] * aut.op_size(state_name)
         transition = state.transition
         if isinstance(transition, Goto):
-            return walk(transition.target, prefix.concat(Bits("0" * total)), depth + 1)
-        if len(transition.exprs) != 1 or not isinstance(transition.exprs[0], HeaderRef):
+            return walk(transition.target, block, spans, dirty, pinned, depth + 1)
+        if len(transition.exprs) != 1:
             return False
-        header = transition.exprs[0].name
-        spans = _extract_spans(state, aut)
+        guard = _guard_span(transition.exprs[0])
+        if guard is None:
+            return False
+        header, sub = guard
+        if header in dirty:
+            # Assigned after its extract: the guard value is not a packet
+            # slice, so this fragment cannot be enumerated bit-for-bit.
+            return False
+
+        def follow(value: int, width: int) -> bool:
+            # The guard value is already determined; take its one outcome.
+            target = _matching_target(transition, value, width)
+            if target is None:
+                packets.append(Bits("".join(block)))
+                return True
+            return walk(target, block, spans, dirty, pinned, depth + 1)
+
         if header not in spans:
-            return False
-        # An assignment to the branched-on header after its extract would
-        # decouple the branch from the packet bits; the generator and every
-        # transform preserve the invariant, but check defensively.
-        seen_extract = False
-        for op in state.ops:
-            if isinstance(op, Extract) and op.header == header:
-                seen_extract = True
-            elif isinstance(op, Assign) and op.header == header and seen_extract:
+            # Never extracted on this path: the guard reads the all-zero
+            # default store, deterministically.
+            width = aut.header_size(header)
+            if sub is not None:
+                width = sub[1] - sub[0] + 1
+            return follow(0, width)
+        offset, width = spans[header]
+        if sub is not None:
+            if sub[1] >= width:
                 return False
-        span = spans[header]
-        width = span[1]
+            offset, width = offset + sub[0], sub[1] - sub[0] + 1
+        span_bits = frozenset(range(offset, offset + width))
+        if span_bits & pinned:
+            # An earlier select already fixed (some of) these bits; the
+            # guard value is whatever the path wrote there.
+            return follow(int("".join(block[offset : offset + width]) or "0", 2), width)
+        pinned_here = pinned | span_bits
         matched: List[int] = []
         saw_wildcard = False
         for case in transition.cases:
@@ -211,17 +279,24 @@ def path_packets(
                 return False
             if branch_value is None:
                 continue  # unreachable case (after a wildcard, or no free value)
-            bits = _branch_bits(total, span, branch_value)
-            if not walk(case.target, prefix.concat(bits), depth + 1):
+            branched = list(block)
+            branched[offset : offset + width] = list(
+                Bits.from_int(branch_value, width).to_bitstring()
+            )
+            if not walk(case.target, branched, spans, dirty, pinned_here, depth + 1):
                 return False
         if not saw_wildcard:
             # The implicit reject fall-through, when a non-matching value exists.
             free = next((v for v in range(1 << width) if v not in matched), None)
             if free is not None:
-                packets.append(prefix.concat(_branch_bits(total, span, free)))
+                fallthrough = list(block)
+                fallthrough[offset : offset + width] = list(
+                    Bits.from_int(free, width).to_bitstring()
+                )
+                packets.append(Bits("".join(fallthrough)))
         return True
 
-    if not walk(start, Bits(""), 0):
+    if not walk(start, [], {}, frozenset(), frozenset(), 0):
         return None
     return packets
 
@@ -542,26 +617,37 @@ BREAKING_MUTATIONS: Dict[str, Transform] = {
 # ---------------------------------------------------------------------------
 
 
+#: One applied transform, pinned for replay: ``(transform_name, step_seed)``.
+#: The step runs against ``random.Random(step_seed)``, so a recorded chain
+#: re-derives the exact same automaton from the same base — the property the
+#: campaign delta-debugger leans on when it drops camouflage steps.
+TransformStep = Tuple[str, int]
+
+
 def apply_equivalence_chain(
     aut: P4Automaton,
     start: str,
     rng: random.Random,
     count: int,
     attempts: int = 16,
-) -> Tuple[P4Automaton, str, Tuple[str, ...]]:
+) -> Tuple[P4Automaton, str, Tuple[TransformStep, ...]]:
     """Apply ``count`` equivalence-preserving rewrites (skipping inapplicable
-    draws); every intermediate automaton is re-type-checked."""
-    applied: List[str] = []
+    draws); every intermediate automaton is re-type-checked.  Each applied
+    step is returned as a replayable ``(name, step_seed)`` pair."""
+    applied: List[TransformStep] = []
     current = aut
     names = list(EQUIVALENCE_TRANSFORMS)
     for _ in range(count):
         for _ in range(attempts):
             name = rng.choice(names)
-            result = EQUIVALENCE_TRANSFORMS[name](current, start, rng)
+            step_seed = rng.randrange(1 << 32)
+            result = EQUIVALENCE_TRANSFORMS[name](
+                current, start, random.Random(step_seed)
+            )
             if result is not None:
                 check_automaton(result)
                 current = result
-                applied.append(name)
+                applied.append((name, step_seed))
                 break
     return current, start, tuple(applied)
 
@@ -574,9 +660,10 @@ def apply_breaking_mutation(
     rng: random.Random,
     mutations: Optional[Iterable[str]] = None,
     attempts: int = 24,
-) -> Optional[Tuple[P4Automaton, str, Bits]]:
+) -> Optional[Tuple[P4Automaton, TransformStep, Bits]]:
     """Mutate ``aut`` until a concrete witness against ``reference`` confirms
-    the break; returns ``(mutant, mutation_name, witness)`` or ``None``.
+    the break; returns ``(mutant, (mutation_name, step_seed), witness)`` or
+    ``None``.
 
     The witness is found (and therefore replayable) under all-zero initial
     stores on both sides, which refutes language equivalence under the
@@ -588,11 +675,38 @@ def apply_breaking_mutation(
         raise SynthesisError(f"unknown mutations: {', '.join(unknown)}")
     for _ in range(attempts):
         name = rng.choice(names)
-        mutant = BREAKING_MUTATIONS[name](aut, start, rng)
+        step_seed = rng.randrange(1 << 32)
+        mutant = BREAKING_MUTATIONS[name](aut, start, random.Random(step_seed))
         if mutant is None:
             continue
         check_automaton(mutant)
         witness = find_witness(reference, reference_start, mutant, start, rng)
         if witness is not None:
-            return mutant, name, witness
+            return mutant, (name, step_seed), witness
     return None
+
+
+def replay_chain(
+    aut: P4Automaton,
+    start: str,
+    steps: Iterable[TransformStep],
+) -> Optional[Tuple[P4Automaton, str]]:
+    """Re-apply a recorded transform chain (rewrites and/or mutations).
+
+    Deterministic: each step runs against ``random.Random(step_seed)``, so a
+    chain recorded by :func:`apply_equivalence_chain` /
+    :func:`apply_breaking_mutation` rebuilds the exact same automaton from
+    the same base.  Returns ``None`` when a step is inapplicable to the
+    (possibly reduced) intermediate automaton; unknown names raise.
+    """
+    current = aut
+    for name, step_seed in steps:
+        transform = EQUIVALENCE_TRANSFORMS.get(name) or BREAKING_MUTATIONS.get(name)
+        if transform is None:
+            raise SynthesisError(f"unknown transform {name!r}")
+        result = transform(current, start, random.Random(step_seed))
+        if result is None:
+            return None
+        check_automaton(result)
+        current = result
+    return current, start

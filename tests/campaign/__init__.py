@@ -1,0 +1,1 @@
+"""Campaign runner, distillation and CLI tests."""

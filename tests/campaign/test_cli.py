@@ -1,0 +1,78 @@
+"""The ``repro campaign run`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SEED = 20220613
+
+
+class TestCampaignRun:
+    def test_clean_campaign_exits_zero_with_summary(self, capsys):
+        assert main([
+            "campaign", "run", "--pairs", "4", "--seed", str(SEED),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 verdicts agree with ground truth" in out
+        assert "pairs/s" in out
+
+    def test_json_report_is_deterministic(self, capsys, tmp_path):
+        report_a = tmp_path / "a.json"
+        report_b = tmp_path / "b.json"
+        argv = ["campaign", "run", "--pairs", "4", "--shards", "2",
+                "--seed", str(SEED), "--json"]
+        assert main(argv + ["--report", str(report_a)]) == 0
+        stdout_a = capsys.readouterr().out
+        assert main(argv + ["--report", str(report_b)]) == 0
+        stdout_b = capsys.readouterr().out
+        assert stdout_a == stdout_b
+        assert report_a.read_text() == report_b.read_text()
+        payload = json.loads(report_a.read_text())
+        assert payload["totals"]["completed"] == 4
+        assert payload["config"]["shards"] == 2
+        assert "elapsed" not in json.dumps(payload)
+
+    def test_shard_flag_runs_a_single_shard(self, capsys):
+        assert main([
+            "campaign", "run", "--pairs", "5", "--shards", "2",
+            "--shard", "1", "--seed", str(SEED), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        [shard] = payload["shards"]
+        assert shard["shard"] == 1
+        assert shard["completed"] == 2  # indices 1 and 3
+
+    def test_state_dir_resumes(self, capsys, tmp_path):
+        argv = ["campaign", "run", "--pairs", "4", "--seed", str(SEED),
+                "--state-dir", str(tmp_path / "state"), "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second == first
+
+    def test_invalid_shard_is_exit_two(self, capsys):
+        assert main([
+            "campaign", "run", "--pairs", "4", "--shards", "2", "--shard", "5",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_environment_is_exit_two(self, capsys, monkeypatch):
+        monkeypatch.setenv("LEAPFROG_SHARDS", "zero")
+        assert main(["campaign", "run", "--pairs", "2"]) == 2
+        assert "LEAPFROG_SHARDS" in capsys.readouterr().err
+
+    def test_shards_default_from_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv("LEAPFROG_SHARDS", "2")
+        assert main([
+            "campaign", "run", "--pairs", "4", "--seed", str(SEED), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["shards"] == 2
+        assert len(payload["shards"]) == 2
+
+    def test_pairs_flag_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run"])

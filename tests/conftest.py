@@ -1,4 +1,4 @@
-"""Shared test configuration: deterministic Hypothesis profiles.
+"""Shared test configuration: Hypothesis profiles and scenario-tag sharding.
 
 Two profiles are registered for the property-based suites:
 
@@ -12,10 +12,85 @@ Two profiles are registered for the property-based suites:
 ``pytest --hypothesis-profile=ci``.  Shrunk failures land in the
 ``.hypothesis/`` example database, which the CI workflow uploads as an
 artifact when the test job fails.
+
+``--scenario-tag FAMILY`` shards the scenario-parametrized suites by
+registry family: every collected test whose parametrization names a
+registered scenario (directly, like the parity suites' ``name`` params, or
+through a family stem like the oracle smoke's ``stem`` params) is kept only
+when that scenario carries the requested family tag, and everything not
+keyed to a scenario is deselected — so a family-keyed CI matrix runs each
+scenario test exactly once across all its legs.  Each scenario-keyed test
+also gets a ``scenario_family(<family>)`` marker for ``-m`` selection.
 """
 
+import pytest
 from hypothesis import settings
 
 settings.register_profile("ci", derandomize=True, deadline=None)
 settings.register_profile("dev")
 settings.load_profile("dev")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--scenario-tag",
+        action="store",
+        default=None,
+        metavar="FAMILY",
+        help=(
+            "run only scenario-parametrized tests whose scenario belongs to "
+            "this registry family (CI shards the scenario suites with this)"
+        ),
+    )
+
+
+def _scenario_families(item):
+    """The registry families of every scenario this test is keyed to.
+
+    A string param is scenario-keyed if it is a registered scenario name, or
+    a family stem ``X`` for which ``mini_X`` is registered (the convention
+    the protocol-family smoke tests parametrize by).
+    """
+    callspec = getattr(item, "callspec", None)
+    if callspec is None:
+        return set()
+    from repro.scenarios import get, names
+
+    registered = set(names())
+    families = set()
+    for value in callspec.params.values():
+        if not isinstance(value, str):
+            continue
+        if value in registered:
+            families.add(get(value).family)
+        elif f"mini_{value}" in registered:
+            families.add(get(f"mini_{value}").family)
+    return families
+
+
+def pytest_collection_modifyitems(config, items):
+    tag = config.getoption("--scenario-tag")
+    selected, deselected = [], []
+    for item in items:
+        families = _scenario_families(item)
+        for family in sorted(families):
+            item.add_marker(pytest.mark.scenario_family(family))
+        if tag is None or tag in families:
+            selected.append(item)
+        else:
+            deselected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected
+
+
+def pytest_configure(config):
+    tag = config.getoption("--scenario-tag")
+    if tag is not None:
+        from repro.scenarios import FAMILIES
+
+        if tag not in FAMILIES:
+            raise pytest.UsageError(
+                f"--scenario-tag: unknown family {tag!r}; "
+                f"known: {', '.join(FAMILIES)}"
+            )

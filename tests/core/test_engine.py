@@ -93,6 +93,20 @@ class TestSequentialEngine:
         with pytest.raises(EngineError):
             EquivalenceEngine(jobs=0)
 
+    def test_on_result_streams_in_submission_order(self):
+        engine = EquivalenceEngine(jobs=1)
+        streamed = []
+        results = engine.run(_tiny_jobs(), on_result=streamed.append)
+        assert [r.job_id for r in streamed] == [r.job_id for r in results]
+        assert streamed == results
+
+    def test_on_result_sees_errors_too(self):
+        engine = EquivalenceEngine(jobs=1)
+        streamed = []
+        engine.run([CaseJob(case="No Such Row", job_id="bad")],
+                   on_result=streamed.append)
+        assert [r.status for r in streamed] == ["error"]
+
     def test_case_job_runs_registered_study(self):
         engine = EquivalenceEngine(jobs=1)
         [result] = engine.run([CaseJob(case="Header initialization")])
@@ -159,6 +173,15 @@ class TestParallelEngine:
         sequential = EquivalenceEngine(jobs=1).run(jobs)
         parallel = EquivalenceEngine(jobs=2).run(jobs)
         assert _comparable(parallel) == _comparable(sequential)
+
+    def test_pooled_on_result_streams_in_submission_order(self):
+        """The pooled path delivers the contiguous done-prefix as it forms:
+        submission order, every job exactly once, before run() returns."""
+        jobs = _tiny_jobs()
+        streamed = []
+        results = EquivalenceEngine(jobs=2).run(jobs, on_result=streamed.append)
+        assert [r.job_id for r in streamed] == [j.job_id for j in jobs]
+        assert streamed == results
 
     def test_parallel_shares_persistent_cache(self, tmp_path):
         jobs = _tiny_jobs()

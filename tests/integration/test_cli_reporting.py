@@ -88,6 +88,7 @@ class TestScenariosCli:
         records = json.loads(capsys.readouterr().out)
         assert {r["name"] for r in records} == {
             "mini_vxlan_gre", "mini_vxlan_gre_broken",
+            "mini_geneve", "mini_geneve_broken",
         }
         assert all(r["states"] > 0 and r["header_bits"] > 0 for r in records)
 

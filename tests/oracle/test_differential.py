@@ -136,13 +136,14 @@ class TestSuite:
         rows = run_differential_suite(
             names=mini_scenario_names(), packets=60, seed=20220613
         )
-        # Four mini graphs plus the four protocol families' pairs and the
-        # synthetic family's pair (each an equivalent and a broken variant).
-        assert len(rows) == 14
+        # Four mini graphs plus the six protocol families' pairs and the
+        # synthetic family's pair (each an equivalent and a broken variant),
+        # plus the checked-in distilled campaign catch.
+        assert len(rows) == 19
         assert all(row.ok for row in rows), render_suite(rows)
         graph_rows = [row for row in rows if row.kind == "graph"]
         pair_rows = [row for row in rows if row.kind == "pair"]
-        assert len(graph_rows) == 4 and len(pair_rows) == 10
+        assert len(graph_rows) == 4 and len(pair_rows) == 15
         # Both the self- and the translation cross-check must actually run on
         # graph scenarios; pair scenarios have no hardware translation.
         assert all(row.translation_report is not None for row in graph_rows)

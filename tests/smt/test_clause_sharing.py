@@ -1,7 +1,5 @@
 """Tests for cross-worker learned-clause sharing (fingerprints + channel)."""
 
-import pytest
-
 from repro.logic.folbv import BEq, BNot, BVVar, b_and
 from repro.smt.aig import Aig, FolbvToAig
 from repro.smt.bvsolver import InternalBVSolver
@@ -202,3 +200,145 @@ class TestBackendIntegration:
         assert session.check(assumptions, goal=GOAL, validate_formula=combined).is_unsat
         assert second.statistics.clauses_imported > 0
         second.close()
+
+
+def _publish_burst(directory: str, worker: int, bursts: int, burst_size: int) -> int:
+    """One campaign worker: its own channel, many small publishes."""
+    channel = ClauseChannel(directory)
+    stored = 0
+    for burst in range(bursts):
+        stored += channel.publish([
+            [f"w{worker}b{burst}c{i}"] for i in range(burst_size)
+        ])
+    channel.close()
+    return stored
+
+
+class TestClauseChannelConcurrency:
+    """Campaign-scale concurrent use of one sqlite channel directory.
+
+    A ``campaign run --jobs N`` points every worker process at the same
+    share directory; these tests drive that access pattern hard — many
+    writers, interleaved readers, thread and process concurrency — and
+    assert the append-only/cursor contract survives it: no lost rows, no
+    duplicate deliveries, cursors never go backwards.
+    """
+
+    WRITERS = 8
+    BURSTS = 12
+    BURST_SIZE = 4
+
+    def test_concurrent_thread_writers_lose_nothing(self, tmp_path):
+        import threading
+
+        totals = [0] * self.WRITERS
+        def work(index):
+            totals[index] = _publish_burst(
+                str(tmp_path), index, self.BURSTS, self.BURST_SIZE
+            )
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(self.WRITERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = self.WRITERS * self.BURSTS * self.BURST_SIZE
+        assert sum(totals) == expected
+        reader = ClauseChannel(str(tmp_path), capacity=expected)
+        _, clauses = reader.fetch(0)
+        # Every published clause arrives exactly once, none truncated away.
+        assert sorted(c[0] for c in clauses) == sorted(
+            f"w{w}b{b}c{i}"
+            for w in range(self.WRITERS)
+            for b in range(self.BURSTS)
+            for i in range(self.BURST_SIZE)
+        )
+        reader.close()
+
+    def test_concurrent_process_writers_lose_nothing(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        writers, bursts, size = 4, 6, 3
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            stored = list(pool.map(
+                _publish_burst,
+                [str(tmp_path)] * writers, range(writers),
+                [bursts] * writers, [size] * writers,
+            ))
+        expected = writers * bursts * size
+        assert sum(stored) == expected
+        reader = ClauseChannel(str(tmp_path), capacity=expected)
+        _, clauses = reader.fetch(0)
+        assert len(clauses) == expected
+        assert len({c[0] for c in clauses}) == expected
+        reader.close()
+
+    def test_polling_reader_sees_each_clause_once(self, tmp_path):
+        """A reader polling mid-campaign never re-reads and never skips."""
+        import threading
+
+        stop = threading.Event()
+        seen = []
+        def poll():
+            reader = ClauseChannel(str(tmp_path))
+            since = 0
+            while not stop.is_set():
+                since, clauses = reader.fetch(since)
+                seen.extend(c[0] for c in clauses)
+            since, clauses = reader.fetch(since)  # final drain
+            seen.extend(c[0] for c in clauses)
+            reader.close()
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        try:
+            writers = [
+                threading.Thread(
+                    target=_publish_burst,
+                    args=(str(tmp_path), i, self.BURSTS, self.BURST_SIZE),
+                )
+                for i in range(self.WRITERS)
+            ]
+            for t in writers:
+                t.start()
+            for t in writers:
+                t.join()
+        finally:
+            stop.set()
+            poller.join()
+        expected = self.WRITERS * self.BURSTS * self.BURST_SIZE
+        assert len(seen) == expected, "a clause was skipped or re-delivered"
+        assert len(set(seen)) == expected
+
+    def test_concurrent_eviction_keeps_cursor_monotonic(self, tmp_path):
+        """Bounded capacity under concurrent writers: the table never grows
+        past the bound and fetch cursors only move forward."""
+        import threading
+
+        capacity = 16
+        def work(index):
+            channel = ClauseChannel(str(tmp_path), capacity=capacity)
+            for burst in range(self.BURSTS):
+                channel.publish([[f"w{index}b{burst}c{i}"] for i in range(4)])
+            channel.close()
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(self.WRITERS)
+        ]
+        for t in threads:
+            t.start()
+        reader = ClauseChannel(str(tmp_path), capacity=capacity)
+        cursor, fetched = 0, 0
+        while any(t.is_alive() for t in threads):
+            new_cursor, clauses = reader.fetch(cursor)
+            assert new_cursor >= cursor
+            cursor = new_cursor
+            fetched += len(clauses)
+        for t in threads:
+            t.join()
+        _, clauses = reader.fetch(cursor)
+        fetched += len(clauses)
+        assert len(reader) <= capacity
+        assert fetched <= self.WRITERS * self.BURSTS * 4
+        reader.close()

@@ -12,6 +12,8 @@ from repro.synth import (
     EQUIVALENT,
     NOT_EQUIVALENT,
     SynthesisError,
+    campaign_config_for_size,
+    config_for_size,
     synthesize_batch,
     synthesize_pair,
 )
@@ -29,6 +31,34 @@ class TestPairs:
         # Growing the batch keeps the existing pairs.
         longer = synthesize_batch(8, SEED)
         assert longer[:6] == first
+
+    @pytest.mark.parametrize("size", ["mini", "full"])
+    def test_prefix_stability_holds_at_every_size(self, size):
+        """Growing a batch never rewrites its prefix, at either scale.
+
+        Regression guard: pair ``i`` must depend only on ``seed + i`` and
+        the config — never on batch-level state (a shared rng, a running
+        transform counter) that would make ``--count 8`` disagree with
+        ``--count 6`` about the first six pairs.
+        """
+        config = config_for_size(size)
+        first = synthesize_batch(4, SEED, config=config)
+        longer = synthesize_batch(7, SEED, config=config)
+        assert longer[:4] == first
+        # Chains (the replayable per-step seeds) must be prefix-stable too,
+        # or campaign distillation would reduce a different pair than the
+        # one that was checked.
+        assert [p.chain for p in longer[:4]] == [p.chain for p in first]
+
+    @pytest.mark.parametrize("size", ["mini", "full"])
+    def test_prefix_stability_holds_for_campaign_configs(self, size):
+        """The loop/lookahead/store-guard campaign envelopes are prefix-
+        stable as well — shard resume re-synthesizes by index and must get
+        the exact pair the interrupted run checked."""
+        config = campaign_config_for_size(size)
+        first = synthesize_batch(4, SEED, config=config)
+        longer = synthesize_batch(7, SEED, config=config)
+        assert longer[:4] == first
 
     def test_batches_alternate_verdicts(self):
         batch = synthesize_batch(6, SEED)

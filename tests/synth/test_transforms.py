@@ -81,10 +81,16 @@ def test_breaking_mutations_come_with_real_witnesses(drawn, seed):
     )
     if broken is None:  # no confirmable mutation on this draw (rare)
         return
-    mutant, name, witness = broken
+    mutant, (name, step_seed), witness = broken
     assert name in BREAKING_MUTATIONS
     check_automaton(mutant)
     assert accepts(automaton, start, witness) != accepts(mutant, start, witness)
+    # The recorded step replays to the exact same mutant.
+    from repro.synth import replay_chain
+
+    replayed = replay_chain(automaton, start, [(name, step_seed)])
+    assert replayed is not None
+    assert replayed[0] == mutant
 
 
 @pytest.mark.parametrize("seed", (20220614, 8, 1001))
@@ -116,15 +122,51 @@ def test_unknown_mutation_name_is_rejected():
         )
 
 
-def test_path_packets_rejects_non_cascade_shapes():
-    """A select over a header extracted in an *earlier* state is outside the
-    cascade fragment, and the walker must say so instead of guessing."""
+def test_path_packets_controls_store_carried_guards():
+    """A select over a header extracted in an *earlier* state is enumerable:
+    the walker rewrites that state's already-emitted bits."""
     from repro.p4a.builder import AutomatonBuilder
 
-    builder = AutomatonBuilder("non_cascade")
+    builder = AutomatonBuilder("store_guard")
     builder.header("a", 2).header("b", 2)
     builder.state("q0").extract("a").goto("q1")
     # Branches on `a`, which q1 does not extract.
-    builder.state("q1").extract("b").select("a", {"0b00": "accept"})
+    builder.state("q1").extract("b").select("a", {"0b11": "accept"})
     automaton = builder.build()
+    packets = path_packets(automaton, "q0")
+    assert packets is not None
+    # The accepting path exists and its packet really is accepted.
+    assert any(accepts(automaton, "q0", packet) for packet in packets)
+
+
+def test_path_packets_rejects_assigned_guards():
+    """A guard whose header was assigned after its extract is decoupled from
+    the packet bits, and the walker must say so instead of guessing."""
+    from repro.p4a.bitvec import Bits
+    from repro.p4a.syntax import (
+        Assign,
+        BVLit,
+        ExactPattern,
+        Extract,
+        HeaderRef,
+        P4Automaton,
+        Select,
+        SelectCase,
+        State,
+    )
+
+    automaton = P4Automaton(
+        "assigned_guard",
+        {"a": 2},
+        {
+            "q0": State(
+                "q0",
+                (Extract("a"), Assign("a", BVLit(Bits.from_int(3, 2)))),
+                Select(
+                    (HeaderRef("a"),),
+                    (SelectCase((ExactPattern(Bits.from_int(3, 2)),), "accept"),),
+                ),
+            )
+        },
+    )
     assert path_packets(automaton, "q0") is None
