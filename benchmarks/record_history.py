@@ -19,9 +19,11 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_smt_queries import (
+    _DB_CAP,
     _churn_queries,
     _churn_round,
     _churn_worker,
+    _clause_db_churn,
     _entailed_sweep_workload,
     _repeated_premise_workload,
 )
@@ -50,6 +52,7 @@ def measure() -> dict:
     _repeated_premise_workload(True)
     _entailed_sweep_workload(True)
     _churn_worker(_churn_queries())
+    _clause_db_churn(_DB_CAP, rounds=4)
     return {
         "repeated_premise.incremental_on": _best_of(_repeated_premise_workload, True),
         "repeated_premise.incremental_off": _best_of(_repeated_premise_workload, False),
@@ -57,6 +60,8 @@ def measure() -> dict:
         "entailed_sweep.aig_off": _best_of(_entailed_sweep_workload, False),
         "clause_churn.shared": _best_of(_shared_churn_round),
         "clause_churn.unshared": _best_of(_churn_round, None),
+        "clause_db_churn.capped": _best_of(_clause_db_churn, _DB_CAP),
+        "clause_db_churn.unbounded": _best_of(_clause_db_churn, 0),
     }
 
 

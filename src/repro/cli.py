@@ -20,7 +20,10 @@
 * ``dump-scenario NAME`` — print a parser-gen scenario as a P4 automaton (and
   optionally its compiled hardware table);
 * ``serve`` — run the persistent equivalence daemon (warm workers fronting a
-  content-addressed verdict store; see ``docs/service.md``).
+  content-addressed verdict store; see ``docs/service.md``);
+* ``bench report`` — render the committed benchmark-history trend
+  (``benchmarks/history/``) and, with ``--check``, gate on performance
+  regressions against the rolling baseline.
 
 ``check``, ``table``, ``scenarios run`` and ``synth run`` accept ``--server``
 (or honour ``LEAPFROG_SERVER``) and then become thin clients of a running
@@ -71,6 +74,15 @@ def _oracle_argument(value: str) -> int:
     return parsed if parsed is not None else 0
 
 
+def _clause_db_argument(value: str) -> int:
+    """argparse type for ``--clause-db-max``: a validated non-negative cap."""
+    try:
+        parsed = envconfig.parse_clause_db(value, source="--clause-db-max")
+    except envconfig.EnvConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return parsed if parsed is not None else 0
+
+
 def _seed_argument(value: str) -> int:
     """argparse type for ``--seed``: a validated integer."""
     try:
@@ -109,6 +121,13 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
              "on PATH, first definitive answer wins (default: "
              "LEAPFROG_PORTFOLIO or off; excludes an external --solver)",
     )
+    parser.add_argument(
+        "--clause-db-max", type=_clause_db_argument, default=None, metavar="N",
+        help="cap the internal CDCL solver's learned-clause database at N "
+             "clauses, periodically deleting high-LBD inactive clauses "
+             "(0 keeps every learned clause; also accepts on/off; default: "
+             f"LEAPFROG_CLAUSE_DB or {envconfig.DEFAULT_CLAUSE_DB_MAX})",
+    )
 
 
 def _solver_settings(args: argparse.Namespace):
@@ -133,6 +152,13 @@ def _solver_settings(args: argparse.Namespace):
         if not shutil.which(EXTERNAL_SOLVER_COMMANDS[solver][0]):
             raise BackendError(f"external solver {solver!r} is not on PATH")
     return solver, portfolio
+
+
+def _clause_db_setting(args: argparse.Namespace) -> Optional[int]:
+    """The learned-clause cap from ``--clause-db-max``, else the environment."""
+    if args.clause_db_max is not None:
+        return args.clause_db_max
+    return envconfig.clause_db_from_env()
 
 
 def _add_oracle_arguments(parser: argparse.ArgumentParser) -> None:
@@ -443,6 +469,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the JSON report to stdout instead of the human summary",
     )
 
+    bench = sub.add_parser(
+        "bench", help="inspect the committed benchmark history"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_report = bench_sub.add_parser(
+        "report",
+        help="render the normalized benchmark trend from benchmarks/history/ "
+             "and (with --check) gate on regressions",
+    )
+    bench_report.add_argument(
+        "--history-dir", metavar="DIR",
+        help="history directory (default: benchmarks/history/ in the repo)",
+    )
+    bench_report.add_argument(
+        "--markdown", action="store_true",
+        help="emit Markdown instead of text (the docs/benchmarks.md table)",
+    )
+    bench_report.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the newest entry is more than --threshold slower "
+             "than the rolling baseline on any benchmark (the CI perf gate)",
+    )
+    bench_report.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help="fractional slowdown versus the rolling baseline that fails "
+             "--check (default: 0.15)",
+    )
+    bench_report.add_argument(
+        "--window", type=_count_argument, default=None, metavar="K",
+        help="rolling baseline size: the mean of up to K entries preceding "
+             "the newest one (default: 3)",
+    )
+
     dump = sub.add_parser("dump-scenario", help="print a parser-gen scenario as a P4 automaton")
     dump.add_argument("name", help="scenario name (e.g. edge, datacenter, mini_edge)")
     dump.add_argument("--hardware", action="store_true", help="also print the compiled table")
@@ -524,6 +583,7 @@ def _command_check(args: argparse.Namespace) -> int:
         minimize_counterexamples=not args.no_minimize,
         solver=solver,
         portfolio=portfolio,
+        clause_db_max=_clause_db_setting(args),
     )
     server = _server_setting(args)
     if server is not None:
@@ -599,6 +659,7 @@ def _command_table(args: argparse.Namespace) -> int:
         solver=solver,
         portfolio=portfolio or None,
         share_clauses=args.share_clauses or None,
+        clause_db_max=_clause_db_setting(args),
     )
     renderer = render_markdown if args.markdown else render_text
     print(renderer(metrics, title="Table 2 reproduction"))
@@ -988,6 +1049,51 @@ def _command_dump_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .docsgen import repo_root
+    from .reporting.history import HistoryError, history_dir, load_history
+    from .reporting.trend import (
+        DEFAULT_THRESHOLD,
+        DEFAULT_WINDOW,
+        check_regressions,
+        render_trend_markdown,
+        render_trend_text,
+    )
+
+    directory = (
+        Path(args.history_dir) if args.history_dir
+        else history_dir(repo_root())
+    )
+    try:
+        entries = load_history(directory)
+    except HistoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_trend_markdown if args.markdown else render_trend_text
+    print(renderer(entries).rstrip("\n"))
+    if args.check:
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        window = args.window if args.window is not None else DEFAULT_WINDOW
+        regressions = check_regressions(
+            entries, threshold=threshold, window=window
+        )
+        if regressions:
+            print(
+                f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+                f"{threshold:.0%} against the rolling baseline:",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  {regression.describe()}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (threshold {threshold:.0%})")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import os
 
@@ -1035,6 +1141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _command_campaign,
         "dump-scenario": _command_dump_scenario,
         "serve": _command_serve,
+        "bench": _command_bench,
     }
     try:
         return handlers[args.command](args)

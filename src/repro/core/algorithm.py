@@ -86,6 +86,15 @@ class CheckerConfig:
     channel in ``cache_dir`` so concurrent engine workers warm each other's
     solvers; it requires ``cache_dir``.  All three only apply when the
     checker builds its own backend.
+
+    ``clause_db_max`` caps the internal CDCL solver's learned-clause
+    database: reductions delete high-LBD inactive learned clauses once a
+    geometrically growing budget is exceeded (see
+    :mod:`repro.smt.sat.solver`).  ``None`` means the solver default (on);
+    ``0`` disables reduction and keeps every learned clause forever, the
+    pre-database behaviour kept for the ablation benchmarks.  A pure
+    performance knob: verdicts are unaffected, so it stays outside the
+    service/campaign configuration fingerprints.
     """
 
     use_leaps: bool = True
@@ -104,6 +113,7 @@ class CheckerConfig:
     solver: Optional[str] = None
     portfolio: bool = False
     share_clauses: bool = False
+    clause_db_max: Optional[int] = None
 
 
 @dataclass
@@ -196,6 +206,7 @@ class PreBisimulationChecker:
             solver=self.config.solver,
             portfolio=self.config.portfolio,
             share_dir=self.config.cache_dir if self.config.share_clauses else None,
+            clause_db_max=self.config.clause_db_max,
         )
         self.entailment = EntailmentChecker(
             self.backend,

@@ -162,6 +162,7 @@ def _effective_config(
     solver: Optional[str] = None,
     portfolio: Optional[bool] = None,
     share_clauses: Optional[bool] = None,
+    clause_db_max: Optional[int] = None,
 ) -> Optional[CheckerConfig]:
     config = job.config
     if (
@@ -169,6 +170,7 @@ def _effective_config(
         and oracle_packets is None and oracle_seed is None
         and use_aig is None and solver is None
         and portfolio is None and share_clauses is None
+        and clause_db_max is None
     ):
         return config
     if config is None:
@@ -189,6 +191,8 @@ def _effective_config(
         config = dataclasses.replace(config, portfolio=portfolio)
     if share_clauses is not None and config.share_clauses != share_clauses:
         config = dataclasses.replace(config, share_clauses=share_clauses)
+    if clause_db_max is not None and config.clause_db_max is None:
+        config = dataclasses.replace(config, clause_db_max=clause_db_max)
     return config
 
 
@@ -202,10 +206,11 @@ def _execute_job(
     solver: Optional[str] = None,
     portfolio: Optional[bool] = None,
     share_clauses: Optional[bool] = None,
+    clause_db_max: Optional[int] = None,
 ) -> object:
     config = _effective_config(job, cache_dir, use_incremental, oracle_packets,
                                oracle_seed, use_aig, solver, portfolio,
-                               share_clauses)
+                               share_clauses, clause_db_max)
     if isinstance(job, CaseJob):
         from ..reporting.runner import case_studies
 
@@ -240,12 +245,14 @@ def _pooled_worker(
     solver: Optional[str] = None,
     portfolio: Optional[bool] = None,
     share_clauses: Optional[bool] = None,
+    clause_db_max: Optional[int] = None,
 ) -> None:
     """Child-process entry point: run one job, ship the outcome over a pipe."""
     try:
         payload = ("ok", _execute_job(job, cache_dir, use_incremental,
                                       oracle_packets, oracle_seed, use_aig,
-                                      solver, portfolio, share_clauses))
+                                      solver, portfolio, share_clauses,
+                                      clause_db_max))
     except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
         payload = ("error", f"{type(exc).__name__}: {exc}")
     try:
@@ -285,9 +292,10 @@ class EquivalenceEngine:
     against that many seeded random packets (see
     :mod:`repro.oracle.differential`).
 
-    ``solver``/``portfolio``/``share_clauses`` thread the solver-backend
-    selection of :class:`~repro.core.algorithm.CheckerConfig` into every job
-    that does not already configure it.  ``share_clauses`` combines with
+    ``solver``/``portfolio``/``share_clauses``/``clause_db_max`` thread the
+    solver-backend selection of :class:`~repro.core.algorithm.CheckerConfig`
+    into every job that does not already configure it.  ``share_clauses``
+    combines with
     ``cache_dir``: the clause channel lives next to the query cache, so
     pooled workers pointed at the same directory trade learned clauses.
     These are local execution knobs — remote (``server``) dispatch does not
@@ -308,6 +316,7 @@ class EquivalenceEngine:
         solver: Optional[str] = None,
         portfolio: Optional[bool] = None,
         share_clauses: Optional[bool] = None,
+        clause_db_max: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"worker count must be >= 1, got {jobs}")
@@ -323,6 +332,7 @@ class EquivalenceEngine:
         self.solver = solver
         self.portfolio = portfolio
         self.share_clauses = share_clauses
+        self.clause_db_max = clause_db_max
         self.statistics = EngineStatistics()
 
     # ------------------------------------------------------------------
@@ -391,7 +401,7 @@ class EquivalenceEngine:
             value = _execute_job(job, self.cache_dir, self.use_incremental,
                                  self.oracle_packets, self.oracle_seed,
                                  self.use_aig, self.solver, self.portfolio,
-                                 self.share_clauses)
+                                 self.share_clauses, self.clause_db_max)
         except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
             elapsed = time.perf_counter() - start
             if limit is not None and elapsed > limit:
@@ -516,7 +526,7 @@ class EquivalenceEngine:
                         args=(sender, job, self.cache_dir, self.use_incremental,
                               self.oracle_packets, self.oracle_seed,
                               self.use_aig, self.solver, self.portfolio,
-                              self.share_clauses),
+                              self.share_clauses, self.clause_db_max),
                         daemon=True,
                     )
                     process.start()

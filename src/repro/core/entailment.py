@@ -88,6 +88,15 @@ class EntailmentStatistics:
     #: Cross-worker learned-clause traffic, mirrored from the solver ledger.
     clauses_exported: int = 0
     clauses_imported: int = 0
+    #: Learned-clause database management, mirrored from the solver ledger:
+    #: reductions run, clauses deleted by them, literals removed by
+    #: conflict-clause minimization, and the LBD sum/count ledger behind the
+    #: reported mean glue.
+    db_reductions: int = 0
+    clauses_deleted: int = 0
+    minimized_literals: int = 0
+    lbd_sum: int = 0
+    lbd_clauses: int = 0
     #: Per-lane portfolio counters (wins/losses/cancelled/errors), mirrored
     #: from the solver ledger; empty outside portfolio mode.
     portfolio: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -110,6 +119,11 @@ class EntailmentStatistics:
             "aig_shortcuts": self.aig_shortcuts,
             "clauses_exported": self.clauses_exported,
             "clauses_imported": self.clauses_imported,
+            "db_reductions": self.db_reductions,
+            "clauses_deleted": self.clauses_deleted,
+            "minimized_literals": self.minimized_literals,
+            "lbd_sum": self.lbd_sum,
+            "lbd_clauses": self.lbd_clauses,
         }
         if self.portfolio:
             payload["portfolio"] = {
@@ -173,6 +187,11 @@ class EntailmentChecker:
         self.statistics.aig_shortcuts = solver_stats.aig_shortcuts
         self.statistics.clauses_exported = solver_stats.clauses_exported
         self.statistics.clauses_imported = solver_stats.clauses_imported
+        self.statistics.db_reductions = solver_stats.db_reductions
+        self.statistics.clauses_deleted = solver_stats.clauses_deleted
+        self.statistics.minimized_literals = solver_stats.minimized_literals
+        self.statistics.lbd_sum = solver_stats.lbd_sum
+        self.statistics.lbd_clauses = solver_stats.lbd_clauses
         if solver_stats.portfolio_lanes:
             self.statistics.portfolio = {
                 lane: dict(counters)

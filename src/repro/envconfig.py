@@ -45,6 +45,10 @@ SOLVER_VAR = "LEAPFROG_SOLVER"
 #: Portfolio-mode toggle: race the internal solver against every external
 #: solver found on PATH, first definitive answer wins (default off).
 PORTFOLIO_VAR = "LEAPFROG_PORTFOLIO"
+#: Learned-clause database cap for the internal CDCL solver; also accepts
+#: on/off (on = the solver's default cap, off/0 = keep every learned clause).
+#: Unset = per-config default, which is the default cap.
+CLAUSE_DB_VAR = "LEAPFROG_CLAUSE_DB"
 
 #: The external SMT solvers the backend layer knows how to drive, in
 #: preference order.  ``smt.backend.EXTERNAL_SOLVER_COMMANDS`` maps each name
@@ -59,6 +63,12 @@ SOLVER_CHOICES = INTERNAL_SOLVERS + EXTERNAL_SOLVERS
 
 #: Packet budget used when ``LEAPFROG_ORACLE`` is a bare "on"/"true".
 DEFAULT_ORACLE_PACKETS = 64
+
+#: Learned-clause cap used when ``LEAPFROG_CLAUSE_DB`` is a bare "on"/"true".
+#: Mirrors ``repro.smt.sat.solver.DEFAULT_CLAUSE_DB_MAX`` (a test pins the
+#: two in sync) — duplicated here so parsing an environment variable does not
+#: import the solver stack.
+DEFAULT_CLAUSE_DB_MAX = 4000
 
 _TRUE_VALUES = ("1", "true", "yes", "on")
 _FALSE_VALUES = ("0", "false", "no", "off")
@@ -167,6 +177,40 @@ def oracle_packets_from_env(
     """The ``LEAPFROG_ORACLE`` packet budget, or ``None`` when unset."""
     environ = os.environ if environ is None else environ
     return parse_oracle_packets(environ.get(ORACLE_VAR), source=ORACLE_VAR)
+
+
+def parse_clause_db(raw: Optional[str], source: str = CLAUSE_DB_VAR) -> Optional[int]:
+    """Parse a learned-clause database cap; ``None``/empty means "not set".
+
+    Accepts a non-negative integer (0 = keep every learned clause forever) or
+    the boolean words accepted by :func:`parse_flag` (``on`` = the solver's
+    default cap of ``DEFAULT_CLAUSE_DB_MAX`` clauses, ``off`` = 0).
+    """
+    if raw is None or raw.strip() == "":
+        return None
+    value = raw.strip().lower()
+    if value in _TRUE_VALUES:
+        return DEFAULT_CLAUSE_DB_MAX
+    if value in _FALSE_VALUES:
+        return 0
+    try:
+        cap = int(value)
+    except ValueError:
+        raise EnvConfigError(
+            f"{source} must be a non-negative integer or one of "
+            f"{_TRUE_VALUES + _FALSE_VALUES}, got {raw!r}"
+        ) from None
+    if cap < 0:
+        raise EnvConfigError(f"{source} must be >= 0, got {cap}")
+    return cap
+
+
+def clause_db_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[int]:
+    """The ``LEAPFROG_CLAUSE_DB`` cap, or ``None`` when unset."""
+    environ = os.environ if environ is None else environ
+    return parse_clause_db(environ.get(CLAUSE_DB_VAR), source=CLAUSE_DB_VAR)
 
 
 def parse_seed(raw: Optional[str], source: str = SEED_VAR) -> Optional[int]:

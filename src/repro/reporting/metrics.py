@@ -107,6 +107,16 @@ def attach_run_statistics(metrics: CaseMetrics, statistics: CheckerStatistics,
         if exported or imported:
             metrics.extra["clauses_exported"] = exported
             metrics.extra["clauses_imported"] = imported
+        # Learned-clause database management: rendered only when the run
+        # actually learned clauses, so DPLL/external-solver rows keep "-".
+        lbd_clauses = int(statistics.entailment.get("lbd_clauses", 0))
+        if lbd_clauses:
+            metrics.extra["clauses_deleted"] = int(
+                statistics.entailment.get("clauses_deleted", 0)
+            )
+            metrics.extra["avg_lbd"] = round(
+                int(statistics.entailment.get("lbd_sum", 0)) / lbd_clauses, 1
+            )
         # Portfolio lane outcomes, summarized as "lane:wins" pairs.
         portfolio = statistics.entailment.get("portfolio")
         if portfolio:

@@ -35,6 +35,8 @@ _COLUMNS = (
 _OPTIONAL_COLUMNS = (
     ("Clauses out", "clauses_exported"),
     ("Clauses in", "clauses_imported"),
+    ("Deleted", "clauses_deleted"),
+    ("Avg LBD", "avg_lbd"),
     ("Portfolio wins", "portfolio_wins"),
 )
 

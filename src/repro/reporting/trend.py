@@ -1,0 +1,126 @@
+"""Benchmark-history trend tables and the regression gate.
+
+The committed entries under ``benchmarks/history/`` form the in-repo perf
+trajectory (see :mod:`repro.reporting.history`).  This module renders them as
+one table per benchmark family — normalized time per entry, oldest to newest
+— and implements the CI regression gate: the latest entry must not be more
+than ``threshold`` slower than the rolling baseline (the mean of up to
+``window`` immediately preceding entries that measured the same benchmark).
+
+Normalized values (seconds divided by the same-machine calibration time) are
+what gets compared, so entries recorded on machines of different speeds are
+still commensurable; see the history module for why that works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .history import HistoryEntry
+
+#: Fractional slowdown versus the rolling baseline that fails the gate.
+DEFAULT_THRESHOLD = 0.15
+
+#: How many immediately preceding entries form the rolling baseline.
+DEFAULT_WINDOW = 3
+
+
+@dataclass
+class Regression:
+    """One benchmark of the latest entry that breached the gate."""
+
+    benchmark: str
+    latest: float           # normalized time of the newest entry
+    baseline: float         # rolling-baseline normalized time
+    ratio: float            # latest / baseline
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}: {self.latest:.2f} vs baseline "
+            f"{self.baseline:.2f} ({(self.ratio - 1.0) * 100:+.0f}%)"
+        )
+
+
+def _benchmark_names(entries: Sequence[HistoryEntry]) -> List[str]:
+    names: Dict[str, None] = {}
+    for entry in entries:
+        for name in sorted(entry.rows):
+            names.setdefault(name)
+    return list(names)
+
+
+def check_regressions(
+    entries: Sequence[HistoryEntry],
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> List[Regression]:
+    """Regressions of the newest entry against its rolling baseline.
+
+    A benchmark participates only when the latest entry measured it *and* at
+    least one of the ``window`` preceding entries did too — a brand-new
+    benchmark has no baseline and cannot regress, and a retired one no
+    longer gates anything.  With fewer than two entries there is nothing to
+    compare and the gate passes vacuously.
+    """
+    if len(entries) < 2:
+        return []
+    latest = entries[-1]
+    previous = entries[:-1][-window:]
+    regressions: List[Regression] = []
+    for name in sorted(latest.rows):
+        history = [entry.normalized(name) for entry in previous if name in entry.rows]
+        if not history:
+            continue
+        baseline = sum(history) / len(history)
+        if baseline <= 0:
+            continue
+        current = latest.normalized(name)
+        ratio = current / baseline
+        if ratio > 1.0 + threshold:
+            regressions.append(Regression(name, current, baseline, ratio))
+    return regressions
+
+
+def render_trend_markdown(entries: Sequence[HistoryEntry]) -> str:
+    """The history as one Markdown table: benchmarks × entries (normalized).
+
+    Each cell is the entry's normalized time for that benchmark ("-" when the
+    entry did not measure it); columns run oldest to newest, so reading left
+    to right follows the PR sequence.
+    """
+    if not entries:
+        return "No benchmark history recorded yet.\n"
+    header = "| Benchmark | " + " | ".join(
+        f"`{entry.label}`" for entry in entries
+    ) + " |"
+    divider = "| --- |" + " ---: |" * len(entries)
+    lines = [header, divider]
+    for name in _benchmark_names(entries):
+        cells = [
+            f"{entry.normalized(name):.2f}" if name in entry.rows else "-"
+            for entry in entries
+        ]
+        lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def render_trend_text(entries: Sequence[HistoryEntry]) -> str:
+    """Plain-text rendering of the same benchmarks × entries table."""
+    if not entries:
+        return "No benchmark history recorded yet."
+    names = _benchmark_names(entries)
+    name_width = max(len("Benchmark"), *(len(name) for name in names))
+    labels = [entry.label for entry in entries]
+    widths = [max(len(label), 8) for label in labels]
+    header = "Benchmark".ljust(name_width) + "  " + "  ".join(
+        label.rjust(width) for label, width in zip(labels, widths)
+    )
+    lines = [header, "-" * len(header)]
+    for name in names:
+        cells = [
+            (f"{entry.normalized(name):.2f}" if name in entry.rows else "-").rjust(width)
+            for entry, width in zip(entries, widths)
+        ]
+        lines.append(name.ljust(name_width) + "  " + "  ".join(cells))
+    return "\n".join(lines)

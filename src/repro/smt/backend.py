@@ -187,6 +187,7 @@ class InternalBackend(SolverBackend):
         validate_models: bool = True,
         use_aig: bool = True,
         clause_channel=None,
+        clause_db_max: Optional[int] = None,
     ) -> None:
         self._engine = engine
         self._solver = InternalBVSolver(
@@ -194,6 +195,7 @@ class InternalBackend(SolverBackend):
             validate_models=validate_models,
             use_aig=use_aig,
             clause_channel=clause_channel,
+            clause_db_max=clause_db_max,
         )
 
     def check_sat(self, formula: BFormula, stop: Optional[threading.Event] = None) -> SatResult:
@@ -418,10 +420,15 @@ class PortfolioBackend(SolverBackend):
         external_backends: Optional[Sequence[SolverBackend]] = None,
         timeout: float = 60.0,
         include_internal: bool = True,
+        clause_db_max: Optional[int] = None,
     ) -> None:
         self._validate_models = validate_models
         self._internal = (
-            InternalBackend(validate_models=validate_models, use_aig=use_aig)
+            InternalBackend(
+                validate_models=validate_models,
+                use_aig=use_aig,
+                clause_db_max=clause_db_max,
+            )
             if include_internal
             else None
         )
@@ -572,6 +579,11 @@ class PortfolioBackend(SolverBackend):
         self._statistics.aig_nodes = inner.aig_nodes
         self._statistics.aig_clauses_saved = inner.aig_clauses_saved
         self._statistics.aig_shortcuts = inner.aig_shortcuts
+        self._statistics.db_reductions = inner.db_reductions
+        self._statistics.clauses_deleted = inner.clauses_deleted
+        self._statistics.minimized_literals = inner.minimized_literals
+        self._statistics.lbd_sum = inner.lbd_sum
+        self._statistics.lbd_clauses = inner.lbd_clauses
 
     @property
     def statistics(self) -> SolverStatistics:
@@ -595,6 +607,7 @@ def backend_for_solver(
     use_aig: bool = True,
     validate_models: bool = True,
     clause_channel=None,
+    clause_db_max: Optional[int] = None,
 ) -> SolverBackend:
     """The backend for a validated ``--solver``/``LEAPFROG_SOLVER`` choice.
 
@@ -608,6 +621,7 @@ def backend_for_solver(
             validate_models=validate_models,
             use_aig=use_aig,
             clause_channel=clause_channel,
+            clause_db_max=clause_db_max,
         )
     if choice in ("dpll", "internal-dpll"):
         return InternalBackend(engine="dpll", validate_models=validate_models)
@@ -621,6 +635,9 @@ def default_backend() -> SolverBackend:
     and a known-but-not-installed solver raises :class:`BackendError`; both
     map to CLI exit code 2.
     """
+    clause_db_max = envconfig.clause_db_from_env()
     if envconfig.portfolio_from_env():
-        return PortfolioBackend()
-    return backend_for_solver(envconfig.solver_from_env())
+        return PortfolioBackend(clause_db_max=clause_db_max)
+    return backend_for_solver(
+        envconfig.solver_from_env(), clause_db_max=clause_db_max
+    )

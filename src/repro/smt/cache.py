@@ -313,6 +313,7 @@ def make_backend(
     solver: Optional[str] = None,
     portfolio: bool = False,
     share_dir: Optional[str] = None,
+    clause_db_max: Optional[int] = None,
 ) -> SolverBackend:
     """Build the standard backend stack, innermost layer first.
 
@@ -329,8 +330,9 @@ def make_backend(
       ``cache_dir`` is supplied, so an explicit opt-out is never overridden.
 
     ``use_aig`` selects AIG simplification in the internal solver's lowering
-    pipeline.  All lane options are ignored when an explicit ``inner``
-    backend is supplied.
+    pipeline, and ``clause_db_max`` caps its learned-clause database
+    (``None`` = the solver default, ``0`` = keep everything).  All lane
+    options are ignored when an explicit ``inner`` backend is supplied.
     """
     if inner is not None:
         backend = inner
@@ -342,14 +344,17 @@ def make_backend(
                 "--portfolio already races every available solver; "
                 f"it cannot be combined with --solver {solver}"
             )
-        backend = PortfolioBackend(use_aig=use_aig)
+        backend = PortfolioBackend(use_aig=use_aig, clause_db_max=clause_db_max)
     else:
         channel = None
         if share_dir is not None:
             from .clauses import ClauseChannel
 
             channel = ClauseChannel(share_dir)
-        backend = backend_for_solver(solver, use_aig=use_aig, clause_channel=channel)
+        backend = backend_for_solver(
+            solver, use_aig=use_aig, clause_channel=channel,
+            clause_db_max=clause_db_max,
+        )
     if use_cache:
         return CachingBackend(backend, cache_dir=cache_dir)
     return backend

@@ -28,8 +28,15 @@ Two pieces:
 * :class:`AigFingerprinter` — node index → fingerprint and back, memoised,
   computed iteratively so deep graphs cannot overflow the recursion limit.
 * :class:`ClauseChannel` — a bounded sqlite table of published clauses
-  (JSON lists of signed fingerprints) shared by every worker pointing at
-  the same directory; the same WAL/busy-timeout recipe as the query cache.
+  (JSON rows of signed fingerprints plus the clause's LBD) shared by every
+  worker pointing at the same directory; the same WAL/busy-timeout recipe
+  as the query cache.
+
+Every published clause carries its **LBD** (glue) as measured by the
+learning solver, so importers can triage: an imported clause enters the
+receiving solver's learned database with that LBD and competes for
+retention like any locally learned clause — glue clauses are kept forever,
+high-LBD imports are the first to go when the database is reduced.
 """
 
 from __future__ import annotations
@@ -46,7 +53,8 @@ from .aig import _INPUT, Aig, FolbvToAig
 
 #: Version tag in the channel filename: bump when the fingerprint scheme or
 #: the row format changes, so mixed-version workers never exchange clauses.
-CHANNEL_VERSION = 1
+#: Version 2: rows carry the clause's LBD next to its literals.
+CHANNEL_VERSION = 2
 
 #: How long a writer waits on a locked database before giving up (ms).
 BUSY_TIMEOUT_MS = 30_000
@@ -211,11 +219,11 @@ class ClauseChannel:
             self._connection = connection
         return self._connection
 
-    def publish(self, clauses: Sequence[Sequence[str]]) -> int:
-        """Append signed-fingerprint clauses; returns how many were stored."""
+    def publish(self, clauses: Sequence[Tuple[Sequence[str], int]]) -> int:
+        """Append ``(signed-fingerprint clause, lbd)`` pairs; returns how many stored."""
         rows = [
-            (self.worker_id, json.dumps(list(clause)))
-            for clause in clauses
+            (self.worker_id, json.dumps({"lbd": int(lbd), "lits": list(clause)}))
+            for clause, lbd in clauses
             if 0 < len(clause) <= self.max_len
         ]
         if not rows:
@@ -233,11 +241,11 @@ class ClauseChannel:
             connection.commit()
         return len(rows)
 
-    def fetch(self, since: int) -> Tuple[int, List[List[str]]]:
+    def fetch(self, since: int) -> Tuple[int, List[Tuple[List[str], int]]]:
         """Clauses published by *other* workers after row id ``since``.
 
-        Returns ``(new_since, clauses)``; pass ``new_since`` to the next
-        call.  Own rows advance the cursor without being returned.
+        Returns ``(new_since, [(clause, lbd), ...])``; pass ``new_since`` to
+        the next call.  Own rows advance the cursor without being returned.
         """
         with self._lock:
             rows = self._conn().execute(
@@ -246,11 +254,12 @@ class ClauseChannel:
             ).fetchall()
         if not rows:
             return since, []
-        clauses = [
-            json.loads(clause)
-            for _, worker, clause in rows
-            if worker != self.worker_id
-        ]
+        clauses = []
+        for _, worker, clause in rows:
+            if worker == self.worker_id:
+                continue
+            payload = json.loads(clause)
+            clauses.append((payload["lits"], int(payload["lbd"])))
         return rows[-1][0], clauses
 
     def __len__(self) -> int:

@@ -53,7 +53,7 @@ from ..p4a.bitvec import Bits
 from .aig import FALSE_REF, Aig, AigToCnf, FolbvToAig
 from .bvsolver import SatResult, SatStatus, SolverStatistics, complete_model
 from .sat.cnf import CnfBuilder
-from .sat.solver import CdclSolver
+from .sat.solver import DEFAULT_CLAUSE_DB_MAX, CdclSolver
 
 
 class IncrementalSession:
@@ -71,20 +71,24 @@ class IncrementalSession:
         statistics: Optional[SolverStatistics] = None,
         use_aig: bool = True,
         clause_channel=None,
+        clause_db_max: Optional[int] = None,
     ) -> None:
         self._aig = Aig(simplify=use_aig)
         self._lowerer = FolbvToAig(self._aig)
         self._builder = CnfBuilder()
+        if clause_db_max is None:
+            clause_db_max = DEFAULT_CLAUSE_DB_MAX
         self._emitter = AigToCnf(self._aig, self._builder)
-        self._solver = CdclSolver()
+        self._solver = CdclSolver(clause_db_max=clause_db_max)
         self._use_aig = use_aig
         # Cross-worker learned-clause sharing (repro.smt.clauses): short
-        # learned clauses are buffered as they are learned, translated to
-        # structural fingerprints and published after each query; foreign
-        # clauses are pulled and translated back before each solve.
+        # learned clauses are buffered — with the LBD the learning run
+        # measured — as they are learned, translated to structural
+        # fingerprints and published after each query; foreign clauses are
+        # pulled and translated back before each solve.
         self._channel = clause_channel
         self._fingerprinter = None
-        self._export_buffer: List[List[int]] = []
+        self._export_buffer: List[Tuple[List[int], int]] = []
         self._exported_keys: set = set()
         self._channel_since = 0
         if clause_channel is not None:
@@ -93,9 +97,9 @@ class IncrementalSession:
             self._fingerprinter = AigFingerprinter(self._aig, self._lowerer)
             max_len = clause_channel.max_len
 
-            def _collect(learned: List[int]) -> None:
+            def _collect(learned: List[int], lbd: int) -> None:
                 if len(learned) <= max_len and len(self._export_buffer) < 512:
-                    self._export_buffer.append(learned)
+                    self._export_buffer.append((learned, lbd))
 
             self._solver.on_learn = _collect
         # fingerprint -> (activation literal, graph ref, encoding cone)
@@ -109,10 +113,15 @@ class IncrementalSession:
         # Assumptions of the last graph-collapsed unsat answer; the CDCL
         # final-conflict set is stale after such a query.
         self._shortcut_assumptions: Optional[List[int]] = None
-        # Watermarks for publishing cumulative AIG counters as deltas into
-        # the (possibly shared) statistics ledger.
+        # Watermarks for publishing cumulative AIG and solver counters as
+        # deltas into the (possibly shared) statistics ledger.
         self._published_nodes = 0
         self._published_saved = 0
+        self._published_reductions = 0
+        self._published_deleted = 0
+        self._published_minimized = 0
+        self._published_lbd_sum = 0
+        self._published_learned = 0
         #: Statistics sink; pass the owning solver's object to keep one ledger.
         self.statistics = statistics if statistics is not None else SolverStatistics()
         #: Number of queries answered by this session.
@@ -159,7 +168,7 @@ class IncrementalSession:
         self._clauses_fed = len(clauses)
 
     def _publish_aig_statistics(self) -> None:
-        """Push cumulative graph counters into the shared ledger as deltas.
+        """Push cumulative graph and solver counters into the ledger as deltas.
 
         Several sessions may share one :class:`SolverStatistics` (the
         entailment checker's session and the CEGIS counterexample sessions
@@ -172,6 +181,26 @@ class IncrementalSession:
         self.statistics.aig_clauses_saved += saved - self._published_saved
         self._published_nodes = nodes
         self._published_saved = saved
+        # Learned-database management counters, same delta discipline.
+        solver_stats = self._solver.stats
+        self.statistics.db_reductions += (
+            solver_stats.db_reductions - self._published_reductions
+        )
+        self.statistics.clauses_deleted += (
+            solver_stats.clauses_deleted - self._published_deleted
+        )
+        self.statistics.minimized_literals += (
+            solver_stats.minimized_literals - self._published_minimized
+        )
+        self.statistics.lbd_sum += solver_stats.lbd_sum - self._published_lbd_sum
+        self.statistics.lbd_clauses += (
+            solver_stats.learned_clauses - self._published_learned
+        )
+        self._published_reductions = solver_stats.db_reductions
+        self._published_deleted = solver_stats.clauses_deleted
+        self._published_minimized = solver_stats.minimized_literals
+        self._published_lbd_sum = solver_stats.lbd_sum
+        self._published_learned = solver_stats.learned_clauses
 
     # ------------------------------------------------------------------
     # Cross-worker clause sharing
@@ -195,7 +224,7 @@ class IncrementalSession:
         for node in self._emitter._vars:
             self._fingerprinter.fingerprint(node)
         self._channel_since, clauses = self._channel.fetch(self._channel_since)
-        for encoded in clauses:
+        for encoded, lbd in clauses:
             literals: List[int] = []
             for signed in encoded:
                 fingerprint, positive = decode_literal(signed)
@@ -206,7 +235,10 @@ class IncrementalSession:
                     break
                 literals.append(var if positive else -var)
             if literals:
-                self._solver.add_clause(literals)
+                # Imports join the learned database under the LBD measured by
+                # the exporting solver, so the reduction policy triages them
+                # instead of keeping foreign clauses forever.
+                self._solver.add_learned_clause(literals, lbd)
                 self.statistics.clauses_imported += 1
 
     def _export_shared_clauses(self) -> None:
@@ -222,8 +254,8 @@ class IncrementalSession:
             return
         from .clauses import encode_literal
 
-        outgoing: List[List[str]] = []
-        for learned in buffered:
+        outgoing: List[Tuple[List[str], int]] = []
+        for learned, lbd in buffered:
             encoded: List[str] = []
             for literal in learned:
                 node = self._emitter.node_of(abs(literal))
@@ -238,7 +270,7 @@ class IncrementalSession:
                 key = tuple(sorted(encoded))
                 if key not in self._exported_keys:
                     self._exported_keys.add(key)
-                    outgoing.append(encoded)
+                    outgoing.append((encoded, lbd))
         if outgoing:
             self.statistics.clauses_exported += self._channel.publish(outgoing)
 

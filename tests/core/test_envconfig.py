@@ -93,6 +93,41 @@ class TestOraclePackets:
             envconfig.parse_oracle_packets("x", source="--oracle-packets")
 
 
+class TestClauseDb:
+    def test_unset_is_none(self):
+        assert envconfig.parse_clause_db(None) is None
+        assert envconfig.parse_clause_db("  ") is None
+        assert envconfig.clause_db_from_env({}) is None
+
+    def test_integer_values(self):
+        assert envconfig.parse_clause_db("0") == 0
+        assert envconfig.parse_clause_db(" 2000 ") == 2000
+        assert envconfig.clause_db_from_env({"LEAPFROG_CLAUSE_DB": "512"}) == 512
+
+    def test_boolean_words(self):
+        assert envconfig.parse_clause_db("on") == envconfig.DEFAULT_CLAUSE_DB_MAX
+        assert envconfig.parse_clause_db("true") == envconfig.DEFAULT_CLAUSE_DB_MAX
+        assert envconfig.parse_clause_db("off") == 0
+        assert envconfig.parse_clause_db("FALSE") == 0
+
+    def test_negative_and_garbage_rejected(self):
+        with pytest.raises(EnvConfigError, match=">= 0"):
+            envconfig.parse_clause_db("-1")
+        with pytest.raises(EnvConfigError, match="LEAPFROG_CLAUSE_DB"):
+            envconfig.parse_clause_db("lots")
+
+    def test_source_names_the_flag(self):
+        with pytest.raises(EnvConfigError, match="--clause-db-max"):
+            envconfig.parse_clause_db("x", source="--clause-db-max")
+
+    def test_default_matches_the_solver_default(self):
+        # envconfig duplicates the solver's default so parsing environment
+        # variables never imports the solver stack; this pins the two.
+        from repro.smt.sat.solver import DEFAULT_CLAUSE_DB_MAX
+
+        assert envconfig.DEFAULT_CLAUSE_DB_MAX == DEFAULT_CLAUSE_DB_MAX
+
+
 class TestSeed:
     def test_unset_is_none(self):
         assert envconfig.parse_seed(None) is None

@@ -60,6 +60,15 @@ class TestCommittedEntries:
             "entailed_sweep.aig_on"
         ) >= 1.5
 
+    def test_clause_db_entry_exhibits_the_reduction_speedup(self):
+        entries = {entry.label: entry for entry in load_history(_HISTORY)}
+        entry = entries["0010-clause-db"]
+        assert {"clause_db_churn.capped", "clause_db_churn.unbounded"} <= set(entry.rows)
+        # The committed measurement must itself exhibit the PR's claim.
+        assert entry.normalized("clause_db_churn.unbounded") / entry.normalized(
+            "clause_db_churn.capped"
+        ) >= 1.5
+
 
 class TestSchema:
     def test_calibration_workload_is_pinned(self):

@@ -1,0 +1,152 @@
+"""Trend tables and the benchmark-history regression gate.
+
+The gate compares the latest committed entry against the rolling baseline
+(mean of up to ``DEFAULT_WINDOW`` preceding entries, normalized values).
+These tests construct small synthetic histories to pin its semantics, verify
+the renderings, exercise the ``bench report`` CLI, and finally run the gate
+against the repository's own committed history — which must pass, or CI is
+already red at the commit that introduced the regression.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.reporting.history import HistoryEntry, history_dir, load_history, write_entry
+from repro.reporting.trend import (
+    check_regressions,
+    render_trend_markdown,
+    render_trend_text,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _entry(label, **rows):
+    """An entry with calibration 1.0, so rows are their own normalized values."""
+    return HistoryEntry(
+        label=label, date="2026-08-08", calibration_seconds=1.0, rows=rows
+    )
+
+
+class TestCheckRegressions:
+    def test_fewer_than_two_entries_pass_vacuously(self):
+        assert check_regressions([]) == []
+        assert check_regressions([_entry("only", a=1.0)]) == []
+
+    def test_steady_history_passes(self):
+        entries = [_entry("1", a=1.0, b=2.0), _entry("2", a=1.05, b=1.9)]
+        assert check_regressions(entries) == []
+
+    def test_slowdown_beyond_threshold_is_flagged(self):
+        entries = [_entry("1", a=1.0), _entry("2", a=1.0), _entry("3", a=1.4)]
+        [regression] = check_regressions(entries)
+        assert regression.benchmark == "a"
+        assert regression.ratio == 1.4
+        assert "a" in regression.describe()
+        assert "+40%" in regression.describe()
+
+    def test_baseline_is_the_mean_of_the_window(self):
+        # Baseline for "a" is mean(1.0, 2.0) = 1.5; latest 1.6 is only ~7%
+        # over — inside the 15% threshold even though it is 60% over the
+        # oldest entry.
+        entries = [_entry("1", a=1.0), _entry("2", a=2.0), _entry("3", a=1.6)]
+        assert check_regressions(entries) == []
+
+    def test_entries_outside_the_window_do_not_gate(self):
+        # The slow first entry ages out of the window of three.
+        entries = [
+            _entry("1", a=9.0),
+            _entry("2", a=1.0),
+            _entry("3", a=1.0),
+            _entry("4", a=1.0),
+            _entry("5", a=1.05),
+        ]
+        assert check_regressions(entries, window=3) == []
+
+    def test_new_and_retired_benchmarks_do_not_gate(self):
+        entries = [
+            _entry("1", old=1.0),
+            _entry("2", fresh=99.0),  # no baseline: cannot regress
+        ]
+        assert check_regressions(entries) == []
+
+    def test_normalization_bridges_machine_speeds(self):
+        # Same workload, but the second entry came from a machine twice as
+        # slow — calibration doubles with it, so nothing regressed.
+        fast = HistoryEntry(
+            label="fast", date="d", calibration_seconds=0.05, rows={"a": 0.5}
+        )
+        slow = HistoryEntry(
+            label="slow", date="d", calibration_seconds=0.10, rows={"a": 1.0}
+        )
+        assert check_regressions([fast, slow]) == []
+
+    def test_threshold_is_configurable(self):
+        entries = [_entry("1", a=1.0), _entry("2", a=1.1)]
+        assert check_regressions(entries) == []
+        assert len(check_regressions(entries, threshold=0.05)) == 1
+
+
+class TestRendering:
+    def test_markdown_table_has_a_column_per_entry(self):
+        entries = [_entry("pr1", a=1.0), _entry("pr2", a=1.5, b=0.5)]
+        table = render_trend_markdown(entries)
+        assert "| Benchmark | `pr1` | `pr2` |" in table
+        assert "| `a` | 1.00 | 1.50 |" in table
+        assert "| `b` | - | 0.50 |" in table  # unmeasured cell is "-"
+
+    def test_text_table_lists_every_benchmark(self):
+        entries = [_entry("pr1", a=1.0), _entry("pr2", a=1.5, b=0.5)]
+        text = render_trend_text(entries)
+        assert "pr1" in text and "pr2" in text
+        assert "a" in text and "b" in text
+
+    def test_empty_history_renders_placeholder(self):
+        assert "No benchmark history" in render_trend_markdown([])
+        assert "No benchmark history" in render_trend_text([])
+
+
+class TestBenchReportCli:
+    def _seed_history(self, tmp_path, latest_a):
+        write_entry(tmp_path, "0001.json", _entry("one", a=1.0))
+        write_entry(tmp_path, "0002.json", _entry("two", a=latest_a))
+
+    def test_report_prints_trend_table(self, tmp_path, capsys):
+        self._seed_history(tmp_path, latest_a=1.0)
+        assert main(["bench", "report", "--history-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "one" in output and "two" in output
+
+    def test_check_passes_on_steady_history(self, tmp_path, capsys):
+        self._seed_history(tmp_path, latest_a=1.05)
+        code = main(["bench", "report", "--history-dir", str(tmp_path), "--check"])
+        assert code == 0
+        assert "regression gate passed" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        self._seed_history(tmp_path, latest_a=2.0)
+        code = main(["bench", "report", "--history-dir", str(tmp_path), "--check"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "a" in captured.err
+        assert "+100%" in captured.err
+
+    def test_check_threshold_flag(self, tmp_path):
+        self._seed_history(tmp_path, latest_a=1.1)
+        args = ["bench", "report", "--history-dir", str(tmp_path), "--check"]
+        assert main(args) == 0
+        assert main(args + ["--threshold", "0.05"]) == 1
+
+    def test_markdown_flag(self, tmp_path, capsys):
+        self._seed_history(tmp_path, latest_a=1.0)
+        code = main(["bench", "report", "--history-dir", str(tmp_path), "--markdown"])
+        assert code == 0
+        assert "| Benchmark |" in capsys.readouterr().out
+
+
+class TestCommittedHistory:
+    def test_repository_history_passes_the_gate(self):
+        entries = load_history(history_dir(_REPO_ROOT))
+        assert len(entries) >= 2
+        regressions = check_regressions(entries)
+        assert regressions == [], [r.describe() for r in regressions]

@@ -70,35 +70,36 @@ class TestClauseChannel:
     def test_publish_and_fetch(self, tmp_path):
         writer = ClauseChannel(str(tmp_path))
         reader = ClauseChannel(str(tmp_path))
-        assert writer.publish([["x", "!y"], ["z"]]) == 2
+        assert writer.publish([(["x", "!y"], 3), (["z"], 1)]) == 2
         since, clauses = reader.fetch(0)
-        assert clauses == [["x", "!y"], ["z"]]
+        # The LBD rides along with the literals, so importers can triage.
+        assert clauses == [(["x", "!y"], 3), (["z"], 1)]
         # The cursor advances: nothing new on a second fetch.
         assert reader.fetch(since) == (since, [])
 
     def test_own_rows_are_never_returned(self, tmp_path):
         channel = ClauseChannel(str(tmp_path))
-        channel.publish([["x"]])
+        channel.publish([(["x"], 1)])
         since, clauses = channel.fetch(0)
         assert clauses == []
         assert since > 0  # the cursor still advances past own rows
 
     def test_long_and_empty_clauses_are_dropped(self, tmp_path):
         channel = ClauseChannel(str(tmp_path), max_len=2)
-        assert channel.publish([[], ["a", "b", "c"], ["a", "b"]]) == 1
+        assert channel.publish([([], 1), (["a", "b", "c"], 2), (["a", "b"], 2)]) == 1
         assert len(channel) == 1
 
     def test_capacity_evicts_oldest(self, tmp_path):
         writer = ClauseChannel(str(tmp_path), capacity=3)
         reader = ClauseChannel(str(tmp_path), capacity=3)
-        writer.publish([[f"c{i}"] for i in range(10)])
+        writer.publish([([f"c{i}"], 1) for i in range(10)])
         assert len(writer) == 3
         _, clauses = reader.fetch(0)
-        assert clauses == [["c7"], ["c8"], ["c9"]]
+        assert clauses == [(["c7"], 1), (["c8"], 1), (["c9"], 1)]
 
     def test_reopens_transparently_after_close(self, tmp_path):
         channel = ClauseChannel(str(tmp_path))
-        channel.publish([["x"]])
+        channel.publish([(["x"], 1)])
         channel.close()
         assert len(channel) == 1  # the connection came back on demand
 
@@ -208,7 +209,7 @@ def _publish_burst(directory: str, worker: int, bursts: int, burst_size: int) ->
     stored = 0
     for burst in range(bursts):
         stored += channel.publish([
-            [f"w{worker}b{burst}c{i}"] for i in range(burst_size)
+            ([f"w{worker}b{burst}c{i}"], 1) for i in range(burst_size)
         ])
     channel.close()
     return stored
@@ -248,7 +249,7 @@ class TestClauseChannelConcurrency:
         reader = ClauseChannel(str(tmp_path), capacity=expected)
         _, clauses = reader.fetch(0)
         # Every published clause arrives exactly once, none truncated away.
-        assert sorted(c[0] for c in clauses) == sorted(
+        assert sorted(lits[0] for lits, _ in clauses) == sorted(
             f"w{w}b{b}c{i}"
             for w in range(self.WRITERS)
             for b in range(self.BURSTS)
@@ -271,7 +272,7 @@ class TestClauseChannelConcurrency:
         reader = ClauseChannel(str(tmp_path), capacity=expected)
         _, clauses = reader.fetch(0)
         assert len(clauses) == expected
-        assert len({c[0] for c in clauses}) == expected
+        assert len({lits[0] for lits, _ in clauses}) == expected
         reader.close()
 
     def test_polling_reader_sees_each_clause_once(self, tmp_path):
@@ -285,9 +286,9 @@ class TestClauseChannelConcurrency:
             since = 0
             while not stop.is_set():
                 since, clauses = reader.fetch(since)
-                seen.extend(c[0] for c in clauses)
+                seen.extend(lits[0] for lits, _ in clauses)
             since, clauses = reader.fetch(since)  # final drain
-            seen.extend(c[0] for c in clauses)
+            seen.extend(lits[0] for lits, _ in clauses)
             reader.close()
 
         poller = threading.Thread(target=poll)
@@ -320,7 +321,7 @@ class TestClauseChannelConcurrency:
         def work(index):
             channel = ClauseChannel(str(tmp_path), capacity=capacity)
             for burst in range(self.BURSTS):
-                channel.publish([[f"w{index}b{burst}c{i}"] for i in range(4)])
+                channel.publish([([f"w{index}b{burst}c{i}"], 1) for i in range(4)])
             channel.close()
 
         threads = [

@@ -195,3 +195,64 @@ class TestRestrictedDecisionSoundness:
                              validate_formula=BEq(x, const("11")))
         assert good.status is SatStatus.SAT
         assert good.model["q"] == Bits("11")
+
+
+class TestClauseDbSessionChurn:
+    """Long churn at the session level: with a small cap the live learned set
+    stays bounded and reductions fire, while every verdict matches an
+    unbounded twin session answering the same query stream."""
+
+    @staticmethod
+    def _bit(pigeon, hole):
+        return BEq(var(f"p{pigeon}h{hole}", 1), const("1"))
+
+    def _exclusivity(self, pigeons, holes):
+        formulas = []
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    formulas.append(folbv.b_not(folbv.b_and(
+                        [self._bit(p1, h), self._bit(p2, h)]
+                    )))
+        return formulas
+
+    def _placed(self, pigeon, holes):
+        return folbv.b_or([self._bit(pigeon, h) for h in range(holes)])
+
+    def test_capped_session_matches_unbounded_and_stays_bounded(self):
+        pigeons, holes = 6, 5
+        capped = IncrementalSession(validate_models=False, clause_db_max=32)
+        capped._solver._learned_budget = 8  # small budget at test scale
+        unbounded = IncrementalSession(validate_models=False, clause_db_max=0)
+        sessions = [capped, unbounded]
+        acts = [
+            [session.activation(f) for f in self._exclusivity(pigeons, holes)]
+            for session in sessions
+        ]
+        for _ in range(2):
+            # Placing any five of the six pigeons is satisfiable ...
+            for excluded in range(pigeons):
+                goal = folbv.b_and([
+                    self._placed(p, holes)
+                    for p in range(pigeons) if p != excluded
+                ])
+                first, second = [
+                    session.check(act_list, goal=goal).status
+                    for session, act_list in zip(sessions, acts)
+                ]
+                assert first is SatStatus.SAT and second is SatStatus.SAT
+            # ... all six is the pigeonhole refutation.
+            goal = folbv.b_and([self._placed(p, holes) for p in range(pigeons)])
+            first, second = [
+                session.check(act_list, goal=goal).status
+                for session, act_list in zip(sessions, acts)
+            ]
+            assert first is SatStatus.UNSAT and second is SatStatus.UNSAT
+        # The capped session really managed its database ...
+        assert capped.statistics.db_reductions > 0
+        assert capped.statistics.clauses_deleted > 0
+        assert unbounded.statistics.db_reductions == 0
+        # ... and its live learned set stayed bounded (glue and locked
+        # clauses may ride somewhat above the configured cap).
+        assert capped._solver.learned_live <= 2 * 32
+        assert capped._solver.learned_live <= unbounded._solver.learned_live

@@ -1,12 +1,14 @@
 """Tests for the SAT layer: CNF building, DPLL, CDCL, and their agreement."""
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.smt.sat.brute import brute_force_solve, check_model
 from repro.smt.sat.cnf import Cnf, CnfBuilder
 from repro.smt.sat.dpll import dpll_solve
-from repro.smt.sat.solver import CdclSolver, cdcl_solve
+from repro.smt.sat.solver import GLUE_LBD, CdclSolver, cdcl_solve
 
 
 def cnf_from_clauses(num_vars, clauses) -> Cnf:
@@ -381,3 +383,215 @@ def test_incremental_cdcl_agrees_with_references(plan):
                 _NUM_VARS, accumulated + [(literal,) for literal in failed]
             )
             assert dpll_solve(conflict_cnf)[0] is False
+
+
+# ---------------------------------------------------------------------------
+# Regression tests for solver internals: learned-clause watch order, heap
+# rebuild on activity rescale, and propagation-counter semantics.
+# ---------------------------------------------------------------------------
+
+
+class TestSolverInternals:
+    @staticmethod
+    def _decide_at_level(solver, literal):
+        """Open a decision level and assign ``literal``, as the search does."""
+        solver._trail_limits.append(len(solver._trail))
+        assert solver._enqueue(literal, None)
+
+    def test_learned_clause_watches_highest_level_falsified_literal(self):
+        # Regression: _add_learned used to watch whatever literal happened to
+        # sit at position 1.  The watch invariant requires the falsified
+        # literal of the *highest* decision level there.
+        solver = CdclSolver()
+        solver.ensure_num_vars(4)
+        self._decide_at_level(solver, 1)   # x1 true at level 1
+        self._decide_at_level(solver, 2)   # x2 true at level 2
+        self._decide_at_level(solver, 3)   # x3 true at level 3
+        index = solver._add_learned([4, -1, -3, -2], lbd=3)
+        stored = solver._arena[index].literals
+        assert stored[0] == 4
+        assert stored[1] == -3  # level 3, the highest among the falsified
+
+    def test_learned_clause_propagates_after_deeper_backjump(self):
+        # The scenario the watch order exists for: a learned clause survives a
+        # backjump below its own backjump level, one of its literals is
+        # re-falsified later, and the implication must fire.  With the wrong
+        # watch (on the level-1 literal) the clause is never revisited and the
+        # implication is silently lost.
+        solver = CdclSolver()
+        solver.ensure_num_vars(3)
+        self._decide_at_level(solver, -2)  # x2 false at level 1
+        self._decide_at_level(solver, -3)  # x3 false at level 2
+        index = solver._add_learned([1, 2, 3], lbd=2)
+        assert solver._arena[index].literals[:2] == [1, 3]
+        # The asserting enqueue, as the search loop would do it.
+        assert solver._enqueue(1, index)
+        assert solver._propagate() is None
+        # A deeper backjump retracts x3 (and with it x1), keeping only x2.
+        solver._backjump(1)
+        assert solver._value(1) == 0 and solver._value(3) == 0
+        # Re-falsify x3 at a fresh level: the clause is unit on x1 again and
+        # must enqueue exactly that one implication.
+        self._decide_at_level(solver, -3)
+        before = solver.stats.propagations
+        assert solver._propagate() is None
+        assert solver.stats.propagations == before + 1
+        assert solver._value(1) == 1
+
+    def test_bump_rescale_rebuilds_stale_heap_priorities(self):
+        # Regression: the 1e-100 activity rescale used to leave pre-rescale
+        # priorities in the order heap, so one anciently-bumped variable
+        # outranked every later bump forever.
+        solver = CdclSolver()
+        solver.ensure_num_vars(4)
+        solver._activity_increment = 1e100
+        solver._bump(1)  # heap entry (-1e100, 1)
+        solver._bump(2)
+        solver._bump(2)  # crosses 1e100 -> rescale + heap rebuild
+        assert all(priority > -1e50 for priority, _ in solver._order_heap)
+        for priority, variable in solver._order_heap:
+            assert priority == -solver._activity[variable]
+        # x2 is now the most active variable and must be decided first; the
+        # stale entry would have handed the decision to x1.
+        assert abs(solver._decide()) == 2
+
+    def test_rescale_rebuilds_restricted_heap_too(self):
+        solver = CdclSolver()
+        solver.ensure_num_vars(4)
+        solver._restricted = (set([1, 2]), [])
+        solver._activity_increment = 1e100
+        solver._bump(1)
+        solver._bump(2)
+        solver._bump(2)  # rescale while a restricted solve is in flight
+        decision_set, local_heap = solver._restricted
+        assert decision_set == {1, 2}
+        assert all(priority > -1e50 for priority, _ in local_heap)
+        assert {variable for _, variable in local_heap} == {1, 2}
+
+    def test_propagations_count_implications_enqueued(self):
+        # x1 implies x2, x3, x4 through a mix of binary and ternary clauses:
+        # exactly three implications are enqueued.  Decisions and assumptions
+        # are not implications and must not count.
+        cnf = cnf_from_clauses(4, [(-1, 2), (-1, -2, 3), (-3, 4)])
+        solver = CdclSolver(cnf)
+        sat, model = solver.solve(assumptions=[1])
+        assert sat is True
+        assert model[2] and model[3] and model[4]
+        assert solver.stats.propagations == 3
+
+
+# ---------------------------------------------------------------------------
+# Learned-clause database management: reduction policy and its invisibility
+# in solver answers.
+# ---------------------------------------------------------------------------
+
+
+class TestClauseDbReduction:
+    def test_reduce_db_deletes_worst_protects_glue_and_binary(self):
+        solver = CdclSolver()
+        solver.ensure_num_vars(9)
+        solver.add_learned_clause([1, 2, 3], lbd=GLUE_LBD)  # glue: protected
+        solver.add_learned_clause([4, 5], lbd=5)            # binary: protected
+        solver.add_learned_clause([6, 7, 8], lbd=7)
+        solver.add_learned_clause([2, 5, 9], lbd=9)
+        assert solver.learned_live == 3  # binary is outside the working set
+        assert solver.reduce_db() == 1   # worst half of the two deletable
+        assert solver.learned_live == 2
+        live = [set(c.literals) for c in solver._arena if c is not None]
+        assert {1, 2, 3} in live       # glue survived
+        assert {6, 7, 8} in live       # lower LBD survived
+        assert {2, 5, 9} not in live   # highest LBD went first
+        assert solver.stats.db_reductions == 1
+        assert solver.stats.clauses_deleted == 1
+
+    def test_reduce_db_spares_locked_clauses(self):
+        solver = CdclSolver()
+        solver.ensure_num_vars(3)
+        solver.add_learned_clause([1, 2, 3], lbd=9)
+        index = next(
+            i for i, c in enumerate(solver._arena)
+            if c is not None and c.lbd == 9
+        )
+        # Lock the clause as the reason of an assigned variable.
+        solver._trail_limits.append(len(solver._trail))
+        assert solver._enqueue(1, index)
+        assert solver.reduce_db() == 0
+        solver._backjump(0)
+        assert solver.reduce_db() == 1  # unlocked now: fair game
+
+    def test_on_learn_reports_lbd_and_stats_track_it(self):
+        def var(pigeon, hole):
+            return pigeon * 2 + hole + 1
+
+        clauses = []
+        for pigeon in range(3):
+            clauses.append(tuple(var(pigeon, hole) for hole in range(2)))
+        for hole in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    clauses.append((-var(p1, hole), -var(p2, hole)))
+        solver = CdclSolver(cnf_from_clauses(6, clauses))
+        exported = []
+        solver.on_learn = lambda lits, lbd: exported.append((lits, lbd))
+        assert solver.solve()[0] is False
+        assert exported
+        assert all(isinstance(lbd, int) and lbd >= 1 for _, lbd in exported)
+        assert solver.stats.learned_clauses == len(exported)
+        assert solver.stats.lbd_sum == sum(lbd for _, lbd in exported)
+        assert solver.stats.avg_lbd == pytest.approx(
+            solver.stats.lbd_sum / solver.stats.learned_clauses
+        )
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            CdclSolver(clause_db_max=-1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_cnf(), st.lists(_assumption_sets, min_size=2, max_size=4))
+    def test_forced_reductions_never_change_answers(self, cnf, assumption_sets):
+        """Deleting learned clauses between and during queries is invisible:
+        a solver with reduce_db() forced after every solve agrees with an
+        unbounded solver and with DPLL on every verdict and model."""
+        reduced = CdclSolver(cnf, clause_db_max=4)
+        unbounded = CdclSolver(cnf, clause_db_max=0)
+        for assumptions in assumption_sets:
+            sat, model = reduced.solve(assumptions=assumptions)
+            other, other_model = unbounded.solve(assumptions=assumptions)
+            reference = cnf_from_clauses(
+                _NUM_VARS, list(cnf.clauses) + [(l,) for l in assumptions]
+            )
+            expected, _ = dpll_solve(reference)
+            assert sat == expected and other == expected
+            if sat:
+                assert check_model(reference, model)
+                assert check_model(reference, other_model)
+            reduced.reduce_db()  # delete mid-session, before the next query
+        assert unbounded.stats.db_reductions == 0
+
+    def test_long_churn_stays_bounded_and_agrees_with_unbounded(self):
+        """Organic reductions on a hard-ish random instance keep the live
+        learned set bounded while every verdict matches an unbounded twin."""
+        rng = random.Random(11)
+        clauses = []
+        for _ in range(170):
+            vs = rng.sample(range(1, 41), 3)
+            clauses.append(tuple(v if rng.random() < 0.5 else -v for v in vs))
+        capped = CdclSolver(clause_db_max=64)
+        capped._learned_budget = 16  # shrink the start budget to test scale
+        unbounded = CdclSolver(clause_db_max=0)
+        for solver in (capped, unbounded):
+            solver.ensure_num_vars(40)
+            for clause in clauses:
+                solver.add_clause(clause)
+        arng = random.Random(12)
+        for _ in range(25):
+            assumptions = [
+                v if arng.random() < 0.5 else -v
+                for v in arng.sample(range(1, 41), 5)
+            ]
+            verdict = capped.solve(assumptions=assumptions)[0]
+            assert verdict == unbounded.solve(assumptions=assumptions)[0]
+        assert capped.stats.db_reductions > 0
+        assert capped.stats.clauses_deleted > 0
+        assert capped.learned_live < unbounded.learned_live
+        assert capped.learned_live <= 2 * 64  # glue/locked may ride above cap
